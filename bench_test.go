@@ -1,0 +1,180 @@
+// Root-level benchmark harness: one testing.B benchmark per table and
+// figure in the paper's evaluation, each regenerating the corresponding
+// result on the simulated machine and reporting its headline numbers as
+// custom metrics. A full regeneration pass is:
+//
+//	go test -bench=. -benchtime=1x .
+//
+// Each benchmark asserts nothing; the shape checks live in
+// internal/expt's tests. Here the value is the regenerated numbers, which
+// EXPERIMENTS.md records against the paper's.
+package graingraph_test
+
+import (
+	"testing"
+
+	"graingraph/internal/expt"
+	"graingraph/internal/rts"
+)
+
+// BenchmarkFigure1_Speedups regenerates Figure 1: before/after-optimization
+// speedups for the five case-study programs under three runtime flavours.
+func BenchmarkFigure1_Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure1(nil, 48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, program := range []string{"376.kdtree", "Sort", "359.botsspar", "FFT", "Strassen"} {
+			b.ReportMetric(res.Get(program, "before", rts.FlavorMIR), program+"_before_x")
+			b.ReportMetric(res.Get(program, "after", rts.FlavorMIR), program+"_after_x")
+		}
+	}
+}
+
+// BenchmarkFigure2_KdtreeCutoff regenerates Figure 2: the task explosion
+// from 376.kdtree's missing depth increment on the small input.
+func BenchmarkFigure2_KdtreeCutoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BuggyGrains), "buggy_grains")
+		b.ReportMetric(float64(res.FixedGrains), "fixed_grains")
+		b.ReportMetric(float64(res.BuggyDepth), "buggy_depth")
+	}
+}
+
+// BenchmarkFigure4_Timeline regenerates Figure 4: the thread-timeline
+// baseline view of Sort (load imbalance with no culprit attribution).
+func BenchmarkFigure4_Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LoadImbalance, "load_imbalance")
+		b.ReportMetric(100*res.LowIPAffected, "lowIP_pct")
+	}
+}
+
+// BenchmarkFigure5_SortParallelism regenerates Figure 5: Sort's
+// instantaneous-parallelism problem and the failed lowered-cutoff fix.
+func BenchmarkFigure5_SortParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TunedGrains), "tuned_grains")
+		b.ReportMetric(float64(res.LoweredGrains), "lowered_grains")
+		b.ReportMetric(100*res.TunedLowIP, "tuned_lowIP_pct")
+		b.ReportMetric(100*res.LoweredLowPB, "lowered_lowPB_pct")
+	}
+}
+
+// BenchmarkSortPageTable regenerates the §4.3.1 problem table: affected
+// grains before/after round-robin page placement.
+func BenchmarkSortPageTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.SortPageTable(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.InflationBefore, "inflation_before_pct")
+		b.ReportMetric(100*res.InflationAfter, "inflation_after_pct")
+		b.ReportMetric(100*res.UtilizationBefore, "poorMHU_before_pct")
+		b.ReportMetric(100*res.UtilizationAfter, "poorMHU_after_pct")
+	}
+}
+
+// BenchmarkFigure6_SparseLU regenerates Figure 6: 359.botsspar's work
+// inflation at threshold 1.2 and the loop-interchange fix.
+func BenchmarkFigure6_SparseLU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.InflationBefore, "inflated_before_pct")
+		b.ReportMetric(100*res.InflationAfter, "inflated_after_pct")
+		b.ReportMetric(float64(res.Grains), "grains")
+	}
+}
+
+// BenchmarkFigure7_FFTBenefit regenerates Figure 7: FFT parallel benefit by
+// definition, before and after cutoffs.
+func BenchmarkFigure7_FFTBenefit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure7(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BeforeGrains), "orig_grains")
+		b.ReportMetric(100*res.BeforeLowPB, "orig_lowPB_pct")
+		b.ReportMetric(float64(res.AfterGrains), "cutoff_grains")
+	}
+}
+
+// BenchmarkFigure8_FFTUtilization regenerates Figure 8: poor
+// memory-hierarchy utilization remains after the FFT cutoff fix.
+func BenchmarkFigure8_FFTUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure8(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Grains), "grains")
+		b.ReportMetric(100*res.PoorMHU, "poorMHU_pct")
+	}
+}
+
+// BenchmarkFigure9_10_Table1_Freqmine regenerates Figures 9/10 and Table 1:
+// the imbalanced FPGF loop and the bin-packed core minimum.
+func BenchmarkFigure9_10_Table1_Freqmine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure9Table1(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Chunks), "fpgf_chunks")
+		b.ReportMetric(res.LoadBalance48, "loadbalance_48c")
+		b.ReportMetric(float64(res.MinCores), "binpacked_cores")
+		b.ReportMetric(res.LoadBalanceMin, "loadbalance_minc")
+		for _, row := range res.Table1 {
+			b.ReportMetric(row.Speedup, row.Flavor.String()+"_speedup_x")
+		}
+	}
+}
+
+// BenchmarkFigure11_Strassen regenerates Figure 11: the hard-coded cutoff,
+// the exposed parallelism after the fix, and scheduler-driven scatter.
+func BenchmarkFigure11_Strassen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Figure11(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BuggyGrainsSCLow), "buggy_grains")
+		b.ReportMetric(float64(res.FixedGrains), "fixed_grains")
+		b.ReportMetric(100*res.ScatterWS, "scatter_ws_pct")
+		b.ReportMetric(100*res.ScatterCQ, "scatter_cq_pct")
+		b.ReportMetric(res.SpeedupWS, "speedup_ws_x")
+		b.ReportMetric(res.SpeedupCQ, "speedup_cq_x")
+	}
+}
+
+// BenchmarkOtherBenchmarks regenerates the §4.3.6 summaries.
+func BenchmarkOtherBenchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.OtherBenchmarks(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Speedup, row.Program+"_speedup_x")
+			b.ReportMetric(100*row.LowPB, row.Program+"_lowPB_pct")
+		}
+	}
+}

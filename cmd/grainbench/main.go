@@ -1,0 +1,62 @@
+// Command grainbench regenerates the paper's tables and figures on the
+// simulated 48-core machine and prints them as console tables.
+//
+// Usage:
+//
+//	grainbench               # run everything
+//	grainbench -fig 1        # only Figure 1
+//	grainbench -fig sort     # only the Sort problem table (§4.3.1)
+//	grainbench -cores 16     # override the core count for Figure 1
+//
+// Figure IDs: 1, 2, 4, 5, 6, 7, 8, 9 (covers 9/10 + Table 1), 11,
+// "sort" (the §4.3.1 table), "others" (§4.3.6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graingraph/internal/expt"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,all)")
+	cores := flag.Int("cores", 48, "core count for speedup experiments")
+	flag.Parse()
+
+	type step struct {
+		id  string
+		run func() error
+	}
+	w := os.Stdout
+	steps := []step{
+		{"1", func() error { _, err := expt.Figure1(w, *cores); return err }},
+		{"2", func() error { _, err := expt.Figure2(w); return err }},
+		{"4", func() error { _, err := expt.Figure4(w); return err }},
+		{"5", func() error { _, err := expt.Figure5(w); return err }},
+		{"sort", func() error { _, err := expt.SortPageTable(w); return err }},
+		{"6", func() error { _, err := expt.Figure6(w); return err }},
+		{"7", func() error { _, err := expt.Figure7(w); return err }},
+		{"8", func() error { _, err := expt.Figure8(w); return err }},
+		{"9", func() error { _, err := expt.Figure9Table1(w); return err }},
+		{"11", func() error { _, err := expt.Figure11(w); return err }},
+		{"others", func() error { _, err := expt.OtherBenchmarks(w); return err }},
+	}
+	ran := false
+	for _, s := range steps {
+		if *fig != "all" && *fig != s.id {
+			continue
+		}
+		ran = true
+		if err := s.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: figure %s: %v\n", s.id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "grainbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,14 @@
+// Package graingraph is a from-scratch Go reproduction of "Grain Graphs:
+// OpenMP Performance Analysis Made Easy" (Muddukrishna, Jonsson, Podobas,
+// Brorsson — PPoPP 2016): a grain-level performance-analysis method for
+// task- and loop-parallel programs, together with every substrate the
+// paper's evaluation depends on, rebuilt as a simulated 48-core NUMA
+// machine, an OpenMP-like tasking runtime, the paper's benchmark programs
+// (bugs included), and a native goroutine executor.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record of every table and
+// figure. The root-level benchmarks (bench_test.go) regenerate each one:
+//
+//	go test -bench=. -benchtime=1x .
+package graingraph

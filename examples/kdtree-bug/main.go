@@ -1,0 +1,80 @@
+// kdtree-bug reproduces the paper's §2 discovery: 376.kdtree's cutoff has
+// no effect because kdnode::sweeptree() forgets to increment the recursion
+// depth — a bug that "escaped both the programmer and SPEC quality control
+// for over three years" and that the grain graph reveals at a glance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"graingraph/internal/core"
+	"graingraph/internal/export"
+	"graingraph/internal/expt"
+	"graingraph/internal/workloads"
+)
+
+func main() {
+	fmt.Println("== 376.kdtree, SPEC small input, cutoff 2 ==")
+
+	buggy, err := expt.Run(workloads.NewKdTree(workloads.DefaultKdTreeParams()),
+		expt.Config{Cores: 48, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(buggy, "original (missing depth increment)")
+
+	fixed, err := expt.Run(workloads.NewKdTree(workloads.FixedKdTreeParams()),
+		expt.Config{Cores: 48, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fixed, "fixed (depth incremented, separate sweep cutoff)")
+
+	// The performance consequence at evaluation scale, measured against a
+	// common serial baseline (the fixed program on one core), as in the
+	// paper's Figure 1.
+	baseT1, err := expt.Makespan(workloads.NewKdTree(workloads.PerfKdTreeParams(true)),
+		expt.Config{Cores: 1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fixedVariant := range []bool{false, true} {
+		t48, err := expt.Makespan(workloads.NewKdTree(workloads.PerfKdTreeParams(fixedVariant)),
+			expt.Config{Cores: 48, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "buggy"
+		if fixedVariant {
+			name = "fixed"
+		}
+		fmt.Printf("48-core speedup over serial, %s: %.1f\n", name, float64(baseT1)/float64(t48))
+	}
+
+	// Export the buggy graph: the runaway recursion is immediately visible
+	// as an ever-deepening chain of task columns.
+	g := buggy.Graph
+	core.Layout(g)
+	f, err := os.Create("kdtree-buggy.graphml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := export.GraphML(f, g, buggy.Assessment, export.ViewStructure); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote kdtree-buggy.graphml — the Figure 2 view")
+}
+
+func report(r *expt.Result, label string) {
+	maxDepth := 0
+	for _, t := range r.Trace.Tasks {
+		if t.Depth > maxDepth {
+			maxDepth = t.Depth
+		}
+	}
+	fmt.Printf("%-48s grains=%4d  max task depth=%2d  makespan=%d\n",
+		label, r.Trace.NumGrains(), maxDepth, r.Trace.Makespan())
+}

@@ -1,0 +1,3 @@
+module graingraph
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package binpack solves the makespan-preserving core-minimization problem
+// the paper hands to Gecode in §4.3.4: given the grain (chunk) durations of
+// an inherently imbalanced loop, find the minimum number of cores that can
+// execute them within the same makespan. Freqmine's FPGF loop packs into 7
+// cores this way.
+//
+// The solver is first-fit decreasing with an exact branch-and-bound
+// fallback; FFD's result is provably optimal whenever it matches the
+// capacity lower bound, which it does for makespan-dominated workloads like
+// FPGF (the longest grain pins the capacity).
+package binpack
+
+import (
+	"sort"
+)
+
+// LowerBound returns ceil(sum(items)/capacity), the fractional bin bound.
+// Items longer than the capacity make the instance infeasible; they count
+// as one bin each here, matching their treatment in Pack.
+func LowerBound(items []uint64, capacity uint64) int {
+	if capacity == 0 {
+		return len(items)
+	}
+	var sum uint64
+	for _, it := range items {
+		sum += it
+	}
+	return int((sum + capacity - 1) / capacity)
+}
+
+// Result is a packing: bin index per item plus the bin loads.
+type Result struct {
+	Bins    int
+	Assign  []int    // item index -> bin
+	Loads   []uint64 // bin -> total load
+	Optimal bool     // true when provably minimal
+}
+
+// Pack computes a packing of items into bins of the given capacity using
+// first-fit decreasing, then attempts to prove optimality via the lower
+// bound and (for small instances) exact branch and bound.
+func Pack(items []uint64, capacity uint64) Result {
+	n := len(items)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if items[order[a]] != items[order[b]] {
+			return items[order[a]] > items[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	assign := make([]int, n)
+	var loads []uint64
+	for _, idx := range order {
+		it := items[idx]
+		placed := false
+		for b := range loads {
+			if loads[b]+it <= capacity {
+				loads[b] += it
+				assign[idx] = b
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			assign[idx] = len(loads)
+			loads = append(loads, it)
+		}
+	}
+	res := Result{Bins: len(loads), Assign: assign, Loads: loads}
+
+	lb := LowerBound(items, capacity)
+	if res.Bins == lb {
+		res.Optimal = true
+		return res
+	}
+	// Try to close the gap exactly on small instances.
+	if n <= 24 {
+		if exact, ok := branchAndBound(items, capacity, res.Bins); ok {
+			return exact
+		}
+	}
+	return res
+}
+
+// MinCores answers the paper's question directly: the minimum number of
+// cores that preserves the given makespan for these grain durations.
+func MinCores(durations []uint64, makespan uint64) int {
+	return Pack(durations, makespan).Bins
+}
+
+// branchAndBound searches assignments exhaustively with pruning, bounded by
+// ub (the FFD solution). Suitable only for small n.
+func branchAndBound(items []uint64, capacity uint64, ub int) (Result, bool) {
+	n := len(items)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return items[order[a]] > items[order[b]] })
+
+	best := ub
+	bestAssign := make([]int, n)
+	cur := make([]int, n)
+	loads := make([]uint64, n)
+	found := false
+	nodes := 0
+	const nodeBudget = 2_000_000
+
+	var rec func(pos, bins int) bool // returns false when budget exhausted
+	rec = func(pos, bins int) bool {
+		nodes++
+		if nodes > nodeBudget {
+			return false
+		}
+		if bins >= best {
+			return true // prune
+		}
+		if pos == n {
+			best = bins
+			copy(bestAssign, cur)
+			found = true
+			return true
+		}
+		idx := order[pos]
+		it := items[idx]
+		seenEmpty := false
+		for b := 0; b < bins+1 && b < best; b++ {
+			if b == bins {
+				if seenEmpty {
+					break
+				}
+				seenEmpty = true
+			}
+			if loads[b]+it > capacity {
+				continue
+			}
+			loads[b] += it
+			cur[idx] = b
+			nb := bins
+			if b == bins {
+				nb++
+			}
+			ok := rec(pos+1, nb)
+			loads[b] -= it
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	complete := rec(0, 0)
+	if !found {
+		return Result{}, false
+	}
+	res := Result{Bins: best, Assign: bestAssign, Optimal: complete}
+	res.Loads = make([]uint64, best)
+	for i, b := range bestAssign {
+		res.Loads[b] += items[i]
+	}
+	return res, true
+}

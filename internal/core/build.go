@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graingraph/internal/profile"
+)
+
+// Build constructs the grain graph from a profiled trace.
+//
+// Construction is two-pass: the first pass creates each task's fragment,
+// fork and join nodes (expanding parallel for-loops into book-keeping/chunk
+// chains) and wires intra-context continuation edges; the second pass wires
+// creation edges (fork → child's first fragment) and join edges (child's
+// last fragment → join node) across contexts.
+func Build(tr *profile.Trace) *Graph {
+	g := newGraph(tr)
+
+	// boundaryNodes[taskIdx][boundaryIdx] is the fork/join node created for
+	// that boundary (loops record their fork node here).
+	boundaryNodes := make([][]NodeID, len(tr.Tasks))
+
+	// Per-(loop,thread) bookkeeping totals, for the final book-keeping node.
+	type loopThreadKey struct {
+		loop   profile.LoopID
+		thread int
+	}
+	bkTotals := make(map[loopThreadKey]*profile.BookkeepRecord)
+	for _, bk := range tr.Bookkeeps {
+		bkTotals[loopThreadKey{bk.Loop, bk.Thread}] = bk
+	}
+	chunksByLoop := make(map[profile.LoopID][]*profile.ChunkRecord)
+	for _, ck := range tr.Chunks {
+		chunksByLoop[ck.Loop] = append(chunksByLoop[ck.Loop], ck)
+	}
+
+	// Pass 1: nodes and intra-context edges.
+	for ti, task := range tr.Tasks {
+		var prev NodeID = -1
+		for fi := range task.Fragments {
+			f := &task.Fragments[fi]
+			n := g.addNode(Node{
+				Kind:     NodeFragment,
+				Grain:    task.ID,
+				Seq:      fi,
+				Label:    fmt.Sprintf("%s/%d", task.ID, fi),
+				Start:    f.Start,
+				End:      f.End,
+				Weight:   f.Duration(),
+				Core:     f.Core,
+				Counters: f.Counters,
+			})
+			if fi == 0 {
+				g.FirstNode[task.ID] = n.ID
+			}
+			g.LastNode[task.ID] = n.ID
+			if prev >= 0 {
+				g.addEdge(prev, n.ID, EdgeContinuation)
+			}
+			prev = n.ID
+
+			if fi < len(task.Boundaries) {
+				b := &task.Boundaries[fi]
+				var bn *Node
+				switch b.Kind {
+				case profile.BoundaryFork:
+					var cost profile.Time
+					if child := tr.Task(b.Child); child != nil {
+						cost = child.CreateCost
+					}
+					bn = g.addNode(Node{
+						Kind:   NodeFork,
+						Grain:  task.ID,
+						Seq:    fi,
+						Label:  "fork",
+						Start:  b.At,
+						End:    b.At + cost,
+						Weight: cost,
+						Core:   f.Core,
+					})
+				case profile.BoundaryJoin:
+					bn = g.addNode(Node{
+						Kind:   NodeJoin,
+						Grain:  task.ID,
+						Seq:    fi,
+						Label:  "join",
+						Start:  b.At,
+						End:    b.At + b.Suspended,
+						Weight: b.Wait,
+						Core:   f.Core,
+					})
+				case profile.BoundaryLoop:
+					bn = g.expandLoop(b.Loop, task, fi, chunksByLoop[b.Loop], func(thread int) *profile.BookkeepRecord {
+						return bkTotals[loopThreadKey{b.Loop, thread}]
+					})
+				}
+				g.addEdge(prev, bn.ID, EdgeContinuation)
+				// The node the NEXT fragment hangs off: for loops that is the
+				// loop's join node, recorded by expandLoop via lastLoopJoin.
+				next := bn.ID
+				if b.Kind == profile.BoundaryLoop {
+					next = g.lastLoopJoin
+				}
+				boundaryNodes[ti] = append(boundaryNodes[ti], bn.ID)
+				prev = next
+			}
+		}
+	}
+
+	// Pass 2: cross-context creation and join edges.
+	for ti, task := range tr.Tasks {
+		for fi := range task.Boundaries {
+			b := &task.Boundaries[fi]
+			bn := boundaryNodes[ti][fi]
+			switch b.Kind {
+			case profile.BoundaryFork:
+				if first, ok := g.FirstNode[b.Child]; ok {
+					g.addEdge(bn, first, EdgeCreation)
+				}
+			case profile.BoundaryJoin:
+				for _, child := range b.Joined {
+					if last, ok := g.LastNode[child]; ok {
+						g.addEdge(last, bn, EdgeJoin)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// expandLoop creates the loop's fork node, per-thread
+// bookkeeping/chunk chains, and join node; returns the fork node and
+// records the join node in g.lastLoopJoin.
+func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int,
+	chunks []*profile.ChunkRecord,
+	bkFor func(thread int) *profile.BookkeepRecord) *Node {
+
+	tr := g.Trace
+	loop := tr.Loop(id)
+
+	fork := g.addNode(Node{
+		Kind:    NodeFork,
+		Grain:   master.ID,
+		Loop:    id,
+		Seq:     fi,
+		Label:   fmt.Sprintf("loop %s", loop.Loc),
+		Start:   loop.Start,
+		End:     loop.Start,
+		Core:    loop.StartThread,
+		Members: len(loop.Threads), // conceptually one fork per thread chain
+	})
+	join := g.addNode(Node{
+		Kind:  NodeJoin,
+		Grain: master.ID,
+		Loop:  id,
+		Seq:   fi,
+		Label: "loop join",
+		Start: loop.End,
+		End:   loop.End,
+		Core:  loop.StartThread,
+	})
+
+	byThread := make(map[int][]*profile.ChunkRecord)
+	for _, ck := range chunks {
+		byThread[ck.Thread] = append(byThread[ck.Thread], ck)
+	}
+	for _, cks := range byThread {
+		sort.Slice(cks, func(i, j int) bool { return cks[i].Start < cks[j].Start })
+	}
+
+	for _, thread := range loop.Threads {
+		cks := byThread[thread]
+		var bkSpent profile.Time
+		prev := NodeID(-1)
+		for _, ck := range cks {
+			bk := g.addNode(Node{
+				Kind:   NodeBookkeep,
+				Grain:  master.ID,
+				Loop:   id,
+				Seq:    ck.Seq,
+				Label:  "bk",
+				Start:  ck.Start - ck.Bookkeep,
+				End:    ck.Start,
+				Weight: ck.Bookkeep,
+				Core:   thread,
+			})
+			bkSpent += ck.Bookkeep
+			if prev < 0 {
+				g.addEdge(fork.ID, bk.ID, EdgeCreation)
+			} else {
+				g.addEdge(prev, bk.ID, EdgeContinuation)
+			}
+			cid := tr.ChunkGrainID(ck)
+			cn := g.addNode(Node{
+				Kind:     NodeChunk,
+				Grain:    cid,
+				Loop:     id,
+				Seq:      ck.Seq,
+				Label:    fmt.Sprintf("[%d,%d)", ck.Lo, ck.Hi),
+				Start:    ck.Start,
+				End:      ck.End,
+				Weight:   ck.Duration(),
+				Core:     thread,
+				Counters: ck.Counters,
+			})
+			g.FirstNode[cid] = cn.ID
+			g.LastNode[cid] = cn.ID
+			g.addEdge(bk.ID, cn.ID, EdgeContinuation)
+			prev = cn.ID
+		}
+		// Final (empty) book-keeping grab before joining the barrier.
+		var finalCost profile.Time
+		if rec := bkFor(thread); rec != nil && rec.Total > bkSpent {
+			finalCost = rec.Total - bkSpent
+		}
+		fbk := g.addNode(Node{
+			Kind:   NodeBookkeep,
+			Grain:  master.ID,
+			Loop:   id,
+			Seq:    len(cks),
+			Label:  "bk",
+			Weight: finalCost,
+			Core:   thread,
+		})
+		if prev < 0 {
+			g.addEdge(fork.ID, fbk.ID, EdgeCreation)
+		} else {
+			g.addEdge(prev, fbk.ID, EdgeContinuation)
+		}
+		g.addEdge(fbk.ID, join.ID, EdgeJoin)
+	}
+
+	g.lastLoopJoin = join.ID
+	return fork
+}

@@ -1,0 +1,311 @@
+// Package core implements the paper's primary contribution: the grain
+// graph, a directed acyclic graph that captures the order of creation and
+// synchronization between grains (task instances and parallel for-loop
+// chunk instances) from a predictable program perspective.
+//
+// The graph has five node kinds — fragment, fork, join, book-keeping and
+// chunk (paper §3.1, Figure 3) — and three control-flow edge kinds —
+// creation, join (synchronization) and continuation. Parent and child grains
+// are placed in close proximity via creation edges, without timing as a
+// placement constraint, so structural anomalies (broken cutoffs, runaway
+// recursion) are immediately visible.
+package core
+
+import (
+	"fmt"
+
+	"graingraph/internal/cache"
+	"graingraph/internal/profile"
+)
+
+// NodeID indexes a node within its Graph.
+type NodeID int
+
+// NodeKind is one of the five grain-graph node types.
+type NodeKind int
+
+const (
+	// NodeFragment is the execution of a task between creation and
+	// synchronization points.
+	NodeFragment NodeKind = iota
+	// NodeFork denotes task creation (drawn green in the paper).
+	NodeFork
+	// NodeJoin denotes task synchronization (drawn orange).
+	NodeJoin
+	// NodeBookkeep is the computation threads perform to divide the
+	// iteration space and grab chunks (drawn turquoise).
+	NodeBookkeep
+	// NodeChunk is the computation of one loop chunk (green rectangles).
+	NodeChunk
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeFragment:
+		return "fragment"
+	case NodeFork:
+		return "fork"
+	case NodeJoin:
+		return "join"
+	case NodeBookkeep:
+		return "bookkeep"
+	case NodeChunk:
+		return "chunk"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one grain-graph vertex. Fragment, book-keeping and chunk nodes
+// are weighted with metrics measured during execution; fork and join nodes
+// carry the parallelization overheads paid at them.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+
+	// Grain is the owning grain: the task a fragment belongs to (fork/join
+	// nodes belong to the task that executed them), or the chunk's ID.
+	Grain profile.GrainID
+	// Loop is set for bookkeep/chunk nodes and fork/join nodes expanded
+	// from a BoundaryLoop.
+	Loop profile.LoopID
+	// Seq orders sibling nodes within their context (fragment index within
+	// the task, chunk sequence within the loop).
+	Seq int
+
+	Label      string
+	Start, End profile.Time
+	// Weight is the node's time contribution: execution time for fragments
+	// and chunks, creation cost for forks, synchronization overhead for
+	// joins, delivery cost for book-keeping nodes.
+	Weight   profile.Time
+	Core     int
+	Counters cache.Counters
+
+	// Members counts how many original nodes a grouped (reduced) node
+	// represents; 1 for unreduced nodes.
+	Members int
+
+	// Critical marks membership of the graph's critical path (set by the
+	// metrics pass).
+	Critical bool
+
+	// Layout coordinates (set by Layout; used by the exporters).
+	X, Y, W, H float64
+}
+
+// EdgeKind is one of the three control-flow edge types.
+type EdgeKind int
+
+const (
+	// EdgeCreation connects a fork node to the first fragment of a child
+	// (green in the paper).
+	EdgeCreation EdgeKind = iota
+	// EdgeJoin connects the last fragment of a synchronizing child to the
+	// parent's join node (orange).
+	EdgeJoin
+	// EdgeContinuation connects fragments to fork or join nodes within the
+	// same context (black).
+	EdgeContinuation
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCreation:
+		return "creation"
+	case EdgeJoin:
+		return "join"
+	case EdgeContinuation:
+		return "continuation"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge is one directed grain-graph edge.
+type Edge struct {
+	From, To NodeID
+	Kind     EdgeKind
+	Critical bool
+}
+
+// Graph is the grain graph: a DAG over Nodes connected by Edges, plus an
+// index from grain IDs to their node spans.
+type Graph struct {
+	Trace *profile.Trace
+	Nodes []*Node
+	Edges []Edge
+
+	// FirstNode / LastNode map a grain to its entry and exit nodes (first
+	// and last fragment for tasks; the chunk node itself for chunks).
+	FirstNode map[profile.GrainID]NodeID
+	LastNode  map[profile.GrainID]NodeID
+
+	out, in [][]int // adjacency into Edges, built lazily
+
+	// lastLoopJoin carries the most recent loop's join node between
+	// expandLoop and the builder (construction is single-goroutine).
+	lastLoopJoin NodeID
+}
+
+// newGraph allocates an empty graph bound to tr.
+func newGraph(tr *profile.Trace) *Graph {
+	return &Graph{
+		Trace:     tr,
+		FirstNode: make(map[profile.GrainID]NodeID),
+		LastNode:  make(map[profile.GrainID]NodeID),
+	}
+}
+
+// addNode appends a node and returns it.
+func (g *Graph) addNode(n Node) *Node {
+	n.ID = NodeID(len(g.Nodes))
+	if n.Members == 0 {
+		n.Members = 1
+	}
+	g.Nodes = append(g.Nodes, &n)
+	g.out, g.in = nil, nil
+	return g.Nodes[n.ID]
+}
+
+// addEdge appends an edge.
+func (g *Graph) addEdge(from, to NodeID, kind EdgeKind) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind})
+	g.out, g.in = nil, nil
+}
+
+// buildAdjacency (re)builds the adjacency indexes.
+func (g *Graph) buildAdjacency() {
+	g.out = make([][]int, len(g.Nodes))
+	g.in = make([][]int, len(g.Nodes))
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		g.out[e.From] = append(g.out[e.From], i)
+		g.in[e.To] = append(g.in[e.To], i)
+	}
+}
+
+// Out returns the indexes (into Edges) of n's outgoing edges.
+func (g *Graph) Out(n NodeID) []int {
+	if g.out == nil {
+		g.buildAdjacency()
+	}
+	return g.out[n]
+}
+
+// In returns the indexes (into Edges) of n's incoming edges.
+func (g *Graph) In(n NodeID) []int {
+	if g.in == nil {
+		g.buildAdjacency()
+	}
+	return g.in[n]
+}
+
+// NumGrainNodes counts fragment and chunk nodes (the "grains" rendered as
+// rectangles).
+func (g *Graph) NumGrainNodes() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind == NodeFragment || nd.Kind == NodeChunk {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: the graph is a DAG, edges respect
+// the paper's connection constraints (a fork connects to exactly one child
+// fragment via creation; at least one fragment connects to every join;
+// continuation edges stay within a context). It returns the first violation.
+func (g *Graph) Validate() error {
+	// Connection constraints.
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeFork:
+			creations := 0
+			for _, ei := range g.Out(n.ID) {
+				if g.Edges[ei].Kind == EdgeCreation {
+					creations++
+				}
+			}
+			if n.Members == 1 && creations != 1 {
+				return fmt.Errorf("fork node %d has %d creation edges, want 1", n.ID, creations)
+			}
+			if n.Members > 1 && creations < 1 {
+				return fmt.Errorf("grouped fork node %d has no creation edges", n.ID)
+			}
+		case NodeJoin:
+			joins := 0
+			for _, ei := range g.In(n.ID) {
+				if g.Edges[ei].Kind == EdgeJoin {
+					joins++
+				}
+			}
+			if joins == 0 {
+				return fmt.Errorf("join node %d has no incoming join edges", n.ID)
+			}
+		}
+	}
+	// Acyclicity via Kahn's algorithm.
+	indeg := make([]int, len(g.Nodes))
+	for i := range g.Edges {
+		indeg[g.Edges[i].To]++
+	}
+	queue := make([]NodeID, 0, len(g.Nodes))
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		for _, ei := range g.Out(n) {
+			to := g.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if visited != len(g.Nodes) {
+		return fmt.Errorf("grain graph has a cycle: visited %d of %d nodes", visited, len(g.Nodes))
+	}
+	return nil
+}
+
+// Topological returns the nodes in a topological order. It panics if the
+// graph has a cycle (Validate would have reported it).
+func (g *Graph) Topological() []NodeID {
+	indeg := make([]int, len(g.Nodes))
+	for i := range g.Edges {
+		indeg[g.Edges[i].To]++
+	}
+	var order []NodeID
+	var queue []NodeID
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, ei := range g.Out(n) {
+			to := g.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		panic("core: Topological called on cyclic graph")
+	}
+	return order
+}

@@ -1,0 +1,141 @@
+package core
+
+import "sort"
+
+// Layout geometry constants (points, yEd-friendly).
+const (
+	colWidth   = 70.0
+	rowGap     = 18.0
+	grainWidth = 34.0
+	ctrlSize   = 14.0 // fork/join/bookkeep node size
+	minGrainH  = 14.0
+	maxGrainH  = 260.0
+)
+
+// Layout assigns X/Y/W/H to every node so the graph renders with children
+// local to their parent and fragments aligned in sequence, edges never
+// crossing — the properties the paper requires to convey recursive task
+// creation. Placement uses creation edges only; timing is deliberately not
+// a constraint (paper §3.1).
+func Layout(g *Graph) {
+	if len(g.Nodes) == 0 {
+		return
+	}
+	scale := g.heightScale()
+
+	// Node sizes first.
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeFragment, NodeChunk:
+			h := float64(n.Weight) / scale
+			if h < minGrainH {
+				h = minGrainH
+			}
+			if h > maxGrainH {
+				h = maxGrainH
+			}
+			n.W, n.H = grainWidth, h
+		default:
+			n.W, n.H = ctrlSize, ctrlSize
+		}
+	}
+
+	// continuation successor(s) and creation children per node.
+	contOut := make(map[NodeID][]NodeID)
+	createOut := make(map[NodeID][]NodeID)
+	hasIn := make([]bool, len(g.Nodes))
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		switch e.Kind {
+		case EdgeContinuation:
+			contOut[e.From] = append(contOut[e.From], e.To)
+			hasIn[e.To] = true
+		case EdgeCreation:
+			createOut[e.From] = append(createOut[e.From], e.To)
+			hasIn[e.To] = true
+		case EdgeJoin:
+			// join edges do not affect placement
+		}
+	}
+	// Deterministic child ordering: by target node ID (creation order).
+	for _, m := range []map[NodeID][]NodeID{contOut, createOut} {
+		for k := range m {
+			s := m[k]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}
+	}
+
+	nextCol := 0
+	visited := make([]bool, len(g.Nodes))
+
+	// layoutChain places the continuation chain rooted at n into a fresh
+	// column starting at y, recursing into children to the right.
+	var layoutChain func(n NodeID, y float64)
+	layoutChain = func(n NodeID, y float64) {
+		col := nextCol
+		nextCol++
+		x := float64(col) * colWidth
+		for {
+			node := g.Nodes[n]
+			if visited[n] {
+				return
+			}
+			visited[n] = true
+			node.X, node.Y = x, y
+			y += node.H + rowGap
+
+			childY := node.Y + node.H + rowGap
+			for _, child := range createOut[n] {
+				if !visited[child] {
+					layoutChain(child, childY)
+				}
+			}
+			succ := contOut[n]
+			if len(succ) == 0 {
+				return
+			}
+			// First successor continues the column; extra continuation
+			// targets (reduced book-keeping fan-out) become side columns.
+			for _, extra := range succ[1:] {
+				if !visited[extra] {
+					layoutChain(extra, childY)
+				}
+			}
+			n = succ[0]
+		}
+	}
+
+	// Roots: nodes without incoming placement edges, in ID order.
+	for i := range g.Nodes {
+		if !hasIn[i] && !visited[i] {
+			layoutChain(NodeID(i), 0)
+		}
+	}
+	// Any leftovers (shouldn't happen in well-formed graphs).
+	for i := range g.Nodes {
+		if !visited[i] {
+			layoutChain(NodeID(i), 0)
+		}
+	}
+}
+
+// heightScale returns cycles-per-point so that the median grain renders at
+// a readable height.
+func (g *Graph) heightScale() float64 {
+	var weights []float64
+	for _, n := range g.Nodes {
+		if (n.Kind == NodeFragment || n.Kind == NodeChunk) && n.Weight > 0 {
+			weights = append(weights, float64(n.Weight))
+		}
+	}
+	if len(weights) == 0 {
+		return 1
+	}
+	sort.Float64s(weights)
+	median := weights[len(weights)/2]
+	scale := median / 40.0 // median grain ≈ 40pt tall
+	if scale < 1 {
+		scale = 1
+	}
+	return scale
+}

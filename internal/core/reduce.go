@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+)
+
+// Reductions group nodes to speed up rendering (paper §3.1, Figure 3d-e,h).
+// Grouped nodes retain the aggregate weights of their members (Weight,
+// Counters, Members); Start/End span the members' extent.
+//
+// The canonical pipeline is ReduceAll = fragments → forks → book-keeping,
+// matching the paper's presentation order.
+
+// ReduceAll applies fragment, fork and book-keeping reduction in order.
+func ReduceAll(g *Graph) *Graph {
+	return ReduceBookkeeping(ReduceForks(ReduceFragments(g)))
+}
+
+// ReduceFragments merges each task's fragments into a single node
+// (Figure 3d). Fork and join nodes remain, hanging off the merged node;
+// the continuation edges that would loop back from a boundary node into the
+// same task are dropped, exactly as in the paper's drawings.
+func ReduceFragments(g *Graph) *Graph {
+	return g.reduceBy(
+		func(n *Node) (string, bool) {
+			if n.Kind == NodeFragment {
+				return "f:" + string(n.Grain), true
+			}
+			return "", false
+		},
+		func(from, to *Node, kind EdgeKind) bool {
+			// Drop boundary → own-task-fragment continuations (back-edges
+			// into the merged node).
+			return kind == EdgeContinuation &&
+				(from.Kind == NodeFork || from.Kind == NodeJoin) &&
+				to.Kind == NodeFragment && from.Grain == to.Grain
+		},
+	)
+}
+
+// ReduceForks combines the fork nodes of a task that precede the same join
+// (Figure 3e): the group node carries one creation edge per child. Apply
+// after ReduceFragments.
+func ReduceForks(g *Graph) *Graph {
+	// Key forks by (grain, index of the next join boundary at or after the
+	// fork) using the trace's boundary lists.
+	nextJoin := make(map[profile.GrainID][]int) // boundary idx -> next join idx
+	for _, task := range g.Trace.Tasks {
+		idx := make([]int, len(task.Boundaries))
+		next := len(task.Boundaries) // "no further join"
+		for i := len(task.Boundaries) - 1; i >= 0; i-- {
+			if task.Boundaries[i].Kind == profile.BoundaryJoin {
+				next = i
+			}
+			idx[i] = next
+		}
+		nextJoin[task.ID] = idx
+	}
+	return g.reduceBy(
+		func(n *Node) (string, bool) {
+			if n.Kind != NodeFork {
+				return "", false
+			}
+			idx := nextJoin[n.Grain]
+			if n.Seq >= len(idx) {
+				return "", false
+			}
+			return fmt.Sprintf("k:%s:%d", n.Grain, idx[n.Seq]), true
+		},
+		nil,
+	)
+}
+
+// ReduceBookkeeping merges each thread's book-keeping nodes per loop
+// (Figure 3h) and re-hangs that thread's chunks as siblings of the merged
+// node: merged-bk → chunk continuations remain; chunk → bk back-edges are
+// dropped so chunks appear executable in parallel, as they are by
+// definition.
+func ReduceBookkeeping(g *Graph) *Graph {
+	return g.reduceBy(
+		func(n *Node) (string, bool) {
+			if n.Kind == NodeBookkeep {
+				return fmt.Sprintf("b:%d:%d", n.Loop, n.Core), true
+			}
+			return "", false
+		},
+		func(from, to *Node, kind EdgeKind) bool {
+			// Drop chunk → merged bookkeeping back-edges.
+			return from.Kind == NodeChunk && to.Kind == NodeBookkeep &&
+				from.Loop == to.Loop && from.Core == to.Core
+		},
+	)
+}
+
+// reduceBy builds a new graph where nodes sharing a group key merge into
+// one node. dropEdge (optional) filters remapped edges; self-loops and
+// duplicate edges are always removed.
+func (g *Graph) reduceBy(groupKey func(*Node) (string, bool), dropEdge func(from, to *Node, kind EdgeKind) bool) *Graph {
+	ng := newGraph(g.Trace)
+	newID := make([]NodeID, len(g.Nodes))
+	groups := make(map[string]NodeID)
+
+	for _, n := range g.Nodes {
+		key, grouped := groupKey(n)
+		if grouped {
+			if rep, ok := groups[key]; ok {
+				// Merge into the existing representative.
+				r := ng.Nodes[rep]
+				r.Weight += n.Weight
+				r.Counters.Add(n.Counters)
+				r.Members += n.Members
+				if n.Start < r.Start || r.Start == 0 {
+					if n.Start != 0 || n.End != 0 {
+						if r.Start == 0 && r.End == 0 {
+							r.Start, r.End = n.Start, n.End
+						} else if n.Start < r.Start {
+							r.Start = n.Start
+						}
+					}
+				}
+				if n.End > r.End {
+					r.End = n.End
+				}
+				newID[n.ID] = rep
+				continue
+			}
+		}
+		cp := *n
+		cp.X, cp.Y, cp.W, cp.H = 0, 0, 0, 0
+		nn := ng.addNode(cp)
+		newID[n.ID] = nn.ID
+		if grouped {
+			groups[key] = nn.ID
+			nn.Label = nn.Label + "*"
+		}
+	}
+
+	type edgeKey struct {
+		from, to NodeID
+		kind     EdgeKind
+	}
+	seen := make(map[edgeKey]bool)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		from, to := newID[e.From], newID[e.To]
+		if from == to {
+			continue
+		}
+		if dropEdge != nil && dropEdge(g.Nodes[e.From], g.Nodes[e.To], e.Kind) {
+			continue
+		}
+		k := edgeKey{from, to, e.Kind}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ng.addEdge(from, to, e.Kind)
+	}
+
+	for id, nid := range g.FirstNode {
+		ng.FirstNode[id] = newID[nid]
+	}
+	for id, nid := range g.LastNode {
+		ng.LastNode[id] = newID[nid]
+	}
+	return ng
+}

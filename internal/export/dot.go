@@ -1,0 +1,56 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+)
+
+// DOT writes the graph in Graphviz format with the same colour encoding as
+// GraphML — handy for quick `dot -Tsvg` rendering without yEd.
+func DOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
+	bw := bufio.NewWriter(w)
+	defColors := DefinitionColors(g)
+
+	fmt.Fprintf(bw, "digraph grains {\n")
+	fmt.Fprintf(bw, "  label=%q; labelloc=t;\n", fmt.Sprintf("%s — %s view", g.Trace.Program, v))
+	fmt.Fprintf(bw, "  rankdir=TB; node [style=filled, fontsize=8];\n")
+
+	for _, n := range g.Nodes {
+		color := NodeColor(g, n, a, v, defColors)
+		shape := "box"
+		switch n.Kind {
+		case core.NodeFork:
+			shape = "diamond"
+		case core.NodeJoin:
+			shape = "ellipse"
+		case core.NodeBookkeep:
+			shape = "circle"
+		}
+		attrs := []string{
+			fmt.Sprintf("label=%q", n.Label),
+			fmt.Sprintf("shape=%s", shape),
+			fmt.Sprintf("fillcolor=%q", color),
+		}
+		if n.Critical {
+			attrs = append(attrs, `color="red"`, "penwidth=2.5")
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		color := edgeColor(e.Kind)
+		width := 1.0
+		if e.Critical {
+			color = criticalColor
+			width = 2.5
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [color=%q, penwidth=%.1f];\n", e.From, e.To, color, width)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,249 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+	"graingraph/internal/metrics"
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+func testGraph(t *testing.T) (*core.Graph, *highlight.Assessment) {
+	t.Helper()
+	tr := rts.Run(rts.Config{Program: "exp", Cores: 2, Seed: 1}, func(c rts.Ctx) {
+		c.Spawn(profile.Loc("a.go", 1, "tiny"), func(c rts.Ctx) { c.Compute(10) })
+		c.Spawn(profile.Loc("a.go", 2, "big"), func(c rts.Ctx) { c.Compute(1_000_000) })
+		c.TaskWait()
+		c.For(profile.Loc("a.go", 3, "loop"), 0, 8,
+			rts.ForOpt{Schedule: profile.ScheduleDynamic, Chunk: 2},
+			func(c rts.Ctx, lo, hi int) { c.Compute(5000) })
+	})
+	g := core.Build(tr)
+	rep := metrics.Analyze(tr, g, nil, metrics.Options{})
+	a := highlight.Evaluate(rep, highlight.Defaults(2, 12))
+	core.Layout(g)
+	return g, a
+}
+
+func TestGraphMLWellFormed(t *testing.T) {
+	g, a := testGraph(t)
+	var buf bytes.Buffer
+	if err := GraphML(&buf, g, a, ViewParallelBenefit); err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	nodes, edges := 0, 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			switch se.Name.Local {
+			case "node":
+				nodes++
+			case "edge":
+				edges++
+			}
+		}
+	}
+	if nodes != len(g.Nodes) {
+		t.Errorf("GraphML has %d nodes, graph has %d", nodes, len(g.Nodes))
+	}
+	if edges != len(g.Edges) {
+		t.Errorf("GraphML has %d edges, graph has %d", edges, len(g.Edges))
+	}
+	s := buf.String()
+	for _, want := range []string{"y:ShapeNode", "y:Geometry", "y:Fill", "yworks.com"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("GraphML missing %q", want)
+		}
+	}
+}
+
+func TestGraphMLProblemViewColors(t *testing.T) {
+	g, a := testGraph(t)
+	var buf bytes.Buffer
+	if err := GraphML(&buf, g, a, ViewParallelBenefit); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// The tiny grain is problematic: some node must carry a heat colour
+	// (#ffXX00), and non-problematic grains the dim colour.
+	if !strings.Contains(s, highlight.DimColor) {
+		t.Error("no dimmed nodes in problem view")
+	}
+	hasHeat := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, `<y:Fill color="#ff`) && strings.Contains(line, `00"/>`) {
+			hasHeat = true
+		}
+	}
+	if !hasHeat {
+		t.Error("no heat-coloured nodes in problem view")
+	}
+}
+
+func TestGraphMLEscapesLabels(t *testing.T) {
+	tr := rts.Run(rts.Config{Program: "esc", Cores: 1, Seed: 1}, func(c rts.Ctx) {
+		c.Spawn(profile.Loc("x.go", 1, "a<b&c>"), func(c rts.Ctx) { c.Compute(10) })
+		c.TaskWait()
+	})
+	g := core.Build(tr)
+	var buf bytes.Buffer
+	if err := GraphML(&buf, g, nil, ViewStructure); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseAllXML(buf.Bytes()); err != nil {
+		t.Fatalf("GraphML with special chars not well-formed: %v", err)
+	}
+}
+
+func parseAllXML(b []byte) (int, error) {
+	dec := xml.NewDecoder(bytes.NewReader(b))
+	n := 0
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+		n++
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, a := testGraph(t)
+	var buf bytes.Buffer
+	if err := DOT(&buf, g, a, ViewStructure); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "digraph grains {") || !strings.HasSuffix(strings.TrimSpace(s), "}") {
+		t.Error("DOT output not a digraph block")
+	}
+	if strings.Count(s, "->") != len(g.Edges) {
+		t.Errorf("DOT edge count = %d, want %d", strings.Count(s, "->"), len(g.Edges))
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	g, a := testGraph(t)
+	var buf bytes.Buffer
+	if err := JSON(&buf, g, a); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Program string `json:"program"`
+		Cores   int    `json:"cores"`
+		Nodes   []struct {
+			Kind     string `json:"kind"`
+			Grain    string `json:"grain"`
+			Problems string `json:"problems"`
+		} `json:"nodes"`
+		Edges []struct {
+			Kind string `json:"kind"`
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("JSON not parseable: %v", err)
+	}
+	if out.Program != "exp" || out.Cores != 2 {
+		t.Errorf("JSON header = %+v", out)
+	}
+	if len(out.Nodes) != len(g.Nodes) || len(out.Edges) != len(g.Edges) {
+		t.Errorf("JSON sizes: %d/%d nodes, %d/%d edges",
+			len(out.Nodes), len(g.Nodes), len(out.Edges), len(g.Edges))
+	}
+}
+
+func TestDefinitionColorsDeterministic(t *testing.T) {
+	g, _ := testGraph(t)
+	c1 := DefinitionColors(g)
+	c2 := DefinitionColors(g)
+	if len(c1) < 3 { // root, tiny, big, loop
+		t.Errorf("definitions found = %d", len(c1))
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Errorf("colour for %s differs between calls", k)
+		}
+	}
+}
+
+func TestStructuralNodeColors(t *testing.T) {
+	g, a := testGraph(t)
+	defc := DefinitionColors(g)
+	sawFork, sawJoin, sawBk := false, false, false
+	for _, n := range g.Nodes {
+		c := NodeColor(g, n, a, ViewStructure, defc)
+		switch n.Kind {
+		case core.NodeFork:
+			sawFork = true
+			if c != forkColor {
+				t.Errorf("fork colour = %s", c)
+			}
+		case core.NodeJoin:
+			sawJoin = true
+			if c != joinColor {
+				t.Errorf("join colour = %s", c)
+			}
+		case core.NodeBookkeep:
+			sawBk = true
+			if c != bookkeepColor {
+				t.Errorf("bookkeep colour = %s", c)
+			}
+		}
+	}
+	if !sawFork || !sawJoin || !sawBk {
+		t.Error("test graph lacks structural node kinds")
+	}
+}
+
+func TestCriticalView(t *testing.T) {
+	g, a := testGraph(t)
+	rep := a.Report
+	_ = rep
+	// Critical flags were set by Analyze (via CriticalPath).
+	defc := DefinitionColors(g)
+	crit, dim := 0, 0
+	for _, n := range g.Nodes {
+		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
+			continue
+		}
+		switch NodeColor(g, n, a, ViewCritical, defc) {
+		case criticalColor:
+			crit++
+		case highlight.DimColor:
+			dim++
+		}
+	}
+	if crit == 0 {
+		t.Error("no critical grains in critical view")
+	}
+	if dim == 0 {
+		t.Error("no dimmed grains in critical view")
+	}
+}
+
+func TestViewStrings(t *testing.T) {
+	views := []View{ViewStructure, ViewParallelBenefit, ViewWorkInflation,
+		ViewParallelism, ViewScatter, ViewUtilization, ViewCritical}
+	seen := map[string]bool{}
+	for _, v := range views {
+		s := v.String()
+		if s == "" || seen[s] {
+			t.Errorf("view %d name %q empty or duplicate", int(v), s)
+		}
+		seen[s] = true
+	}
+}

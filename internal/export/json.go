@@ -1,0 +1,84 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+)
+
+// jsonGraph is the machine-readable dump schema.
+type jsonGraph struct {
+	Program  string     `json:"program"`
+	Cores    int        `json:"cores"`
+	Makespan uint64     `json:"makespan"`
+	Nodes    []jsonNode `json:"nodes"`
+	Edges    []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID       int     `json:"id"`
+	Kind     string  `json:"kind"`
+	Grain    string  `json:"grain"`
+	Label    string  `json:"label"`
+	Source   string  `json:"source"`
+	Start    uint64  `json:"start"`
+	End      uint64  `json:"end"`
+	Weight   uint64  `json:"weight"`
+	Core     int     `json:"core"`
+	Members  int     `json:"members"`
+	Critical bool    `json:"critical"`
+	Problems string  `json:"problems,omitempty"`
+	PB       float64 `json:"parallel_benefit,omitempty"`
+	WD       float64 `json:"work_deviation,omitempty"`
+	IP       int     `json:"inst_parallelism,omitempty"`
+	Scatter  int     `json:"scatter,omitempty"`
+	MHU      float64 `json:"mem_hierarchy_util,omitempty"`
+}
+
+type jsonEdge struct {
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Kind     string `json:"kind"`
+	Critical bool   `json:"critical"`
+}
+
+// JSON writes the graph (with per-grain metrics and problem flags when an
+// assessment is supplied) as indented JSON.
+func JSON(w io.Writer, g *core.Graph, a *highlight.Assessment) error {
+	out := jsonGraph{
+		Program:  g.Trace.Program,
+		Cores:    g.Trace.Cores,
+		Makespan: g.Trace.Makespan(),
+	}
+	for _, n := range g.Nodes {
+		jn := jsonNode{
+			ID: int(n.ID), Kind: n.Kind.String(), Grain: string(n.Grain),
+			Label: n.Label, Source: defKeyOf(g, n),
+			Start: n.Start, End: n.End, Weight: n.Weight,
+			Core: n.Core, Members: n.Members, Critical: n.Critical,
+		}
+		if a != nil && (n.Kind == core.NodeFragment || n.Kind == core.NodeChunk) {
+			if ga := a.Get(n.Grain); ga != nil {
+				m := ga.Metrics
+				jn.Problems = ga.Mask.String()
+				jn.PB = finiteOr(m.ParallelBenefit, 1e9)
+				jn.WD = m.WorkDeviation
+				jn.IP = m.InstParallelism
+				jn.Scatter = m.Scatter
+				jn.MHU = finiteOr(m.Utilization, 1e9)
+			}
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		out.Edges = append(out.Edges, jsonEdge{
+			From: int(e.From), To: int(e.To), Kind: e.Kind.String(), Critical: e.Critical,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,119 @@
+// Package expt is the experiment harness: one regenerator per table and
+// figure in the paper's evaluation (§2, §4), each running the relevant
+// workload on the simulated machine, deriving grain-graph metrics, and
+// printing the same rows/series the paper reports.
+//
+// Absolute numbers differ from the paper's (their substrate was a real
+// 48-core Opteron; ours is a calibrated simulator) but the shapes hold:
+// who wins, directions of change, and where the crossovers fall.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+	"graingraph/internal/machine"
+	"graingraph/internal/metrics"
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+	"graingraph/internal/workloads"
+)
+
+// Result bundles a fully analyzed run.
+type Result struct {
+	Trace      *profile.Trace
+	Graph      *core.Graph
+	Report     *metrics.Report
+	Assessment *highlight.Assessment
+}
+
+// Config shapes a harness run.
+type Config struct {
+	Cores     int
+	Flavor    rts.Flavor
+	Scheduler rts.SchedulerKind
+	Policy    machine.Policy
+	Seed      uint64
+	// Baseline enables the extra single-core run used for work deviation.
+	Baseline bool
+	// WorkDeviationMax overrides the problem threshold (0 = default 2).
+	WorkDeviationMax float64
+}
+
+// Run executes inst under cfg, verifies its computational result, and
+// derives the full metric set.
+func Run(inst workloads.Instance, cfg Config) (*Result, error) {
+	rcfg := rts.Config{
+		Program:   inst.Name(),
+		Cores:     cfg.Cores,
+		Flavor:    cfg.Flavor,
+		Scheduler: cfg.Scheduler,
+		Seed:      cfg.Seed,
+		Policy:    cfg.Policy,
+	}
+
+	var baseline *profile.Trace
+	if cfg.Baseline {
+		bcfg := rcfg
+		bcfg.Cores = 1
+		baseline = rts.Run(bcfg, inst.Program())
+		if err := inst.Verify(); err != nil {
+			return nil, fmt.Errorf("baseline run: %w", err)
+		}
+	}
+	tr := rts.Run(rcfg, inst.Program())
+	if err := inst.Verify(); err != nil {
+		return nil, fmt.Errorf("parallel run: %w", err)
+	}
+	g := core.Build(tr)
+	rep := metrics.Analyze(tr, g, baseline, metrics.Options{})
+	th := highlight.Defaults(cfg.Cores, 12)
+	if cfg.WorkDeviationMax > 0 {
+		th.WorkDeviationMax = cfg.WorkDeviationMax
+	}
+	a := highlight.Evaluate(rep, th)
+	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}, nil
+}
+
+// Makespan runs inst and returns its virtual makespan (verifying results).
+func Makespan(inst workloads.Instance, cfg Config) (uint64, error) {
+	rcfg := rts.Config{
+		Program:   inst.Name(),
+		Cores:     cfg.Cores,
+		Flavor:    cfg.Flavor,
+		Scheduler: cfg.Scheduler,
+		Seed:      cfg.Seed,
+		Policy:    cfg.Policy,
+	}
+	tr := rts.Run(rcfg, inst.Program())
+	if err := inst.Verify(); err != nil {
+		return 0, err
+	}
+	return tr.Makespan(), nil
+}
+
+// Speedup returns makespan(1 core) / makespan(cores).
+func Speedup(mk func() workloads.Instance, cfg Config) (float64, error) {
+	one := cfg
+	one.Cores = 1
+	t1, err := Makespan(mk(), one)
+	if err != nil {
+		return 0, err
+	}
+	tp, err := Makespan(mk(), cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(t1) / float64(tp), nil
+}
+
+// table starts a tabwriter for aligned console tables.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// pct formats a 0..1 fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"graingraph/internal/rts"
+	"graingraph/internal/workloads"
+)
+
+// Fig11Result is the data behind Figure 11: Strassen's hard-coded cutoff
+// flattens the graph regardless of SC (a); removing it exposes parallelism
+// but surfaces poor memory-hierarchy utilization (b); and scheduler choice
+// governs sibling scatter (c vs d).
+type Fig11Result struct {
+	// (a) buggy grain counts are identical across SC values.
+	BuggyGrainsSCHigh, BuggyGrainsSCLow int
+	// (b) fixed variant: grains and poor-MHU fraction.
+	FixedGrains  int
+	FixedPoorMHU float64
+	// (c/d) scatter under work-stealing vs central queue + speedups.
+	ScatterWS, ScatterCQ   float64 // affected fraction (beyond one socket)
+	SpeedupWS, SpeedupCQ   float64
+	Buggy, Fixed, CQResult *Result
+}
+
+// Figure11 regenerates Figure 11.
+func Figure11(w io.Writer) (*Fig11Result, error) {
+	res := &Fig11Result{}
+
+	// (a) the hard-coded cutoff ignores SC.
+	pHigh := workloads.DefaultStrassenParams()
+	pHigh.SC = pHigh.N / 4
+	buggyHigh, err := Run(workloads.NewStrassen(pHigh), Config{Cores: 48, Seed: 1})
+	if err != nil {
+		return nil, fmt.Errorf("figure 11a high SC: %w", err)
+	}
+	pLow := workloads.DefaultStrassenParams()
+	pLow.SC = 8
+	buggyLow, err := Run(workloads.NewStrassen(pLow), Config{Cores: 48, Seed: 1})
+	if err != nil {
+		return nil, fmt.Errorf("figure 11a low SC: %w", err)
+	}
+	res.BuggyGrainsSCHigh = buggyHigh.Trace.NumGrains()
+	res.BuggyGrainsSCLow = buggyLow.Trace.NumGrains()
+	res.Buggy = buggyLow
+
+	// (b) fix exposes parallelism; poor MHU comes to the fore.
+	fixed, err := Run(workloads.NewStrassen(workloads.FixedStrassenParams()), Config{Cores: 48, Seed: 1})
+	if err != nil {
+		return nil, fmt.Errorf("figure 11b: %w", err)
+	}
+	res.FixedGrains = fixed.Trace.NumGrains()
+	res.FixedPoorMHU = fixed.Assessment.Affected(poorUtilizationProblem())
+	res.Fixed = fixed
+	res.ScatterWS = fixed.Assessment.Affected(highScatterProblem())
+
+	// (d) central queue scatters siblings and hurts speedup.
+	cq, err := Run(workloads.NewStrassen(workloads.FixedStrassenParams()), Config{
+		Cores: 48, Seed: 1, Scheduler: rts.CentralQueueSched,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure 11d: %w", err)
+	}
+	res.ScatterCQ = cq.Assessment.Affected(highScatterProblem())
+	res.CQResult = cq
+
+	mkFixed := func() workloads.Instance {
+		return workloads.NewStrassen(workloads.FixedStrassenParams())
+	}
+	res.SpeedupWS, err = Speedup(mkFixed, Config{Cores: 48, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	res.SpeedupCQ, err = Speedup(mkFixed, Config{Cores: 48, Seed: 1, Scheduler: rts.CentralQueueSched})
+	if err != nil {
+		return nil, err
+	}
+
+	if w != nil {
+		tw := table(w)
+		fmt.Fprintln(tw, "Figure 11: Strassen")
+		fmt.Fprintf(tw, "(a) buggy grains, SC=%d\t%d\n", pHigh.SC, res.BuggyGrainsSCHigh)
+		fmt.Fprintf(tw, "(a) buggy grains, SC=%d\t%d\t(cutoff has no effect)\n", pLow.SC, res.BuggyGrainsSCLow)
+		fmt.Fprintf(tw, "(b) fixed grains\t%d\n", res.FixedGrains)
+		fmt.Fprintf(tw, "(b) fixed poor-MHU grains\t%s\n", pct(res.FixedPoorMHU))
+		fmt.Fprintf(tw, "(c) scattered grains, work-stealing\t%s\t(speedup %.1f)\n", pct(res.ScatterWS), res.SpeedupWS)
+		fmt.Fprintf(tw, "(d) scattered grains, central queue\t%s\t(speedup %.1f)\n", pct(res.ScatterCQ), res.SpeedupCQ)
+		tw.Flush()
+	}
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"testing"
+
+	"graingraph/internal/core"
+	"graingraph/internal/export"
+	"graingraph/internal/metrics"
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+	"graingraph/internal/workloads"
+)
+
+// randomTree builds a seeded irregular task-tree program.
+func randomTree(seed uint64) func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		r := c.Alloc("data", 1<<20)
+		var rec func(c rts.Ctx, d int, s uint64)
+		rec = func(c rts.Ctx, d int, s uint64) {
+			c.Compute(200 + s%3000)
+			if s%4 == 0 {
+				c.Load(r, int64(s%1000)*64, 4096)
+			}
+			if d == 0 {
+				return
+			}
+			kids := int(s%4) + 1
+			for i := 0; i < kids; i++ {
+				c.Spawn(profile.Loc("rand.go", i, "n"), func(c rts.Ctx) {
+					rec(c, d-1, s*6364136223846793005+uint64(i)+1)
+				})
+			}
+			c.TaskWait()
+			c.Compute(100)
+		}
+		rec(c, 4, seed)
+	}
+}
+
+// Property: the whole pipeline — run, build, reduce, analyze, export —
+// holds its invariants on arbitrary task trees.
+func TestPipelineInvariantsOnRandomTrees(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		tr := rts.Run(rts.Config{Program: "rand", Cores: int(seed*7)%48 + 1, Seed: seed},
+			randomTree(seed))
+		g := core.Build(tr)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Reduction conserves total node weight and grain identity.
+		rg := core.ReduceAll(g)
+		if err := rg.Validate(); err != nil {
+			t.Fatalf("seed %d reduced: %v", seed, err)
+		}
+		var w1, w2 uint64
+		for _, n := range g.Nodes {
+			w1 += n.Weight
+		}
+		for _, n := range rg.Nodes {
+			w2 += n.Weight
+		}
+		if w1 != w2 {
+			t.Fatalf("seed %d: reduction changed total weight %d -> %d", seed, w1, w2)
+		}
+		if len(rg.Nodes) >= len(g.Nodes) {
+			t.Fatalf("seed %d: reduction did not shrink the graph (%d -> %d)",
+				seed, len(g.Nodes), len(rg.Nodes))
+		}
+
+		// Critical path: at least the heaviest grain, at most the makespan.
+		rep := metrics.Analyze(tr, g, nil, metrics.Options{})
+		var maxExec uint64
+		for _, gr := range tr.Grains() {
+			if gr.Exec > maxExec {
+				maxExec = gr.Exec
+			}
+		}
+		if rep.CriticalPathLength < maxExec {
+			t.Errorf("seed %d: critical path %d below heaviest grain %d",
+				seed, rep.CriticalPathLength, maxExec)
+		}
+		if rep.CriticalPathLength > tr.Makespan() {
+			t.Errorf("seed %d: critical path %d exceeds makespan %d",
+				seed, rep.CriticalPathLength, tr.Makespan())
+		}
+
+		// Layout never overlaps two nodes at the same position.
+		core.Layout(rg)
+		type pos struct{ x, y float64 }
+		seen := map[pos]bool{}
+		for _, n := range rg.Nodes {
+			p := pos{n.X, n.Y}
+			if seen[p] {
+				t.Fatalf("seed %d: layout collision at %+v", seed, p)
+			}
+			seen[p] = true
+		}
+
+		// Exports stay well-formed.
+		var buf bytes.Buffer
+		if err := export.GraphML(&buf, rg, nil, export.ViewStructure); err != nil {
+			t.Fatalf("seed %d graphml: %v", seed, err)
+		}
+		dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+		for {
+			if _, err := dec.Token(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatalf("seed %d: GraphML malformed: %v", seed, err)
+			}
+		}
+	}
+}
+
+// Metamorphic property: the pure compute cycles a program charges are
+// machine-size invariant — only memory time and scheduling change with the
+// core count.
+func TestComputeConservedAcrossMachineSizes(t *testing.T) {
+	total := func(cores int) uint64 {
+		tr := rts.Run(rts.Config{Program: "c", Cores: cores, Seed: 9}, randomTree(123))
+		var sum uint64
+		for _, task := range tr.Tasks {
+			sum += task.TotalCounters().Compute
+		}
+		return sum
+	}
+	c1, c8, c48 := total(1), total(8), total(48)
+	if c1 != c8 || c8 != c48 {
+		t.Errorf("compute cycles vary with machine size: %d / %d / %d", c1, c8, c48)
+	}
+}
+
+// Metamorphic property: for every registered workload, the computational
+// result verifies on 1, 7 and 48 cores, under both schedulers.
+func TestAllWorkloadsVerifyEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload × config sweep")
+	}
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, cores := range []int{1, 7, 48} {
+				for _, sched := range []rts.SchedulerKind{rts.WorkStealing, rts.CentralQueueSched} {
+					inst, err := workloads.Get(name, workloads.VariantDefault)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rts.Run(rts.Config{Program: inst.Name(), Cores: cores,
+						Scheduler: sched, Seed: 3}, inst.Program())
+					if err := inst.Verify(); err != nil {
+						t.Fatalf("%s on %d cores (%v): %v", name, cores, sched, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Work deviation of a compute-only program is exactly 1 at any machine
+// size: only memory behaviour may deviate.
+func TestWorkDeviationComputeOnlyIsOne(t *testing.T) {
+	prog := func(c rts.Ctx) {
+		for i := 0; i < 12; i++ {
+			c.Spawn(profile.Loc("x.go", 1, "w"), func(c rts.Ctx) { c.Compute(50_000) })
+		}
+		c.TaskWait()
+	}
+	base := rts.Run(rts.Config{Program: "w", Cores: 1, Seed: 2}, prog)
+	par := rts.Run(rts.Config{Program: "w", Cores: 48, Seed: 2}, prog)
+	rep := metrics.Analyze(par, nil, base, metrics.Options{})
+	for _, gm := range rep.Grains {
+		if gm.Grain.ID == profile.RootID {
+			continue
+		}
+		if gm.WorkDeviation != 1 {
+			t.Errorf("grain %s: compute-only deviation = %f, want exactly 1",
+				gm.Grain.ID, gm.WorkDeviation)
+		}
+	}
+}
+
+// Grain identity across machine sizes: the buggy kdtree produces the same
+// grain ID multiset on 1 and 48 cores (the paper's prerequisite for
+// comparing graphs and computing work deviation).
+func TestKdTreeGrainIDsMachineSizeInvariant(t *testing.T) {
+	ids := func(cores int) map[profile.GrainID]bool {
+		inst := workloads.NewKdTree(workloads.DefaultKdTreeParams())
+		tr := rts.Run(rts.Config{Program: "kd", Cores: cores, Seed: 4}, inst.Program())
+		out := map[profile.GrainID]bool{}
+		for _, task := range tr.Tasks {
+			out[task.ID] = true
+		}
+		return out
+	}
+	a, b := ids(1), ids(48)
+	if len(a) != len(b) {
+		t.Fatalf("grain counts differ: %d vs %d", len(a), len(b))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Fatalf("grain %s missing on 48 cores", id)
+		}
+	}
+}

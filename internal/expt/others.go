@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"graingraph/internal/workloads"
+)
+
+// OtherRow summarizes one §4.3.6 program's metric profile.
+type OtherRow struct {
+	Program       string
+	Grains        int
+	Speedup       float64
+	LowPB         float64
+	PoorMHU       float64
+	WorkInflation float64
+	LowIP         float64
+}
+
+// OthersResult is the §4.3.6 summary ("Other benchmarks").
+type OthersResult struct {
+	Rows []OtherRow
+}
+
+// Get returns a program's row.
+func (o *OthersResult) Get(program string) *OtherRow {
+	for i := range o.Rows {
+		if o.Rows[i].Program == program {
+			return &o.Rows[i]
+		}
+	}
+	return nil
+}
+
+// OtherBenchmarks regenerates the §4.3.6 summaries: Blackscholes (poor MHU
+// and low PB on many chunks despite good speedup), NQueens (clean, linear),
+// Fibonacci (work-deviation and parallel-benefit problems), and UTS (poor
+// parallel benefit for most grains).
+func OtherBenchmarks(w io.Writer) (*OthersResult, error) {
+	cases := []struct {
+		program  string
+		baseline bool
+		mk       func() workloads.Instance
+	}{
+		{"Blackscholes", false, func() workloads.Instance {
+			return workloads.NewBlackscholes(workloads.DefaultBlackscholesParams())
+		}},
+		{"NQueens", false, func() workloads.Instance {
+			return workloads.NewNQueens(workloads.DefaultNQueensParams())
+		}},
+		{"Fibonacci", true, func() workloads.Instance {
+			return workloads.NewFib(workloads.DefaultFibParams())
+		}},
+		{"UTS", false, func() workloads.Instance {
+			return workloads.NewUTS(workloads.DefaultUTSParams())
+		}},
+		{"358.botsalgn", false, func() workloads.Instance {
+			return workloads.NewAlignment(workloads.DefaultAlignmentParams())
+		}},
+		{"Floorplan", false, func() workloads.Instance {
+			return workloads.NewFloorplan(workloads.DefaultFloorplanParams())
+		}},
+	}
+	res := &OthersResult{}
+	for _, cs := range cases {
+		r, err := Run(cs.mk(), Config{Cores: 48, Seed: 1, Baseline: cs.baseline})
+		if err != nil {
+			return nil, fmt.Errorf("others %s: %w", cs.program, err)
+		}
+		sp, err := Speedup(cs.mk, Config{Cores: 48, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("others %s speedup: %w", cs.program, err)
+		}
+		res.Rows = append(res.Rows, OtherRow{
+			Program:       cs.program,
+			Grains:        r.Trace.NumGrains(),
+			Speedup:       sp,
+			LowPB:         r.Assessment.Affected(lowBenefitProblem()),
+			PoorMHU:       r.Assessment.Affected(poorUtilizationProblem()),
+			WorkInflation: r.Assessment.Affected(workInflationProblem()),
+			LowIP:         r.Assessment.Affected(lowParallelismProblem()),
+		})
+	}
+	if w != nil {
+		tw := table(w)
+		fmt.Fprintln(tw, "§4.3.6 Other benchmarks (48 cores)")
+		fmt.Fprintln(tw, "program\tgrains\tspeedup\tlow PB\tpoor MHU\twork inflation\tlow IP")
+		for _, row := range res.Rows {
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%s\t%s\t%s\t%s\n", row.Program, row.Grains,
+				row.Speedup, pct(row.LowPB), pct(row.PoorMHU),
+				pct(row.WorkInflation), pct(row.LowIP))
+		}
+		tw.Flush()
+	}
+	return res, nil
+}

@@ -1,0 +1,333 @@
+// Package highlight applies the paper's problem thresholds (§3.3) to a
+// metric report: grains whose derived metrics cross a threshold are flagged
+// as likely problems, given a severity in [0,1], and summarized. Views
+// colour problematic grains on a red-to-yellow gradient and dim everything
+// else, exactly like the paper's figures.
+package highlight
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"graingraph/internal/metrics"
+	"graingraph/internal/profile"
+)
+
+// Problem is a bitmask of per-grain problem conditions.
+type Problem uint
+
+const (
+	// LowParallelBenefit: parallel benefit below 1 — the grain does not pay
+	// for its own parallelization; it should run serially (inline/cutoff).
+	LowParallelBenefit Problem = 1 << iota
+	// WorkInflation: work deviation above threshold — the grain takes
+	// longer on the parallel run than on one core (NUMA/coherence losses).
+	WorkInflation
+	// LowParallelism: instantaneous parallelism below the core count while
+	// this grain executes — cores idle for lack of work.
+	LowParallelism
+	// HighScatter: sibling grains executed farther apart than one socket.
+	HighScatter
+	// PoorUtilization: memory-hierarchy utilization below 2 — the grain
+	// stalls on memory more than it computes.
+	PoorUtilization
+)
+
+// String names a single problem bit (or a combination, '+'-joined).
+func (p Problem) String() string {
+	if p == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Problem
+		name string
+	}{
+		{LowParallelBenefit, "low-parallel-benefit"},
+		{WorkInflation, "work-inflation"},
+		{LowParallelism, "low-parallelism"},
+		{HighScatter, "high-scatter"},
+		{PoorUtilization, "poor-memory-hierarchy-utilization"},
+	}
+	out := ""
+	for _, n := range names {
+		if p&n.bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	return out
+}
+
+// AllProblems lists the individual problem bits in display order.
+var AllProblems = []Problem{
+	LowParallelBenefit, WorkInflation, LowParallelism, HighScatter, PoorUtilization,
+}
+
+// Thresholds are the problem cut-offs. The paper's defaults: memory
+// hierarchy utilization < 2, parallel benefit < 1, load balance > 1, work
+// deviation > 2, instantaneous parallelism < cores used, scatter > cores
+// per socket. Programmers can refine them (the paper lowers work deviation
+// to 1.2 for 359.botsspar).
+type Thresholds struct {
+	ParallelBenefitMin float64
+	WorkDeviationMax   float64
+	ParallelismMin     int
+	ScatterMax         int
+	UtilizationMin     float64
+	LoadBalanceMax     float64
+}
+
+// Defaults returns the paper's default thresholds for a run on the given
+// core count and socket width.
+func Defaults(cores, coresPerSocket int) Thresholds {
+	return Thresholds{
+		ParallelBenefitMin: 1,
+		WorkDeviationMax:   2,
+		ParallelismMin:     cores,
+		ScatterMax:         coresPerSocket,
+		UtilizationMin:     2,
+		LoadBalanceMax:     1,
+	}
+}
+
+// GrainAssessment is one grain's problem evaluation.
+type GrainAssessment struct {
+	Metrics *metrics.GrainMetrics
+	Mask    Problem
+}
+
+// Has reports whether the grain has the given problem.
+func (a *GrainAssessment) Has(p Problem) bool { return a.Mask&p != 0 }
+
+// Assessment is the evaluation of a whole report against thresholds.
+type Assessment struct {
+	Thresholds Thresholds
+	Report     *metrics.Report
+	Grains     []*GrainAssessment
+
+	byID map[profile.GrainID]*GrainAssessment
+}
+
+// Evaluate flags every grain in rep against th.
+func Evaluate(rep *metrics.Report, th Thresholds) *Assessment {
+	a := &Assessment{
+		Thresholds: th,
+		Report:     rep,
+		byID:       make(map[profile.GrainID]*GrainAssessment, len(rep.Grains)),
+	}
+	for _, gm := range rep.Grains {
+		ga := &GrainAssessment{Metrics: gm}
+		if gm.ParallelBenefit < th.ParallelBenefitMin {
+			ga.Mask |= LowParallelBenefit
+		}
+		if gm.WorkDeviation > th.WorkDeviationMax {
+			ga.Mask |= WorkInflation
+		}
+		if gm.InstParallelism < th.ParallelismMin {
+			ga.Mask |= LowParallelism
+		}
+		if gm.Scatter > th.ScatterMax {
+			ga.Mask |= HighScatter
+		}
+		// Grains that never stall are fine regardless of the ratio; grains
+		// with no memory activity are not memory problems either.
+		if gm.Grain.Counters.Stall > 0 && gm.Utilization < th.UtilizationMin {
+			ga.Mask |= PoorUtilization
+		}
+		a.Grains = append(a.Grains, ga)
+		a.byID[gm.Grain.ID] = ga
+	}
+	return a
+}
+
+// Get returns the assessment row for a grain, or nil.
+func (a *Assessment) Get(id profile.GrainID) *GrainAssessment { return a.byID[id] }
+
+// Affected returns the fraction (0..1) of grains flagged with problem p —
+// the paper's "Affected grains (%)" (Sort's optimization table).
+func (a *Assessment) Affected(p Problem) float64 {
+	if len(a.Grains) == 0 {
+		return 0
+	}
+	n := 0
+	for _, g := range a.Grains {
+		if g.Has(p) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.Grains))
+}
+
+// Count returns how many grains carry problem p.
+func (a *Assessment) Count(p Problem) int {
+	n := 0
+	for _, g := range a.Grains {
+		if g.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Severity maps a grain's metric distance past the threshold into [0,1]
+// (1 = worst) for the given problem view; ok=false when the grain is not
+// problematic in this view.
+func (a *Assessment) Severity(ga *GrainAssessment, p Problem) (float64, bool) {
+	if !ga.Has(p) {
+		return 0, false
+	}
+	th := a.Thresholds
+	gm := ga.Metrics
+	switch p {
+	case LowParallelBenefit:
+		// 0 benefit = severity 1; at threshold = 0.
+		return clamp01(1 - gm.ParallelBenefit/th.ParallelBenefitMin), true
+	case WorkInflation:
+		// Saturates at 3x the threshold.
+		return clamp01((gm.WorkDeviation - th.WorkDeviationMax) / (2 * th.WorkDeviationMax)), true
+	case LowParallelism:
+		return clamp01(1 - float64(gm.InstParallelism)/float64(th.ParallelismMin)), true
+	case HighScatter:
+		return clamp01(float64(gm.Scatter-th.ScatterMax) / float64(3*th.ScatterMax)), true
+	case PoorUtilization:
+		return clamp01(1 - gm.Utilization/th.UtilizationMin), true
+	default:
+		return 0, false
+	}
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// HeatColor renders severity on the paper's red-to-yellow linear gradient
+// (red = severity 1) as a #rrggbb hex string.
+func HeatColor(severity float64) string {
+	s := clamp01(severity)
+	g := int(255 * (1 - s))
+	return fmt.Sprintf("#ff%02x00", g)
+}
+
+// DimColor is the colour of non-problematic (dimmed) graph elements.
+const DimColor = "#d9d9d9"
+
+// Summary is a printable overview of an assessment.
+type Summary struct {
+	Program     string
+	Cores       int
+	TotalGrains int
+	Makespan    profile.Time
+	CriticalLen profile.Time
+	Rows        []SummaryRow
+	// WorstLoopLB is the worst loop load balance and its loop ID.
+	WorstLoopLB     float64
+	WorstLoopLBLoop profile.LoopID
+}
+
+// SummaryRow is one problem's aggregate.
+type SummaryRow struct {
+	Problem  Problem
+	Count    int
+	Affected float64 // fraction 0..1
+}
+
+// Summarize aggregates the assessment into a Summary.
+func (a *Assessment) Summarize() Summary {
+	s := Summary{
+		Program:     a.Report.Trace.Program,
+		Cores:       a.Report.Trace.Cores,
+		TotalGrains: len(a.Grains),
+		Makespan:    a.Report.Trace.Makespan(),
+		CriticalLen: a.Report.CriticalPathLength,
+	}
+	for _, p := range AllProblems {
+		s.Rows = append(s.Rows, SummaryRow{Problem: p, Count: a.Count(p), Affected: a.Affected(p)})
+	}
+	for id, lb := range a.Report.LoopLoadBalance {
+		if lb > s.WorstLoopLB {
+			s.WorstLoopLB = lb
+			s.WorstLoopLBLoop = id
+		}
+	}
+	return s
+}
+
+// TopOffenders returns the worst n grains for problem p, ranked by
+// severity then execution time — the paper's "sorting task definitions by
+// creation count and work inflation" workflow uses rankings like this.
+func (a *Assessment) TopOffenders(p Problem, n int) []*GrainAssessment {
+	var out []*GrainAssessment
+	for _, g := range a.Grains {
+		if g.Has(p) {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, _ := a.Severity(out[i], p)
+		sj, _ := a.Severity(out[j], p)
+		if si != sj {
+			return si > sj
+		}
+		if out[i].Metrics.Grain.Exec != out[j].Metrics.Grain.Exec {
+			return out[i].Metrics.Grain.Exec > out[j].Metrics.Grain.Exec
+		}
+		return out[i].Metrics.Grain.ID < out[j].Metrics.Grain.ID
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ByDefinition aggregates problem prevalence per source definition — the
+// grouping Figure 7 uses ("FFT performance grouped by definition in source
+// files").
+type DefinitionStats struct {
+	Loc        profile.SrcLoc
+	Grains     int
+	TotalExec  profile.Time
+	Flagged    int     // grains with the problem
+	Prevalence float64 // Flagged / Grains
+}
+
+// ByDefinition computes per-definition stats for problem p, sorted by total
+// execution time (heaviest definition first).
+func (a *Assessment) ByDefinition(p Problem) []DefinitionStats {
+	agg := map[string]*DefinitionStats{}
+	for _, g := range a.Grains {
+		key := g.Metrics.Grain.Loc.String()
+		ds, ok := agg[key]
+		if !ok {
+			ds = &DefinitionStats{Loc: g.Metrics.Grain.Loc}
+			agg[key] = ds
+		}
+		ds.Grains++
+		ds.TotalExec += g.Metrics.Grain.Exec
+		if g.Has(p) {
+			ds.Flagged++
+		}
+	}
+	out := make([]DefinitionStats, 0, len(agg))
+	for _, ds := range agg {
+		if ds.Grains > 0 {
+			ds.Prevalence = float64(ds.Flagged) / float64(ds.Grains)
+		}
+		out = append(out, *ds)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalExec != out[j].TotalExec {
+			return out[i].TotalExec > out[j].TotalExec
+		}
+		return out[i].Loc.String() < out[j].Loc.String()
+	})
+	return out
+}

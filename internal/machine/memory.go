@@ -1,0 +1,122 @@
+package machine
+
+import "fmt"
+
+// PageSize is the granularity of NUMA placement, in bytes.
+const PageSize = 4096
+
+// Policy selects how memory pages are assigned to NUMA nodes.
+type Policy int
+
+const (
+	// FirstTouch assigns a page to the NUMA node of the core that first
+	// accesses it. This is the Linux default and the "before" configuration
+	// in the paper's Sort experiment: the master thread initializes the
+	// array, so every page lands on node 0 and all other sockets pay remote
+	// latency.
+	FirstTouch Policy = iota
+	// RoundRobin interleaves pages across NUMA nodes in address order.
+	// This is the paper's Sort optimization ("round-robin memory page
+	// distribution to different NUMA nodes").
+	RoundRobin
+	// Node0 pins every page to node 0 regardless of who touches it.
+	Node0
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FirstTouch:
+		return "first-touch"
+	case RoundRobin:
+		return "round-robin"
+	case Node0:
+		return "node0"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Region is a named contiguous allocation in the simulated address space.
+// Workloads allocate regions for their major data structures and express
+// memory accesses as offsets into them.
+type Region struct {
+	Name string
+	Base int64 // byte address, PageSize aligned
+	Size int64 // bytes
+}
+
+// End returns the first byte address past the region.
+func (r *Region) End() int64 { return r.Base + r.Size }
+
+// Memory is the simulated physical memory: an allocator plus a page table
+// mapping pages to NUMA nodes under the configured placement policy.
+type Memory struct {
+	topo   *Topology
+	policy Policy
+	next   int64         // bump allocator cursor
+	pages  map[int64]int // page index -> NUMA node
+	rr     int           // next node for round-robin placement
+}
+
+// NewMemory creates an empty memory for the given topology and policy.
+func NewMemory(topo *Topology, policy Policy) *Memory {
+	return &Memory{topo: topo, policy: policy, pages: make(map[int64]int)}
+}
+
+// Policy returns the placement policy in effect.
+func (m *Memory) Policy() Policy { return m.policy }
+
+// Alloc reserves size bytes and returns the region. The region is
+// page-aligned; placement of its pages follows the memory's policy and, for
+// first-touch, happens lazily at first access.
+func (m *Memory) Alloc(name string, size int64) *Region {
+	if size <= 0 {
+		panic(fmt.Sprintf("machine: Alloc(%q, %d): size must be positive", name, size))
+	}
+	base := m.next
+	aligned := (size + PageSize - 1) / PageSize * PageSize
+	m.next += aligned
+	return &Region{Name: name, Base: base, Size: size}
+}
+
+// NodeOf resolves the NUMA node owning the page containing addr, assigning
+// it per policy if this is the first access. touchingCore identifies the
+// core performing the access (used by first-touch).
+func (m *Memory) NodeOf(addr int64, touchingCore int) int {
+	page := addr / PageSize
+	if node, ok := m.pages[page]; ok {
+		return node
+	}
+	var node int
+	switch m.policy {
+	case FirstTouch:
+		node = m.topo.Socket(touchingCore)
+	case RoundRobin:
+		node = m.rr
+		m.rr = (m.rr + 1) % m.topo.NumSockets()
+	case Node0:
+		node = 0
+	default:
+		panic(fmt.Sprintf("machine: unknown policy %v", m.policy))
+	}
+	m.pages[page] = node
+	return node
+}
+
+// PlacedPages returns how many pages have been assigned to each node so
+// far. Useful in tests and for reporting placement skew.
+func (m *Memory) PlacedPages() []int {
+	counts := make([]int, m.topo.NumSockets())
+	for _, node := range m.pages {
+		counts[node]++
+	}
+	return counts
+}
+
+// Reset forgets all page placements (but not allocations), so a fresh run
+// can re-apply first-touch placement.
+func (m *Memory) Reset() {
+	m.pages = make(map[int64]int)
+	m.rr = 0
+}

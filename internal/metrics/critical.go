@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"graingraph/internal/core"
+	"graingraph/internal/profile"
+)
+
+// CriticalPath computes the heaviest path through the grain graph, weighting
+// each node by its time contribution (execution time for grains, creation/
+// synchronization overhead for fork/join nodes, delivery cost for
+// book-keeping nodes). It marks the nodes and edges on the path via their
+// Critical flags and returns the path length and node sequence.
+func CriticalPath(g *core.Graph) (profile.Time, []core.NodeID) {
+	if len(g.Nodes) == 0 {
+		return 0, nil
+	}
+	order := g.Topological()
+	dist := make([]profile.Time, len(g.Nodes))
+	pred := make([]core.NodeID, len(g.Nodes))
+	for i := range pred {
+		pred[i] = -1
+	}
+	var bestEnd core.NodeID
+	var best profile.Time
+	for _, n := range order {
+		d := dist[n] + g.Nodes[n].Weight
+		if d > best {
+			best = d
+			bestEnd = n
+		}
+		for _, ei := range g.Out(n) {
+			e := &g.Edges[ei]
+			if d > dist[e.To] {
+				dist[e.To] = d
+				pred[e.To] = n
+			}
+		}
+	}
+
+	// Recover and mark the path.
+	var path []core.NodeID
+	for n := bestEnd; n >= 0; n = pred[n] {
+		path = append(path, n)
+		g.Nodes[n].Critical = true
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	// Mark edges between consecutive path nodes.
+	onPath := make(map[[2]core.NodeID]bool, len(path))
+	for i := 1; i < len(path); i++ {
+		onPath[[2]core.NodeID{path[i-1], path[i]}] = true
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if onPath[[2]core.NodeID{e.From, e.To}] {
+			e.Critical = true
+		}
+	}
+	return best, path
+}

@@ -1,0 +1,206 @@
+// Package metrics derives the paper's per-grain performance metrics
+// (§3.2) from a profiled trace and its grain graph: critical path, parallel
+// benefit, load balance, work deviation, instantaneous parallelism, scatter
+// and memory-hierarchy utilization.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"graingraph/internal/core"
+	"graingraph/internal/profile"
+)
+
+// GrainMetrics bundles the derived metrics of one grain.
+type GrainMetrics struct {
+	Grain *profile.Grain
+
+	// ParallelBenefit is execution time divided by parallelization cost
+	// (creation + share of the parent's synchronization overhead; chunks use
+	// book-keeping cost). +Inf when the grain has no parallelization cost
+	// (the root). Problematic below 1.
+	ParallelBenefit float64
+
+	// WorkDeviation is execution time on this run divided by the same
+	// grain's execution time on a single core; 0 when no baseline grain
+	// matched. Problematic ("work inflation") above threshold.
+	WorkDeviation float64
+
+	// InstParallelism is the smallest instantaneous parallelism among the
+	// intervals overlapping this grain (optimistic flavour unless
+	// configured otherwise). Problematic below the core count.
+	InstParallelism int
+
+	// Scatter is the median pairwise core distance among the grain's
+	// sibling set; 0 for only children. Problematic beyond a socket.
+	Scatter int
+
+	// Utilization is compute cycles per stall cycle. Problematic below 2.
+	Utilization float64
+}
+
+// IPFlavor selects the instantaneous-parallelism counting rule.
+type IPFlavor int
+
+const (
+	// IPOptimistic counts grains with any overlap of the interval.
+	IPOptimistic IPFlavor = iota
+	// IPConservative counts only grains executing for the full interval.
+	IPConservative
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// Interval is the instantaneous-parallelism interval size in cycles;
+	// 0 selects the median grain length (the paper's default choice).
+	Interval profile.Time
+	// Flavor selects optimistic or conservative counting.
+	Flavor IPFlavor
+	// MaxIntervals caps the timeline resolution (default 4096).
+	MaxIntervals int
+	// ScatterSample caps the sibling-set size used for pairwise distances
+	// (default 2048; larger sets are subsampled deterministically).
+	ScatterSample int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIntervals == 0 {
+		o.MaxIntervals = 4096
+	}
+	if o.ScatterSample == 0 {
+		o.ScatterSample = 2048
+	}
+	return o
+}
+
+// Report is the full derived-metric set for one trace.
+type Report struct {
+	Trace  *profile.Trace
+	Grains []*GrainMetrics
+
+	// CriticalPathLength is the weight of the heaviest path through the
+	// grain graph; CriticalNodes lists its nodes in order.
+	CriticalPathLength profile.Time
+	CriticalNodes      []core.NodeID
+
+	// Timeline is the instantaneous parallelism per interval;
+	// IntervalSize is the interval width used.
+	Timeline     []int
+	IntervalSize profile.Time
+
+	// LoopLoadBalance maps each loop instance to its load-balance metric;
+	// TaskLoadBalance is the program-level generalization over task grains.
+	LoopLoadBalance map[profile.LoopID]float64
+	TaskLoadBalance float64
+
+	byID map[profile.GrainID]*GrainMetrics
+}
+
+// Get returns the metrics row for a grain ID, or nil.
+func (r *Report) Get(id profile.GrainID) *GrainMetrics { return r.byID[id] }
+
+// Analyze derives every metric for tr. The grain graph g must have been
+// built from tr (pass nil to have Analyze build it). baseline, if non-nil,
+// is a single-core trace of the same program used for work deviation.
+func Analyze(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, opts Options) *Report {
+	opts = opts.withDefaults()
+	if g == nil {
+		g = core.Build(tr)
+	}
+	grains := tr.Grains()
+	rep := &Report{
+		Trace:           tr,
+		LoopLoadBalance: make(map[profile.LoopID]float64),
+		byID:            make(map[profile.GrainID]*GrainMetrics, len(grains)),
+	}
+
+	// Per-grain local metrics.
+	for _, gr := range grains {
+		gm := &GrainMetrics{
+			Grain:           gr,
+			ParallelBenefit: parallelBenefit(gr),
+			Utilization:     gr.Counters.Utilization(),
+		}
+		rep.Grains = append(rep.Grains, gm)
+		rep.byID[gr.ID] = gm
+	}
+
+	// Work deviation against the single-core baseline.
+	if baseline != nil {
+		base := make(map[profile.GrainID]profile.Time)
+		for _, bg := range baseline.Grains() {
+			base[bg.ID] = bg.Exec
+		}
+		for _, gm := range rep.Grains {
+			if b, ok := base[gm.Grain.ID]; ok && b > 0 {
+				gm.WorkDeviation = float64(gm.Grain.Exec) / float64(b)
+			}
+		}
+	}
+
+	// Critical path on the grain graph.
+	rep.CriticalPathLength, rep.CriticalNodes = CriticalPath(g)
+
+	// Instantaneous parallelism.
+	interval := opts.Interval
+	if interval == 0 {
+		interval = MedianGrainLength(grains)
+	}
+	rep.IntervalSize, rep.Timeline = instParallelism(tr, grains, rep.byID, interval, opts)
+
+	// Scatter per sibling set.
+	scatter(grains, rep.byID, tr, opts)
+
+	// Load balance.
+	for _, l := range tr.Loops {
+		rep.LoopLoadBalance[l.ID] = LoopLoadBalance(tr, l.ID)
+	}
+	rep.TaskLoadBalance = TaskLoadBalance(tr)
+
+	return rep
+}
+
+// parallelBenefit implements the paper's definition: grain execution time
+// over the parallelization cost its parent paid for it.
+func parallelBenefit(g *profile.Grain) float64 {
+	cost := g.ParallelizationCost()
+	if cost == 0 {
+		return math.Inf(1)
+	}
+	return float64(g.Exec) / float64(cost)
+}
+
+// MedianGrainLength returns the median execution time of the grains — the
+// paper's default instantaneous-parallelism interval.
+func MedianGrainLength(grains []*profile.Grain) profile.Time {
+	if len(grains) == 0 {
+		return 1
+	}
+	ls := make([]profile.Time, 0, len(grains))
+	for _, g := range grains {
+		if g.Exec > 0 {
+			ls = append(ls, g.Exec)
+		}
+	}
+	if len(ls) == 0 {
+		return 1
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls[len(ls)/2]
+}
+
+// MinGrainLength returns the smallest positive grain execution time — the
+// paper's alternative interval choice.
+func MinGrainLength(grains []*profile.Grain) profile.Time {
+	min := profile.Time(0)
+	for _, g := range grains {
+		if g.Exec > 0 && (min == 0 || g.Exec < min) {
+			min = g.Exec
+		}
+	}
+	if min == 0 {
+		return 1
+	}
+	return min
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"sort"
+
+	"graingraph/internal/profile"
+)
+
+// interval execution spans per grain: tasks contribute each fragment,
+// chunks their whole span.
+type grainSpan struct {
+	id         profile.GrainID
+	start, end profile.Time
+}
+
+func executionSpans(tr *profile.Trace) []grainSpan {
+	var spans []grainSpan
+	for _, t := range tr.Tasks {
+		for i := range t.Fragments {
+			f := &t.Fragments[i]
+			if f.End > f.Start {
+				spans = append(spans, grainSpan{t.ID, f.Start, f.End})
+			}
+		}
+	}
+	for _, c := range tr.Chunks {
+		if c.End > c.Start {
+			spans = append(spans, grainSpan{tr.ChunkGrainID(c), c.Start, c.End})
+		}
+	}
+	return spans
+}
+
+// instParallelism computes the per-interval parallelism timeline and fills
+// each grain's InstParallelism (its minimum over overlapping intervals).
+func instParallelism(tr *profile.Trace, grains []*profile.Grain,
+	byID map[profile.GrainID]*GrainMetrics, interval profile.Time, opts Options) (profile.Time, []int) {
+
+	makespan := tr.Makespan()
+	if makespan == 0 || len(grains) == 0 {
+		return interval, nil
+	}
+	if interval == 0 {
+		interval = 1
+	}
+	// Cap resolution.
+	if n := makespan / interval; n > profile.Time(opts.MaxIntervals) {
+		interval = (makespan + profile.Time(opts.MaxIntervals) - 1) / profile.Time(opts.MaxIntervals)
+	}
+	nIntervals := int((makespan + interval - 1) / interval)
+	counts := make([]int, nIntervals)
+
+	spans := executionSpans(tr)
+	// A grain counts once per interval even if several of its fragments
+	// overlap the same interval: count per (grain, interval) via sweeping
+	// grain spans, deduping with a last-marked stamp per grain.
+	type mark struct {
+		gm       *GrainMetrics
+		lastSeen int
+	}
+	marks := make(map[profile.GrainID]*mark, len(byID))
+	for id, gm := range byID {
+		marks[id] = &mark{gm: gm, lastSeen: -1}
+	}
+
+	// For the conservative flavour, a grain counts only in intervals its
+	// span fully covers.
+	for _, sp := range spans {
+		var first, last int
+		if opts.Flavor == IPConservative {
+			// Intervals [i*iv, (i+1)*iv) fully inside [start,end).
+			first = int((sp.start + interval - 1) / interval)
+			last = int(sp.end/interval) - 1
+		} else {
+			first = int(sp.start / interval)
+			last = int((sp.end - 1) / interval)
+		}
+		if first < 0 {
+			first = 0
+		}
+		if last >= nIntervals {
+			last = nIntervals - 1
+		}
+		m := marks[sp.id]
+		for i := first; i <= last; i++ {
+			if m != nil && m.lastSeen == i {
+				continue // already counted this grain in this interval
+			}
+			counts[i]++
+			if m != nil {
+				m.lastSeen = i
+			}
+		}
+	}
+
+	// Per-grain minimum over the intervals its *execution* overlaps (its
+	// fragments — a task suspended in taskwait is not executing, so thin
+	// intervals during its suspension do not count against it).
+	for _, gm := range byID {
+		gm.InstParallelism = -1
+	}
+	for _, sp := range spans {
+		gm := byID[sp.id]
+		if gm == nil {
+			continue
+		}
+		first := int(sp.start / interval)
+		last := int((sp.end - 1) / interval)
+		if last >= nIntervals {
+			last = nIntervals - 1
+		}
+		for i := first; i <= last; i++ {
+			if gm.InstParallelism == -1 || counts[i] < gm.InstParallelism {
+				gm.InstParallelism = counts[i]
+			}
+		}
+	}
+	for _, gm := range byID {
+		if gm.InstParallelism == -1 {
+			gm.InstParallelism = 0
+		}
+	}
+	return interval, counts
+}
+
+// LoopLoadBalance computes the paper's load-balance metric for one loop
+// instance: the length of the longest grain (chunk) divided by the median
+// length of the per-thread chains of consecutive grains.
+func LoopLoadBalance(tr *profile.Trace, loop profile.LoopID) float64 {
+	var longest profile.Time
+	chains := make(map[int]profile.Time)
+	l := tr.Loop(loop)
+	if l == nil {
+		return 0
+	}
+	for _, th := range l.Threads {
+		chains[th] = 0
+	}
+	for _, c := range tr.Chunks {
+		if c.Loop != loop {
+			continue
+		}
+		d := c.Duration()
+		if d > longest {
+			longest = d
+		}
+		chains[c.Thread] += d
+	}
+	med := medianTimes(chains)
+	if med == 0 {
+		return 0
+	}
+	return float64(longest) / float64(med)
+}
+
+// TaskLoadBalance generalizes load balance to task grains at program level:
+// the longest task execution time divided by the median per-core busy time.
+func TaskLoadBalance(tr *profile.Trace) float64 {
+	var longest profile.Time
+	for _, t := range tr.Tasks {
+		if e := t.ExecTime(); e > longest {
+			longest = e
+		}
+	}
+	chains := make(map[int]profile.Time)
+	for i, ws := range tr.Workers {
+		chains[i] = ws.Busy
+	}
+	med := medianTimes(chains)
+	if med == 0 {
+		return 0
+	}
+	return float64(longest) / float64(med)
+}
+
+func medianTimes(m map[int]profile.Time) profile.Time {
+	if len(m) == 0 {
+		return 0
+	}
+	vals := make([]profile.Time, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[len(vals)/2]
+}

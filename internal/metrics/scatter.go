@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sort"
+
+	"graingraph/internal/profile"
+)
+
+// scatter assigns each grain the median pairwise core distance of its
+// sibling set (paper §3.2). Sets larger than opts.ScatterSample are
+// deterministically subsampled (every k-th sibling) to bound the quadratic
+// pairwise computation.
+func scatter(grains []*profile.Grain, byID map[profile.GrainID]*GrainMetrics,
+	tr *profile.Trace, opts Options) {
+
+	// Distances follow the paper's core-identifier convention
+	// (machine.Topology.CoreDistance): |core_i - core_j|.
+	bySet := profile.GrainsByParent(grains)
+	for _, siblings := range bySet {
+		if len(siblings) < 2 {
+			for _, g := range siblings {
+				if gm := byID[g.ID]; gm != nil {
+					gm.Scatter = 0
+				}
+			}
+			continue
+		}
+		cores := make([]int, 0, len(siblings))
+		for _, g := range siblings {
+			if g.Core >= 0 {
+				cores = append(cores, g.Core)
+			}
+		}
+		if len(cores) > opts.ScatterSample {
+			step := len(cores) / opts.ScatterSample
+			sampled := make([]int, 0, opts.ScatterSample)
+			for i := 0; i < len(cores); i += step {
+				sampled = append(sampled, cores[i])
+			}
+			cores = sampled
+		}
+		val := medianPairwiseDistance(cores)
+		for _, g := range siblings {
+			if gm := byID[g.ID]; gm != nil {
+				gm.Scatter = val
+			}
+		}
+	}
+}
+
+// medianPairwiseDistance returns the median |a-b| over all unordered pairs.
+func medianPairwiseDistance(cores []int) int {
+	n := len(cores)
+	if n < 2 {
+		return 0
+	}
+	dists := make([]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := cores[i] - cores[j]
+			if d < 0 {
+				d = -d
+			}
+			dists = append(dists, d)
+		}
+	}
+	sort.Ints(dists)
+	return dists[len(dists)/2]
+}

@@ -1,0 +1,133 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"graingraph/internal/cache"
+)
+
+// Grain is the unified per-grain view used by the metric derivations: one
+// row per task instance or chunk instance with everything the paper's
+// metrics need.
+type Grain struct {
+	ID     GrainID
+	Kind   Kind
+	Loc    SrcLoc
+	Parent GrainID // task parent, or the loop pseudo-parent for chunks
+	Depth  int
+
+	Start, End Time // wall-clock span (first fragment start .. last end)
+	Exec       Time // execution time excluding suspension
+
+	Core     int // core of the first fragment / the chunk's core
+	Counters cache.Counters
+
+	// Parallelization cost components (paper §3.2, "parallel benefit"):
+	// CreateCost is the creation cost borne by the parent (book-keeping cost
+	// for chunks); SyncShare is the grain's share of the parent's
+	// synchronization wait.
+	CreateCost Time
+	SyncShare  Time
+
+	// Inlined marks runtime-throttled tasks.
+	Inlined bool
+}
+
+// ParallelizationCost returns CreateCost + SyncShare.
+func (g *Grain) ParallelizationCost() Time { return g.CreateCost + g.SyncShare }
+
+// LoopParentID is the pseudo-parent grain ID shared by all chunks of a loop,
+// making them siblings for the scatter metric.
+func LoopParentID(id LoopID) GrainID { return GrainID(fmt.Sprintf("loop:%d", id)) }
+
+// Grains flattens the trace into the unified grain view, sorted by start
+// time (ties broken by ID for determinism).
+func (tr *Trace) Grains() []*Grain {
+	grains := make([]*Grain, 0, tr.NumGrains())
+
+	// Distribute each task's join waits over the children synchronized at
+	// that join: child's SyncShare = wait / #joined.
+	syncShare := make(map[GrainID]Time)
+	for _, t := range tr.Tasks {
+		for i := range t.Boundaries {
+			b := &t.Boundaries[i]
+			if b.Kind != BoundaryJoin || len(b.Joined) == 0 {
+				continue
+			}
+			share := b.Wait / Time(len(b.Joined))
+			for _, child := range b.Joined {
+				syncShare[child] += share
+			}
+		}
+	}
+
+	for _, t := range tr.Tasks {
+		g := &Grain{
+			ID:         t.ID,
+			Kind:       KindTask,
+			Loc:        t.Loc,
+			Parent:     t.Parent,
+			Depth:      t.Depth,
+			Start:      t.StartTime,
+			End:        t.EndTime,
+			Exec:       t.ExecTime(),
+			Core:       t.FirstCore(),
+			Counters:   t.TotalCounters(),
+			CreateCost: t.CreateCost,
+			SyncShare:  syncShare[t.ID],
+			Inlined:    t.Inlined,
+		}
+		grains = append(grains, g)
+	}
+
+	for _, c := range tr.Chunks {
+		l := tr.Loop(c.Loop)
+		loc := SrcLoc{}
+		if l != nil {
+			loc = l.Loc
+		}
+		g := &Grain{
+			ID:         tr.ChunkGrainID(c),
+			Kind:       KindChunk,
+			Loc:        loc,
+			Parent:     LoopParentID(c.Loop),
+			Depth:      1,
+			Start:      c.Start,
+			End:        c.End,
+			Exec:       c.Duration(),
+			Core:       c.Thread,
+			Counters:   c.Counters,
+			CreateCost: c.Bookkeep,
+		}
+		grains = append(grains, g)
+	}
+
+	sort.Slice(grains, func(i, j int) bool {
+		if grains[i].Start != grains[j].Start {
+			return grains[i].Start < grains[j].Start
+		}
+		return grains[i].ID < grains[j].ID
+	})
+	return grains
+}
+
+// GrainsByParent groups grains into sibling sets keyed by parent ID.
+func GrainsByParent(grains []*Grain) map[GrainID][]*Grain {
+	m := make(map[GrainID][]*Grain)
+	for _, g := range grains {
+		m[g.Parent] = append(m[g.Parent], g)
+	}
+	return m
+}
+
+// GrainsByLoc groups grains by their source definition, the grouping
+// Figure 7 of the paper uses ("performance grouped by definition in source
+// files").
+func GrainsByLoc(grains []*Grain) map[string][]*Grain {
+	m := make(map[string][]*Grain)
+	for _, g := range grains {
+		m[g.Loc.String()] = append(m[g.Loc.String()], g)
+	}
+	return m
+}

@@ -1,0 +1,310 @@
+// Package profile defines the grain-level performance records produced by
+// the runtimes (simulated and native) and consumed by the grain-graph
+// builder and the metric derivations.
+//
+// The record set mirrors what the paper's MIR profiler captures at
+// OMPT-like events: per-task fragments delimited by fork and join points,
+// per-chunk execution records for parallel for-loops, book-keeping costs,
+// timestamps, executing cores, and hardware-counter readings (here produced
+// by the simulated cache hierarchy).
+package profile
+
+import (
+	"fmt"
+
+	"graingraph/internal/cache"
+)
+
+// Time is virtual (or native nanosecond) time. All records in one Trace use
+// the same clock.
+type Time = uint64
+
+// SrcLoc identifies the source definition of a task or loop, in the style
+// the paper uses to label grains ("sparselu.c:246(bmod)").
+type SrcLoc struct {
+	File string
+	Line int
+	Func string
+}
+
+// String renders the location like the paper: file:line(func).
+func (l SrcLoc) String() string {
+	if l.Func == "" {
+		return fmt.Sprintf("%s:%d", l.File, l.Line)
+	}
+	return fmt.Sprintf("%s:%d(%s)", l.File, l.Line, l.Func)
+}
+
+// Loc is a convenience constructor for SrcLoc.
+func Loc(file string, line int, fn string) SrcLoc { return SrcLoc{File: file, Line: line, Func: fn} }
+
+// GrainID identifies a grain independent of scheduling.
+//
+// Task grains use path enumeration on the spawn tree ("R", "R.0", "R.0.3"):
+// the i-th task spawned by a parent, counted in program order, appends ".i".
+// For a deterministic program this is identical across machine sizes and
+// schedules, which is what makes work deviation computable.
+//
+// Chunk grains are identified, per the paper, by the thread that started the
+// loop, a per-loop sequence counter and the iteration range:
+// "L<loop>@t<thread>#<seq>[lo,hi)".
+type GrainID string
+
+// RootID is the grain ID of the master (initial) task.
+const RootID GrainID = "R"
+
+// ChildID returns the path-enumeration ID of the index-th child of parent.
+func ChildID(parent GrainID, index int) GrainID {
+	return GrainID(fmt.Sprintf("%s.%d", parent, index))
+}
+
+// Kind distinguishes the two grain varieties.
+type Kind int
+
+const (
+	// KindTask is a task instance.
+	KindTask Kind = iota
+	// KindChunk is a parallel-for-loop chunk instance.
+	KindChunk
+)
+
+// String returns "task" or "chunk".
+func (k Kind) String() string {
+	if k == KindChunk {
+		return "chunk"
+	}
+	return "task"
+}
+
+// Fragment is one contiguous execution interval of a task on one core,
+// delimited by spawn/join points.
+type Fragment struct {
+	Start, End Time
+	Core       int
+	Counters   cache.Counters
+}
+
+// Duration returns the fragment's execution time.
+func (f *Fragment) Duration() Time { return f.End - f.Start }
+
+// BoundaryKind says what ended a fragment.
+type BoundaryKind int
+
+const (
+	// BoundaryFork marks a task spawn.
+	BoundaryFork BoundaryKind = iota
+	// BoundaryJoin marks a taskwait synchronization.
+	BoundaryJoin
+	// BoundaryLoop marks a parallel for-loop executed at this point (only in
+	// the master task). The loop is itself a fork-join construct; the
+	// builder expands it into bookkeeping/chunk chains.
+	BoundaryLoop
+)
+
+// Boundary separates Fragments[i] from Fragments[i+1] in a TaskRecord.
+type Boundary struct {
+	Kind   BoundaryKind
+	At     Time
+	Child  GrainID   // BoundaryFork: the spawned task
+	Joined []GrainID // BoundaryJoin: children synchronized here
+	// Wait is the synchronization *overhead* the task paid at this join
+	// (runtime bookkeeping, not useful work); it feeds the parallel-benefit
+	// metric's "time spent by the grain's parent in synchronizing".
+	Wait Time
+	// Suspended is how long the task was suspended at this join in wall
+	// (virtual) time; on a help-first runtime the owning worker usually
+	// executes other grains during this interval.
+	Suspended Time
+	Loop      LoopID // BoundaryLoop: the loop instance
+}
+
+// TaskRecord is the complete profile of one task instance.
+type TaskRecord struct {
+	ID     GrainID
+	Parent GrainID // empty for the root
+	Loc    SrcLoc
+	Depth  int // spawn-tree depth; root is 0
+
+	CreateTime Time // when the parent spawned it
+	CreateCost Time // cycles the parent paid to create it
+	CreatedBy  int  // worker that spawned it
+	StartTime  Time // first fragment start
+	EndTime    Time // last fragment end
+
+	Fragments  []Fragment
+	Boundaries []Boundary // len == len(Fragments)-1 for a completed task
+
+	// Inlined marks tasks the runtime executed undeferred due to an internal
+	// cutoff/throttle (the paper's ICC queue-size cutoff, GCC's 64×threads
+	// limit).
+	Inlined bool
+}
+
+// ExecTime returns the task's total execution time across fragments.
+func (t *TaskRecord) ExecTime() Time {
+	var sum Time
+	for i := range t.Fragments {
+		sum += t.Fragments[i].Duration()
+	}
+	return sum
+}
+
+// TotalCounters aggregates the task's fragment counters.
+func (t *TaskRecord) TotalCounters() cache.Counters {
+	var c cache.Counters
+	for i := range t.Fragments {
+		c.Add(t.Fragments[i].Counters)
+	}
+	return c
+}
+
+// FirstCore returns the core that executed the task's first fragment, or -1
+// for an empty record.
+func (t *TaskRecord) FirstCore() int {
+	if len(t.Fragments) == 0 {
+		return -1
+	}
+	return t.Fragments[0].Core
+}
+
+// LoopID numbers parallel for-loop instances in program order.
+type LoopID int
+
+// ScheduleKind is the OpenMP loop schedule.
+type ScheduleKind int
+
+const (
+	// ScheduleStatic divides iterations into equal contiguous chunks
+	// assigned round-robin up front.
+	ScheduleStatic ScheduleKind = iota
+	// ScheduleDynamic hands out fixed-size chunks from a shared counter.
+	ScheduleDynamic
+	// ScheduleGuided hands out geometrically shrinking chunks.
+	ScheduleGuided
+)
+
+// String returns the OpenMP schedule name.
+func (s ScheduleKind) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	default:
+		return fmt.Sprintf("ScheduleKind(%d)", int(s))
+	}
+}
+
+// LoopRecord is the profile of one parallel for-loop instance.
+type LoopRecord struct {
+	ID          LoopID
+	Loc         SrcLoc
+	Schedule    ScheduleKind
+	ChunkSize   int
+	Lo, Hi      int // iteration space [Lo,Hi)
+	Start, End  Time
+	StartThread int   // thread that started the loop (constant w/o nesting)
+	Threads     []int // workers that participated
+}
+
+// ChunkRecord is the profile of one executed chunk.
+type ChunkRecord struct {
+	Loop     LoopID
+	Seq      int // grab order within the loop
+	Thread   int // executing worker/core
+	Lo, Hi   int // iteration range [Lo,Hi)
+	Start    Time
+	End      Time
+	Bookkeep Time // book-keeping cost paid to obtain this chunk
+	Counters cache.Counters
+}
+
+// ID returns the paper's chunk identification: starting thread of the loop
+// is prepended by the Trace accessor; the record alone identifies by loop,
+// sequence and range.
+func (c *ChunkRecord) ID(startThread int) GrainID {
+	return GrainID(fmt.Sprintf("L%d@t%d#%d[%d,%d)", c.Loop, startThread, c.Seq, c.Lo, c.Hi))
+}
+
+// Duration returns the chunk's execution time.
+func (c *ChunkRecord) Duration() Time { return c.End - c.Start }
+
+// BookkeepRecord aggregates a worker's book-keeping work for one loop
+// (the per-thread grouping reduction the paper applies).
+type BookkeepRecord struct {
+	Loop   LoopID
+	Thread int
+	Grabs  int  // how many times the worker entered book-keeping
+	Total  Time // total book-keeping cycles
+}
+
+// WorkerStat aggregates one worker's time split, the raw material of the
+// thread-timeline baseline view (paper Figure 4).
+type WorkerStat struct {
+	Busy     Time // cycles executing grain code
+	Overhead Time // cycles in runtime bookkeeping (spawn, steal, queue ops)
+}
+
+// Trace is a complete profiled run.
+type Trace struct {
+	// Program and environment identification.
+	Program    string
+	Cores      int
+	Sockets    int
+	Scheduler  string // "work-stealing" or "central-queue"
+	Flavor     string // runtime flavour: "MIR", "GCC", "ICC"
+	PagePolicy string
+
+	Start, End Time
+
+	Tasks     []*TaskRecord
+	Loops     []*LoopRecord
+	Chunks    []*ChunkRecord
+	Bookkeeps []*BookkeepRecord
+	Workers   []WorkerStat
+
+	taskIndex map[GrainID]*TaskRecord
+	loopIndex map[LoopID]*LoopRecord
+}
+
+// Makespan returns the total profiled execution time.
+func (tr *Trace) Makespan() Time { return tr.End - tr.Start }
+
+// Task looks up a task record by grain ID.
+func (tr *Trace) Task(id GrainID) *TaskRecord {
+	if tr.taskIndex == nil {
+		tr.taskIndex = make(map[GrainID]*TaskRecord, len(tr.Tasks))
+		for _, t := range tr.Tasks {
+			tr.taskIndex[t.ID] = t
+		}
+	}
+	return tr.taskIndex[id]
+}
+
+// Loop looks up a loop record by ID.
+func (tr *Trace) Loop(id LoopID) *LoopRecord {
+	if tr.loopIndex == nil {
+		tr.loopIndex = make(map[LoopID]*LoopRecord, len(tr.Loops))
+		for _, l := range tr.Loops {
+			tr.loopIndex[l.ID] = l
+		}
+	}
+	return tr.loopIndex[id]
+}
+
+// ChunkGrainID returns the full paper-style chunk grain ID using the loop's
+// starting thread.
+func (tr *Trace) ChunkGrainID(c *ChunkRecord) GrainID {
+	l := tr.Loop(c.Loop)
+	start := 0
+	if l != nil {
+		start = l.StartThread
+	}
+	return c.ID(start)
+}
+
+// NumGrains returns the total grain count (tasks + chunks). The root/master
+// task counts as a grain, matching the paper's inclusion of the initial task.
+func (tr *Trace) NumGrains() int { return len(tr.Tasks) + len(tr.Chunks) }

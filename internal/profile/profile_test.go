@@ -1,0 +1,198 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graingraph/internal/cache"
+)
+
+func TestSrcLocString(t *testing.T) {
+	if got := Loc("sparselu.go", 246, "bmod").String(); got != "sparselu.go:246(bmod)" {
+		t.Errorf("SrcLoc = %q", got)
+	}
+	if got := Loc("fft.go", 4680, "").String(); got != "fft.go:4680" {
+		t.Errorf("SrcLoc without func = %q", got)
+	}
+}
+
+func TestChildIDPathEnumeration(t *testing.T) {
+	if got := ChildID(RootID, 0); got != "R.0" {
+		t.Errorf("ChildID = %q", got)
+	}
+	if got := ChildID(ChildID(RootID, 2), 5); got != "R.2.5" {
+		t.Errorf("nested ChildID = %q", got)
+	}
+}
+
+func TestChildIDUniqueProperty(t *testing.T) {
+	// Distinct (parent, index) pairs always produce distinct IDs.
+	f := func(i1, i2 uint8, p1, p2 uint8) bool {
+		parent1 := ChildID(RootID, int(p1))
+		parent2 := ChildID(RootID, int(p2))
+		id1 := ChildID(parent1, int(i1))
+		id2 := ChildID(parent2, int(i2))
+		same := p1 == p2 && i1 == i2
+		return (id1 == id2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func makeTestTrace() *Trace {
+	// Root R spawns R.0 and R.1, waits for both (wait 100), then runs a
+	// 2-chunk loop.
+	root := &TaskRecord{
+		ID: RootID, Loc: Loc("main.go", 1, "main"),
+		StartTime: 0, EndTime: 1000,
+		Fragments: []Fragment{
+			{Start: 0, End: 100, Core: 0},
+			{Start: 100, End: 150, Core: 0},
+			{Start: 300, End: 400, Core: 0},
+			{Start: 900, End: 1000, Core: 0},
+		},
+		Boundaries: []Boundary{
+			{Kind: BoundaryFork, At: 100, Child: "R.0"},
+			{Kind: BoundaryJoin, At: 150, Joined: []GrainID{"R.0", "R.1"}, Wait: 100},
+			{Kind: BoundaryLoop, At: 400, Loop: 0},
+		},
+	}
+	c0 := &TaskRecord{
+		ID: "R.0", Parent: RootID, Depth: 1, Loc: Loc("main.go", 10, "work"),
+		CreateTime: 100, CreateCost: 50, StartTime: 110, EndTime: 210,
+		Fragments: []Fragment{{Start: 110, End: 210, Core: 1,
+			Counters: cache.Counters{Compute: 90, Stall: 10, Accesses: 5, L1Miss: 1}}},
+	}
+	c1 := &TaskRecord{
+		ID: "R.1", Parent: RootID, Depth: 1, Loc: Loc("main.go", 10, "work"),
+		CreateTime: 120, CreateCost: 50, StartTime: 130, EndTime: 250,
+		Fragments: []Fragment{{Start: 130, End: 250, Core: 2}},
+	}
+	loop := &LoopRecord{ID: 0, Loc: Loc("main.go", 20, "loop"), Schedule: ScheduleDynamic,
+		ChunkSize: 4, Lo: 0, Hi: 8, Start: 400, End: 900, StartThread: 0, Threads: []int{0, 1}}
+	ch0 := &ChunkRecord{Loop: 0, Seq: 0, Thread: 0, Lo: 0, Hi: 4, Start: 410, End: 600, Bookkeep: 10}
+	ch1 := &ChunkRecord{Loop: 0, Seq: 1, Thread: 1, Lo: 4, Hi: 8, Start: 420, End: 880, Bookkeep: 10}
+	return &Trace{
+		Program: "test", Cores: 4, Start: 0, End: 1000,
+		Tasks:  []*TaskRecord{root, c0, c1},
+		Loops:  []*LoopRecord{loop},
+		Chunks: []*ChunkRecord{ch0, ch1},
+		Bookkeeps: []*BookkeepRecord{
+			{Loop: 0, Thread: 0, Grabs: 2, Total: 20},
+			{Loop: 0, Thread: 1, Grabs: 2, Total: 20},
+		},
+	}
+}
+
+func TestTaskRecordAccessors(t *testing.T) {
+	tr := makeTestTrace()
+	root := tr.Task(RootID)
+	if root == nil {
+		t.Fatal("root not found")
+	}
+	if got := root.ExecTime(); got != 100+50+100+100 {
+		t.Errorf("root ExecTime = %d, want 350", got)
+	}
+	if got := root.FirstCore(); got != 0 {
+		t.Errorf("root FirstCore = %d", got)
+	}
+	c0 := tr.Task("R.0")
+	counters := c0.TotalCounters()
+	if counters.Compute != 90 || counters.Stall != 10 {
+		t.Errorf("R.0 counters = %+v", counters)
+	}
+	if (&TaskRecord{}).FirstCore() != -1 {
+		t.Error("empty task FirstCore should be -1")
+	}
+	if tr.Task("nope") != nil {
+		t.Error("lookup of unknown ID should return nil")
+	}
+}
+
+func TestTraceMakespanAndCounts(t *testing.T) {
+	tr := makeTestTrace()
+	if tr.Makespan() != 1000 {
+		t.Errorf("Makespan = %d", tr.Makespan())
+	}
+	if tr.NumGrains() != 5 {
+		t.Errorf("NumGrains = %d, want 5 (3 tasks + 2 chunks)", tr.NumGrains())
+	}
+}
+
+func TestChunkGrainID(t *testing.T) {
+	tr := makeTestTrace()
+	id := tr.ChunkGrainID(tr.Chunks[1])
+	if id != "L0@t0#1[4,8)" {
+		t.Errorf("chunk grain ID = %q", id)
+	}
+}
+
+func TestGrainsUnifiedView(t *testing.T) {
+	tr := makeTestTrace()
+	grains := tr.Grains()
+	if len(grains) != 5 {
+		t.Fatalf("Grains len = %d, want 5", len(grains))
+	}
+	byID := make(map[GrainID]*Grain)
+	for _, g := range grains {
+		byID[g.ID] = g
+	}
+	r0 := byID["R.0"]
+	if r0 == nil {
+		t.Fatal("R.0 grain missing")
+	}
+	if r0.Exec != 100 || r0.CreateCost != 50 {
+		t.Errorf("R.0 grain = %+v", r0)
+	}
+	// The root's join waited 100 over two joined children: 50 each.
+	if r0.SyncShare != 50 {
+		t.Errorf("R.0 SyncShare = %d, want 50", r0.SyncShare)
+	}
+	if r0.ParallelizationCost() != 100 {
+		t.Errorf("R.0 ParallelizationCost = %d, want 100", r0.ParallelizationCost())
+	}
+	// Chunks carry bookkeeping as creation cost and the loop pseudo-parent.
+	ch := byID["L0@t0#0[0,4)"]
+	if ch == nil {
+		t.Fatal("chunk grain missing")
+	}
+	if ch.Kind != KindChunk || ch.CreateCost != 10 || ch.Parent != LoopParentID(0) {
+		t.Errorf("chunk grain = %+v", ch)
+	}
+	// Sorted by start time.
+	for i := 1; i < len(grains); i++ {
+		if grains[i-1].Start > grains[i].Start {
+			t.Errorf("grains not sorted by start: %v then %v", grains[i-1].Start, grains[i].Start)
+		}
+	}
+}
+
+func TestGrainsByParentAndLoc(t *testing.T) {
+	tr := makeTestTrace()
+	grains := tr.Grains()
+	byParent := GrainsByParent(grains)
+	if len(byParent[RootID]) != 2 {
+		t.Errorf("root has %d child grains, want 2", len(byParent[RootID]))
+	}
+	if len(byParent[LoopParentID(0)]) != 2 {
+		t.Errorf("loop has %d chunk grains, want 2", len(byParent[LoopParentID(0)]))
+	}
+	byLoc := GrainsByLoc(grains)
+	if len(byLoc["main.go:10(work)"]) != 2 {
+		t.Errorf("loc grouping = %d, want 2", len(byLoc["main.go:10(work)"]))
+	}
+}
+
+func TestKindAndScheduleStrings(t *testing.T) {
+	if KindTask.String() != "task" || KindChunk.String() != "chunk" {
+		t.Error("Kind strings wrong")
+	}
+	if ScheduleStatic.String() != "static" || ScheduleDynamic.String() != "dynamic" ||
+		ScheduleGuided.String() != "guided" {
+		t.Error("Schedule strings wrong")
+	}
+	if ScheduleKind(9).String() == "" {
+		t.Error("unknown schedule should stringify")
+	}
+}

@@ -1,0 +1,339 @@
+package rts
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"graingraph/internal/cache"
+	"graingraph/internal/machine"
+	"graingraph/internal/profile"
+	"graingraph/internal/sched"
+	"graingraph/internal/sim"
+)
+
+// parkReason says why a task's coroutine yielded.
+type parkReason int
+
+const (
+	parkNone parkReason = iota
+	parkTaskWait
+	parkImmediateSpawn
+)
+
+// task is the runtime's in-flight task state wrapping the profile record.
+type task struct {
+	rec  *profile.TaskRecord
+	body func(Ctx)
+	coro *sim.Coro
+
+	parent      *task
+	owner       int // worker the task is tied to; -1 before first run
+	spawnSeq    int
+	outstanding int               // unfinished direct children
+	pendingJoin []profile.GrainID // children created since the last join
+
+	waiting      bool // suspended in taskwait
+	resumable    bool
+	readyAt      sim.Time
+	waitStart    sim.Time
+	parked       parkReason
+	notifyOnDone *task // task to resume when this (inlined) task ends
+
+	started   bool
+	fragStart sim.Time
+	cur       cache.Counters
+}
+
+// worker is one virtual core's scheduler state.
+type worker struct {
+	id       int
+	clock    sim.Time
+	deque    sched.Deque[*task]
+	resume   []*task // tied suspended tasks that became resumable (LIFO)
+	next     *task   // forced next task (undeferred execution)
+	busy     sim.Time
+	overhead sim.Time
+}
+
+// runtime is the whole simulated machine + scheduler.
+type runtime struct {
+	cfg  Config
+	topo *machine.Topology
+	mem  *machine.Memory
+	hier *cache.Hierarchy
+
+	workers     []*worker
+	central     sched.CentralQueue[*task]
+	centralFree sim.Time // central queue availability (lock serialization)
+	queued      int      // tasks currently in queues (GCC throttle)
+
+	rng     *rand.Rand
+	trace   *profile.Trace
+	root    *task
+	live    int
+	loopSeq int
+	maxTime sim.Time
+}
+
+// Run executes program under cfg and returns the recorded trace.
+func Run(cfg Config, program func(Ctx)) *profile.Trace {
+	cfg = cfg.withDefaults()
+	rt := &runtime{
+		cfg:  cfg,
+		topo: cfg.Topology,
+		rng:  rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+	}
+	rt.mem = machine.NewMemory(rt.topo, cfg.Policy)
+	rt.hier = cache.New(cfg.Cache, rt.topo, rt.mem)
+	for i := 0; i < cfg.Cores; i++ {
+		rt.workers = append(rt.workers, &worker{id: i})
+	}
+	rt.trace = &profile.Trace{
+		Program:    cfg.Program,
+		Cores:      cfg.Cores,
+		Sockets:    rt.topo.NumSockets(),
+		Scheduler:  cfg.Scheduler.String(),
+		Flavor:     cfg.Flavor.String(),
+		PagePolicy: cfg.Policy.String(),
+	}
+
+	rt.root = &task{
+		rec:   &profile.TaskRecord{ID: profile.RootID, Loc: cfg.RootLoc},
+		owner: -1,
+	}
+	rt.root.body = func(c Ctx) {
+		program(c)
+		// Implicit end-of-parallel-region barrier: join any stragglers.
+		c.TaskWait()
+	}
+	rt.trace.Tasks = append(rt.trace.Tasks, rt.root.rec)
+	rt.live = 1
+	rt.root.readyAt = 0
+	rt.workers[0].next = rt.root
+
+	rt.loop()
+	rt.finalize()
+	return rt.trace
+}
+
+// action is one schedulable step for a worker.
+type action struct {
+	w      *worker
+	t      *task
+	victim *worker // steal source (actSteal only)
+	kind   actionKind
+	at     sim.Time // clock after acquiring the task, before running it
+}
+
+type actionKind int
+
+const (
+	actNext actionKind = iota
+	actResume
+	actPop
+	actSteal
+	actCentral
+)
+
+func (rt *runtime) loop() {
+	for rt.live > 0 {
+		a, ok := rt.bestAction()
+		if !ok {
+			panic(fmt.Sprintf("rts: deadlock: %d live tasks but no runnable action", rt.live))
+		}
+		rt.perform(a)
+	}
+}
+
+// bestAction finds the globally earliest (in virtual time) scheduler step.
+// Ties are broken by action priority (local work before steals); remaining
+// exact ties are resolved uniformly at random (seeded, so runs stay
+// deterministic) — this models random victim selection for steals and
+// contention on the central queue, both of which decide which core a grain
+// lands on and therefore the scatter metric.
+func (rt *runtime) bestAction() (action, bool) {
+	best := action{}
+	found := false
+	ties := 1
+	consider := func(cand action) {
+		switch {
+		case !found,
+			cand.at < best.at,
+			cand.at == best.at && cand.kind < best.kind:
+			best = cand
+			found = true
+			ties = 1
+		case cand.at == best.at && cand.kind == best.kind:
+			ties++
+			if rt.rng.IntN(ties) == 0 {
+				best = cand
+			}
+		}
+	}
+
+	for _, w := range rt.workers {
+		if w.next != nil {
+			consider(action{w: w, t: w.next, kind: actNext,
+				at: sim.MaxTime(w.clock, w.next.readyAt)})
+			continue // forced: this worker can do nothing else first
+		}
+		if n := len(w.resume); n > 0 {
+			t := w.resume[n-1]
+			consider(action{w: w, t: t, kind: actResume,
+				at: sim.MaxTime(w.clock, t.readyAt) + rt.cfg.Costs.Resume})
+		}
+		if t, ok := w.deque.PeekBottom(); ok {
+			consider(action{w: w, t: t, kind: actPop,
+				at: sim.MaxTime(w.clock, t.readyAt) + rt.cfg.Costs.Pop})
+		}
+		if rt.cfg.Scheduler == CentralQueueSched {
+			if t, ok := rt.central.Peek(); ok {
+				at := sim.MaxTime(sim.MaxTime(w.clock, rt.centralFree), t.readyAt) +
+					rt.cfg.Costs.QueueOp
+				consider(action{w: w, t: t, kind: actCentral, at: at})
+			}
+		} else if w.deque.Len() == 0 {
+			// Steal candidates: earliest-available victim top; among ties the
+			// victim is randomized at perform time.
+			for _, v := range rt.workers {
+				if v == w {
+					continue
+				}
+				if t, ok := v.deque.PeekTop(); ok {
+					consider(action{w: w, t: t, victim: v, kind: actSteal,
+						at: sim.MaxTime(w.clock, t.readyAt) + rt.cfg.Costs.Steal})
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func (rt *runtime) perform(a action) {
+	w := a.w
+	switch a.kind {
+	case actNext:
+		w.clock = a.at
+		w.next = nil
+	case actResume:
+		// Remove the specific task (top of resume stack by construction).
+		w.resume = w.resume[:len(w.resume)-1]
+		w.overhead += rt.cfg.Costs.Resume
+		w.clock = a.at
+		a.t.resumable = false
+	case actPop:
+		t, _ := w.deque.PopBottom()
+		if t != a.t {
+			panic("rts: deque changed between peek and pop")
+		}
+		rt.queued--
+		w.overhead += rt.cfg.Costs.Pop
+		w.clock = a.at
+	case actSteal:
+		t, _ := a.victim.deque.StealTop()
+		if t != a.t {
+			panic("rts: victim deque changed between peek and steal")
+		}
+		rt.queued--
+		w.overhead += rt.cfg.Costs.Steal
+		w.clock = a.at
+	case actCentral:
+		t, _ := rt.central.Dequeue()
+		if t != a.t {
+			panic("rts: central queue changed between peek and pop")
+		}
+		rt.queued--
+		rt.centralFree = a.at // queue busy until the op completes
+		w.overhead += rt.cfg.Costs.QueueOp
+		w.clock = a.at
+	}
+	rt.runOn(w, a.t)
+}
+
+// runOn resumes (or starts) t's coroutine on w until it parks or finishes.
+func (rt *runtime) runOn(w *worker, t *task) {
+	if !t.started {
+		t.started = true
+		t.owner = w.id
+		t.rec.StartTime = w.clock
+		body := t.body
+		ctx := &taskCtx{rt: rt, t: t}
+		t.coro = sim.NewCoro(func(*sim.Coro) { body(ctx) })
+	} else if t.parked == parkTaskWait {
+		// Finalize the join boundary recorded at suspension.
+		b := &t.rec.Boundaries[len(t.rec.Boundaries)-1]
+		b.Suspended = w.clock - t.waitStart
+		b.Wait = rt.cfg.Costs.Resume + rt.cfg.Costs.JoinPerChild*uint64(len(b.Joined))
+	}
+	t.parked = parkNone
+	rt.beginFragment(t, w.clock)
+	if st := t.coro.Resume(); st == sim.Done {
+		rt.finishTask(w, t)
+	}
+}
+
+// beginFragment opens a new fragment for t at time `at`.
+func (rt *runtime) beginFragment(t *task, at sim.Time) {
+	t.fragStart = at
+	t.cur = cache.Counters{}
+}
+
+// endFragment closes t's current fragment at time `at` and records it.
+func (rt *runtime) endFragment(t *task, at sim.Time) {
+	w := rt.workers[t.owner]
+	t.rec.Fragments = append(t.rec.Fragments, profile.Fragment{
+		Start: t.fragStart, End: at, Core: t.owner, Counters: t.cur,
+	})
+	w.busy += at - t.fragStart
+}
+
+func (rt *runtime) finishTask(w *worker, t *task) {
+	rt.endFragment(t, w.clock)
+	t.rec.EndTime = w.clock
+	w.clock += rt.cfg.Costs.TaskEnd
+	w.overhead += rt.cfg.Costs.TaskEnd
+	rt.live--
+	if w.clock > rt.maxTime {
+		rt.maxTime = w.clock
+	}
+
+	if p := t.parent; p != nil {
+		p.outstanding--
+		if p.waiting && p.outstanding == 0 {
+			p.waiting = false
+			rt.makeResumable(p, w.clock)
+		}
+	}
+	if p := t.notifyOnDone; p != nil {
+		rt.makeResumable(p, w.clock)
+	}
+}
+
+func (rt *runtime) makeResumable(p *task, at sim.Time) {
+	p.resumable = true
+	p.readyAt = at
+	owner := rt.workers[p.owner]
+	owner.resume = append(owner.resume, p)
+}
+
+// shouldThrottle applies the flavour's internal cutoff at spawn time.
+func (rt *runtime) shouldThrottle(w *worker) bool {
+	switch rt.cfg.Flavor {
+	case FlavorGCC:
+		return rt.queued > 64*rt.cfg.Cores
+	case FlavorICC:
+		return w.deque.Len() > rt.cfg.ThrottleLimit
+	default:
+		return false
+	}
+}
+
+func (rt *runtime) finalize() {
+	rt.trace.Start = 0
+	rt.trace.End = rt.maxTime
+	for _, w := range rt.workers {
+		rt.trace.Workers = append(rt.trace.Workers, profile.WorkerStat{
+			Busy: w.busy, Overhead: w.overhead,
+		})
+	}
+}

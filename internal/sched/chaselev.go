@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"sync/atomic"
+)
+
+// ChaseLev is a lock-free dynamic circular work-stealing deque after
+// Chase & Lev, "Dynamic Circular Work-Stealing Deque" (SPAA'05) — the same
+// structure the paper's MIR runtime uses for its task queues.
+//
+// The owner goroutine calls PushBottom and PopBottom; any number of thief
+// goroutines may call StealTop concurrently. Items are stored as interface
+// values inside an atomically swapped circular array, so the deque grows
+// without locking.
+type ChaseLev struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	array  atomic.Pointer[clArray]
+}
+
+type clArray struct {
+	logSize uint
+	items   []atomic.Value
+}
+
+func newCLArray(logSize uint) *clArray {
+	return &clArray{logSize: logSize, items: make([]atomic.Value, 1<<logSize)}
+}
+
+func (a *clArray) size() int64 { return int64(1) << a.logSize }
+
+func (a *clArray) get(i int64) any { return a.items[i&(a.size()-1)].Load() }
+
+func (a *clArray) put(i int64, v any) { a.items[i&(a.size()-1)].Store(v) }
+
+func (a *clArray) grow(bottom, top int64) *clArray {
+	na := newCLArray(a.logSize + 1)
+	for i := top; i < bottom; i++ {
+		na.put(i, a.get(i))
+	}
+	return na
+}
+
+// NewChaseLev returns an empty deque with a small initial capacity.
+func NewChaseLev() *ChaseLev {
+	d := &ChaseLev{}
+	d.array.Store(newCLArray(5)) // 32 slots
+	return d
+}
+
+// PushBottom adds v at the owner's end. Only the owner may call it.
+func (d *ChaseLev) PushBottom(v any) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= a.size()-1 {
+		a = a.grow(b, t)
+		d.array.Store(a)
+	}
+	a.put(b, v)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes the item at the owner's end. Only the owner may call it.
+func (d *ChaseLev) PopBottom() (any, bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	size := b - t
+	if size < 0 {
+		d.bottom.Store(t)
+		return nil, false
+	}
+	v := a.get(b)
+	if size > 0 {
+		return v, true
+	}
+	// Last element: race with thieves via CAS on top.
+	ok := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// StealTop removes the item at the thieves' end. Any goroutine may call it.
+// It returns ok=false both when the deque is empty and when the steal lost a
+// race; callers retry as they would in any work-stealing loop.
+func (d *ChaseLev) StealTop() (any, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b-t <= 0 {
+		return nil, false
+	}
+	a := d.array.Load()
+	v := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return v, true
+}
+
+// Len returns a point-in-time size estimate (owner's view).
+func (d *ChaseLev) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 3; i++ {
+		d.PushBottom(i)
+	}
+	for want := 3; want >= 1; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque succeeded")
+	}
+}
+
+func TestDequeFIFOThief(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 3; i++ {
+		d.PushBottom(i)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := d.StealTop()
+		if !ok || v != want {
+			t.Fatalf("StealTop = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := d.StealTop(); ok {
+		t.Fatal("StealTop on empty deque succeeded")
+	}
+}
+
+func TestDequeMixedEnds(t *testing.T) {
+	var d Deque[string]
+	d.PushBottom("a")
+	d.PushBottom("b")
+	d.PushBottom("c")
+	if v, _ := d.StealTop(); v != "a" {
+		t.Fatalf("steal got %q, want a", v)
+	}
+	if v, _ := d.PopBottom(); v != "c" {
+		t.Fatalf("pop got %q, want c", v)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+// Property: any interleaving of pushes, pops and steals keeps the multiset
+// of extracted+remaining items equal to the pushed items, with pops LIFO and
+// steals FIFO relative to remaining content.
+func TestDequePermutationProperty(t *testing.T) {
+	f := func(ops []bool, values []int16) bool {
+		var d Deque[int16]
+		var model []int16 // mirror slice: bottom at end, top at front
+		vi := 0
+		for _, op := range ops {
+			switch {
+			case op && vi < len(values):
+				d.PushBottom(values[vi])
+				model = append(model, values[vi])
+				vi++
+			case len(model) > 0 && len(model)%2 == 0:
+				v, ok := d.PopBottom()
+				if !ok || v != model[len(model)-1] {
+					return false
+				}
+				model = model[:len(model)-1]
+			case len(model) > 0:
+				v, ok := d.StealTop()
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			default:
+				if _, ok := d.PopBottom(); ok {
+					return false
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralQueueFIFO(t *testing.T) {
+	var q CentralQueue[int]
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue succeeded")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestChaseLevSequential(t *testing.T) {
+	d := NewChaseLev()
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("empty PopBottom succeeded")
+	}
+	if _, ok := d.StealTop(); ok {
+		t.Fatal("empty StealTop succeeded")
+	}
+	for i := 0; i < 100; i++ { // exceeds the initial 32-slot array: must grow
+		d.PushBottom(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	if v, ok := d.StealTop(); !ok || v.(int) != 0 {
+		t.Fatalf("StealTop = %v,%v, want 0", v, ok)
+	}
+	if v, ok := d.PopBottom(); !ok || v.(int) != 99 {
+		t.Fatalf("PopBottom = %v,%v, want 99", v, ok)
+	}
+}
+
+func TestChaseLevSingleElementRace(t *testing.T) {
+	// Push one element; pop it; both empty afterwards.
+	d := NewChaseLev()
+	d.PushBottom(42)
+	if v, ok := d.PopBottom(); !ok || v.(int) != 42 {
+		t.Fatalf("PopBottom = %v,%v", v, ok)
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("second PopBottom succeeded")
+	}
+	if _, ok := d.StealTop(); ok {
+		t.Fatal("StealTop after drain succeeded")
+	}
+}
+
+// Concurrent stress: one owner pushing/popping, several thieves stealing.
+// Every pushed value must be extracted exactly once.
+func TestChaseLevConcurrentExactlyOnce(t *testing.T) {
+	const (
+		total   = 20000
+		thieves = 4
+	)
+	d := NewChaseLev()
+	var seen [total]atomic.Int32
+	var extracted atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	record := func(v any) {
+		i := v.(int)
+		seen[i].Add(1)
+		extracted.Add(1)
+	}
+
+	for k := 0; k < thieves; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.StealTop(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-stop:
+					// Final drain after owner finished.
+					for {
+						v, ok := d.StealTop()
+						if !ok {
+							if d.Len() == 0 {
+								return
+							}
+							continue
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push all values, popping occasionally.
+	for i := 0; i < total; i++ {
+		d.PushBottom(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				record(v)
+			}
+		}
+	}
+	// Owner drains what remains.
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := extracted.Load(); got != total {
+		t.Fatalf("extracted %d values, want %d", got, total)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("value %d extracted %d times", i, n)
+		}
+	}
+}
+
+func BenchmarkChaseLevOwnerOnly(b *testing.B) {
+	d := NewChaseLev()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(i)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	var d Deque[int]
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(i)
+		d.PopBottom()
+	}
+}

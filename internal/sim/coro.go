@@ -1,0 +1,127 @@
+// Package sim provides the primitives the simulated runtime is built on:
+// virtual time and cooperatively scheduled coroutines.
+//
+// Task bodies are ordinary Go closures, but the simulator must suspend them
+// at synchronization points (taskwait) and resume them later in virtual-time
+// order. Each task body therefore runs on its own goroutine, coordinated
+// with the engine through channel handoff so that exactly one goroutine —
+// the engine's or one coroutine's — runs at any moment. All parallelism in
+// the simulation is virtual.
+package sim
+
+// Time is virtual time in cycles.
+type Time = uint64
+
+// Status describes how a coroutine returned control to its resumer.
+type Status int
+
+const (
+	// Suspended means the coroutine called Park and can be resumed.
+	Suspended Status = iota
+	// Done means the coroutine's function returned; it must not be resumed.
+	Done
+)
+
+// killed is the sentinel panic value used to unwind an abandoned coroutine.
+type killed struct{}
+
+// Coro is a one-shot coroutine. The engine drives it with Resume; the
+// coroutine's function yields with Park. A Coro must be finished (run to
+// Done) or Killed, otherwise its goroutine leaks.
+type Coro struct {
+	resume   chan struct{}
+	yield    chan Status
+	done     bool
+	dead     bool
+	panicked bool
+	panicVal any
+}
+
+// NewCoro creates a coroutine around fn. The goroutine starts immediately
+// but blocks until the first Resume.
+func NewCoro(fn func(c *Coro)) *Coro {
+	c := &Coro{resume: make(chan struct{}), yield: make(chan Status)}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); ok {
+					return // unwound by Kill; exit silently
+				}
+				// Propagate the panic to the resumer instead of crashing
+				// this goroutine (and the process).
+				c.panicked = true
+				c.panicVal = r
+				c.yield <- Done
+			}
+		}()
+		_, ok := <-c.resume
+		if !ok {
+			panic(killed{})
+		}
+		fn(c)
+		c.yield <- Done
+	}()
+	return c
+}
+
+// Resume transfers control to the coroutine until it parks or finishes and
+// reports which happened. Resuming a Done or Killed coroutine panics.
+func (c *Coro) Resume() Status {
+	if c.done || c.dead {
+		panic("sim: Resume on finished or killed coroutine")
+	}
+	c.resume <- struct{}{}
+	st := <-c.yield
+	if st == Done {
+		c.done = true
+		if c.panicked {
+			panic(c.panicVal)
+		}
+	}
+	return st
+}
+
+// Park suspends the coroutine, returning control to the resumer. It must be
+// called from inside the coroutine's function. If the coroutine has been
+// killed while parked, Park unwinds the goroutine via panic(killed{}).
+func (c *Coro) Park() {
+	c.yield <- Suspended
+	_, ok := <-c.resume
+	if !ok {
+		panic(killed{})
+	}
+}
+
+// Done reports whether the coroutine's function has returned.
+func (c *Coro) Done() bool { return c.done }
+
+// Kill abandons a parked (or never-started) coroutine, unwinding its
+// goroutine so it does not leak. Killing a Done coroutine is a no-op;
+// killing a running coroutine is impossible by construction (only one
+// goroutine runs at a time).
+func (c *Coro) Kill() {
+	if c.done || c.dead {
+		return
+	}
+	c.dead = true
+	close(c.resume)
+	// Drain the final yield if the goroutine reaches one while unwinding.
+	// Unwinding via panic(killed{}) never sends, so nothing to drain; the
+	// close wakes the receive in Park or the initial receive.
+}
+
+// MaxTime returns the larger of two times.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the smaller of two times.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

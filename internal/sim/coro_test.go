@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestCoroRunsToCompletion(t *testing.T) {
+	var steps []int
+	c := NewCoro(func(c *Coro) {
+		steps = append(steps, 1)
+		c.Park()
+		steps = append(steps, 2)
+		c.Park()
+		steps = append(steps, 3)
+	})
+	if st := c.Resume(); st != Suspended {
+		t.Fatalf("first resume status = %v, want Suspended", st)
+	}
+	if st := c.Resume(); st != Suspended {
+		t.Fatalf("second resume status = %v, want Suspended", st)
+	}
+	if st := c.Resume(); st != Done {
+		t.Fatalf("third resume status = %v, want Done", st)
+	}
+	if !c.Done() {
+		t.Fatal("coroutine not marked Done")
+	}
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if steps[i] != w {
+			t.Fatalf("steps = %v, want %v", steps, want)
+		}
+	}
+}
+
+func TestCoroNoParkJustDone(t *testing.T) {
+	ran := false
+	c := NewCoro(func(c *Coro) { ran = true })
+	if st := c.Resume(); st != Done {
+		t.Fatalf("resume status = %v, want Done", st)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestResumeAfterDonePanics(t *testing.T) {
+	c := NewCoro(func(c *Coro) {})
+	c.Resume()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resume after Done did not panic")
+		}
+	}()
+	c.Resume()
+}
+
+func TestKillUnstartedCoroDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		c := NewCoro(func(c *Coro) { t.Error("body must not run") })
+		c.Kill()
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestKillParkedCoroDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		c := NewCoro(func(c *Coro) {
+			c.Park()
+			t.Error("body must not run past park after kill")
+		})
+		if st := c.Resume(); st != Suspended {
+			t.Fatalf("resume status = %v", st)
+		}
+		c.Kill()
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestKillDoneCoroIsNoop(t *testing.T) {
+	c := NewCoro(func(c *Coro) {})
+	c.Resume()
+	c.Kill() // must not panic or hang
+}
+
+func TestResumeAfterKillPanics(t *testing.T) {
+	c := NewCoro(func(c *Coro) { c.Park() })
+	c.Resume()
+	c.Kill()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resume after Kill did not panic")
+		}
+	}()
+	c.Resume()
+}
+
+func TestNestedCoros(t *testing.T) {
+	// An outer coroutine resuming an inner one, as the engine does when a
+	// worker switches between tasks.
+	var order []string
+	inner := NewCoro(func(c *Coro) {
+		order = append(order, "inner-a")
+		c.Park()
+		order = append(order, "inner-b")
+	})
+	outer := NewCoro(func(c *Coro) {
+		order = append(order, "outer-a")
+		inner.Resume()
+		order = append(order, "outer-b")
+		c.Park()
+		inner.Resume()
+		order = append(order, "outer-c")
+	})
+	outer.Resume()
+	outer.Resume()
+	want := []string{"outer-a", "inner-a", "outer-b", "inner-b", "outer-c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MaxTime(3, 5) != 5 || MaxTime(5, 3) != 5 || MaxTime(4, 4) != 4 {
+		t.Error("MaxTime wrong")
+	}
+	if MinTime(3, 5) != 3 || MinTime(5, 3) != 3 || MinTime(4, 4) != 4 {
+		t.Error("MinTime wrong")
+	}
+}
+
+func waitForGoroutines(t *testing.T, target int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= target {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines did not drain: have %d, want <= %d", runtime.NumGoroutine(), target)
+}

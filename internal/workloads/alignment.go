@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// AlignmentParams configures the BOTS Alignment (SPEC 358.botsalgn) port:
+// Smith-Waterman local alignment of every protein pair, one task per pair.
+// The paper reports it scales linearly with all metrics clean (§4.3.6).
+type AlignmentParams struct {
+	Sequences int // number of protein sequences
+	MinLen    int // sequence lengths are uniform in [MinLen, MaxLen]
+	MaxLen    int
+	Seed      uint64
+}
+
+// DefaultAlignmentParams is the paper's prot.200.aa shape at laptop scale.
+func DefaultAlignmentParams() AlignmentParams {
+	return AlignmentParams{Sequences: 40, MinLen: 40, MaxLen: 120, Seed: 29}
+}
+
+// AlignmentInstance is a runnable Alignment workload.
+type AlignmentInstance struct {
+	P    AlignmentParams
+	seqs [][]byte
+	// Scores[i*n+j] is the best local-alignment score of pair (i,j), i<j.
+	Scores []int32
+}
+
+// NewAlignment creates an Alignment instance with deterministic synthetic
+// protein sequences (20-letter alphabet).
+func NewAlignment(p AlignmentParams) *AlignmentInstance {
+	a := &AlignmentInstance{P: p}
+	rng := newRNG(p.Seed)
+	a.seqs = make([][]byte, p.Sequences)
+	for i := range a.seqs {
+		l := p.MinLen + rng.IntN(p.MaxLen-p.MinLen+1)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = byte('A' + rng.IntN(20))
+		}
+		a.seqs[i] = s
+	}
+	return a
+}
+
+// Name implements Instance.
+func (a *AlignmentInstance) Name() string { return fmt.Sprintf("alignment-s%d", a.P.Sequences) }
+
+// smithWaterman really computes the best local-alignment score with linear
+// gap penalty (match +2, mismatch -1, gap -1), returning the score and the
+// number of DP cells evaluated.
+func smithWaterman(x, y []byte) (int32, uint64) {
+	prev := make([]int32, len(y)+1)
+	cur := make([]int32, len(y)+1)
+	var best int32
+	for i := 1; i <= len(x); i++ {
+		for j := 1; j <= len(y); j++ {
+			sub := int32(-1)
+			if x[i-1] == y[j-1] {
+				sub = 2
+			}
+			v := prev[j-1] + sub
+			if g := prev[j] - 1; g > v {
+				v = g
+			}
+			if g := cur[j-1] - 1; g > v {
+				v = g
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best, uint64(len(x)) * uint64(len(y))
+}
+
+// Program implements Instance: the master spawns one task per sequence
+// pair, exactly like BOTS align's doubly nested loop of tasks.
+func (a *AlignmentInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		n := a.P.Sequences
+		a.Scores = make([]int32, n*n)
+		var total int64
+		for _, s := range a.seqs {
+			total += int64(len(s))
+		}
+		seqR := c.Alloc("sequences", total)
+		c.Store(seqR, 0, total)
+		offsets := make([]int64, n+1)
+		for i, s := range a.seqs {
+			offsets[i+1] = offsets[i] + int64(len(s))
+		}
+
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				i, j := i, j
+				c.Spawn(profile.Loc("sequence.c", 583, "pairalign"), func(c rts.Ctx) {
+					score, cells := smithWaterman(a.seqs[i], a.seqs[j])
+					a.Scores[i*n+j] = score
+					c.Load(seqR, offsets[i], int64(len(a.seqs[i])))
+					c.Load(seqR, offsets[j], int64(len(a.seqs[j])))
+					c.Compute(cells * 6 * costArith)
+				})
+			}
+		}
+		c.TaskWait()
+	}
+}
+
+// Verify implements Instance: recompute a sample of pairs sequentially.
+func (a *AlignmentInstance) Verify() error {
+	if len(a.Scores) == 0 {
+		return fmt.Errorf("alignment: not run")
+	}
+	n := a.P.Sequences
+	for i := 0; i < n; i += 7 {
+		for j := i + 1; j < n; j += 5 {
+			want, _ := smithWaterman(a.seqs[i], a.seqs[j])
+			if a.Scores[i*n+j] != want {
+				return fmt.Errorf("alignment: pair (%d,%d) score %d, want %d",
+					i, j, a.Scores[i*n+j], want)
+			}
+		}
+	}
+	return nil
+}

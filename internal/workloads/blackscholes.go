@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// BlackscholesParams configures the Parsec Blackscholes port: one parallel
+// for-loop pricing a portfolio of European options with the Black-Scholes
+// closed-form formula. The paper reports >65% of its chunks have poor
+// memory-hierarchy utilization and ~33% low parallel benefit despite good
+// overall speedup (§4.3.6).
+type BlackscholesParams struct {
+	N         int // options
+	ChunkSize int
+	Schedule  profile.ScheduleKind
+	Seed      uint64
+}
+
+// DefaultBlackscholesParams is the paper's shape at laptop scale.
+func DefaultBlackscholesParams() BlackscholesParams {
+	return BlackscholesParams{N: 100_000, ChunkSize: 256, Schedule: profile.ScheduleStatic, Seed: 23}
+}
+
+type option struct {
+	s, k, r, v, t float64
+	call          bool
+}
+
+// BlackscholesInstance is a runnable Blackscholes workload.
+type BlackscholesInstance struct {
+	P       BlackscholesParams
+	options []option
+	Prices  []float64
+}
+
+// NewBlackscholes creates an instance with a deterministic portfolio.
+func NewBlackscholes(p BlackscholesParams) *BlackscholesInstance {
+	b := &BlackscholesInstance{P: p, options: make([]option, p.N), Prices: make([]float64, p.N)}
+	rng := newRNG(p.Seed)
+	for i := range b.options {
+		b.options[i] = option{
+			s:    50 + 100*rng.Float64(),
+			k:    50 + 100*rng.Float64(),
+			r:    0.01 + 0.05*rng.Float64(),
+			v:    0.1 + 0.5*rng.Float64(),
+			t:    0.25 + 2*rng.Float64(),
+			call: rng.IntN(2) == 0,
+		}
+	}
+	return b
+}
+
+// Name implements Instance.
+func (b *BlackscholesInstance) Name() string {
+	return fmt.Sprintf("blackscholes-n%d-c%d", b.P.N, b.P.ChunkSize)
+}
+
+// cnd is the cumulative normal distribution (Abramowitz-Stegun polynomial,
+// as in the Parsec source).
+func cnd(x float64) float64 {
+	sign := false
+	if x < 0 {
+		x = -x
+		sign = true
+	}
+	k := 1.0 / (1.0 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	n := 1.0 - 1.0/math.Sqrt(2*math.Pi)*math.Exp(-x*x/2)*poly
+	if sign {
+		return 1.0 - n
+	}
+	return n
+}
+
+// price evaluates the closed-form Black-Scholes formula.
+func price(o option) float64 {
+	d1 := (math.Log(o.s/o.k) + (o.r+o.v*o.v/2)*o.t) / (o.v * math.Sqrt(o.t))
+	d2 := d1 - o.v*math.Sqrt(o.t)
+	if o.call {
+		return o.s*cnd(d1) - o.k*math.Exp(-o.r*o.t)*cnd(d2)
+	}
+	return o.k*math.Exp(-o.r*o.t)*cnd(-d2) - o.s*cnd(-d1)
+}
+
+// Program implements Instance.
+func (b *BlackscholesInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		n := b.P.N
+		in := c.Alloc("options", int64(n)*48)
+		out := c.Alloc("prices", int64(n)*8)
+		c.Store(in, 0, int64(n)*48)
+		c.Compute(uint64(n) * costArith)
+
+		c.For(profile.Loc("blackscholes.c", 358, "bs_thread"), 0, n,
+			rts.ForOpt{Schedule: b.P.Schedule, Chunk: b.P.ChunkSize},
+			func(c rts.Ctx, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					b.Prices[i] = price(b.options[i])
+				}
+				size := int64(hi - lo)
+				c.Load(in, int64(lo)*48, size*48)
+				c.Store(out, int64(lo)*8, size*8)
+				// ~40 flops + 2 transcendentals per option; the formula is
+				// cheap relative to its streaming footprint, which is what
+				// starves the memory hierarchy.
+				c.Compute(uint64(size) * 60 * costFlop)
+			})
+	}
+}
+
+// Verify implements Instance: spot-checks prices against an independent
+// evaluation, including put-call parity.
+func (b *BlackscholesInstance) Verify() error {
+	if len(b.Prices) == 0 {
+		return fmt.Errorf("blackscholes: not run")
+	}
+	for i := 0; i < len(b.options); i += 997 {
+		o := b.options[i]
+		want := price(o)
+		if d := math.Abs(b.Prices[i] - want); d > 1e-12 {
+			return fmt.Errorf("blackscholes: option %d price %g, want %g", i, b.Prices[i], want)
+		}
+		// Put-call parity: C - P = S - K e^{-rT}.
+		call, put := o, o
+		call.call, put.call = true, false
+		parity := price(call) - price(put) - (o.s - o.k*math.Exp(-o.r*o.t))
+		if math.Abs(parity) > 1e-3*o.s {
+			return fmt.Errorf("blackscholes: put-call parity violated by %g at %d", parity, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// FibParams configures the classic task-parallel Fibonacci example the
+// paper uses to illustrate how depth cutoffs control recursion depth and
+// leaf grain size (§4.3.6).
+type FibParams struct {
+	N      int
+	Cutoff int // spawn tasks only above this depth-from-root... below n
+}
+
+// DefaultFibParams matches the paper's shape (input 48, cutoff 12) scaled
+// to laptop size: the serial leaves still dominate total work.
+func DefaultFibParams() FibParams { return FibParams{N: 28, Cutoff: 8} }
+
+// FibInstance is a runnable Fibonacci workload.
+type FibInstance struct {
+	P      FibParams
+	result uint64
+}
+
+// NewFib creates a Fib instance.
+func NewFib(p FibParams) *FibInstance { return &FibInstance{P: p} }
+
+// Name implements Instance.
+func (f *FibInstance) Name() string { return fmt.Sprintf("fib-n%d-cut%d", f.P.N, f.P.Cutoff) }
+
+// fibSeq computes fib(n) and the number of recursive calls performed.
+func fibSeq(n int) (uint64, uint64) {
+	if n < 2 {
+		return uint64(n), 1
+	}
+	a, ca := fibSeq(n - 1)
+	b, cb := fibSeq(n - 2)
+	return a + b, ca + cb + 1
+}
+
+// Program implements Instance: task-parallel fib with a depth cutoff; below
+// the cutoff the leaf computes serially (really, and charges cost
+// proportional to the call tree it evaluated).
+func (f *FibInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		var fib func(c rts.Ctx, n, depth int) uint64
+		fib = func(c rts.Ctx, n, depth int) uint64 {
+			if n < 2 {
+				c.Compute(costArith)
+				return uint64(n)
+			}
+			if depth >= f.P.Cutoff {
+				v, calls := fibSeq(n)
+				c.Compute(calls * costArith * 2)
+				return v
+			}
+			var a, b uint64
+			c.Spawn(profile.Loc("fib.go", 30, "fib"), func(c rts.Ctx) { a = fib(c, n-1, depth+1) })
+			c.Spawn(profile.Loc("fib.go", 31, "fib"), func(c rts.Ctx) { b = fib(c, n-2, depth+1) })
+			c.TaskWait()
+			c.Compute(costArith)
+			return a + b
+		}
+		f.result = fib(c, f.P.N, 0)
+	}
+}
+
+// Verify implements Instance.
+func (f *FibInstance) Verify() error {
+	want, _ := fibSeq(f.P.N)
+	if f.result != want {
+		return fmt.Errorf("fib(%d) = %d, want %d", f.P.N, f.result, want)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// FloorplanParams configures the BOTS Floorplan port: branch-and-bound
+// search for the minimum-area placement of rectangular cells on a grid.
+// Because branches are pruned against a bound that other tasks update
+// concurrently, the program has "non-deterministic behavior built-in": the
+// set of tasks created — and hence the grain graph's shape — legitimately
+// changes with the thread count (paper §4.3.6).
+type FloorplanParams struct {
+	// Cells to place; each is WxH. Kept small: the search is exponential.
+	Cells [][2]int
+	// GridW/GridH bound the floor area.
+	GridW, GridH int
+	// Cutoff stops task creation below this search depth.
+	Cutoff int
+}
+
+// DefaultFloorplanParams is a 6-cell instance.
+func DefaultFloorplanParams() FloorplanParams {
+	return FloorplanParams{
+		Cells: [][2]int{{3, 2}, {2, 2}, {1, 4}, {2, 1}, {3, 1}, {1, 1}},
+		GridW: 6, GridH: 6,
+		Cutoff: 3,
+	}
+}
+
+// FloorplanInstance is a runnable Floorplan workload.
+type FloorplanInstance struct {
+	P FloorplanParams
+	// BestArea is the minimum bounding-box area found.
+	BestArea int32
+}
+
+// NewFloorplan creates a Floorplan instance.
+func NewFloorplan(p FloorplanParams) *FloorplanInstance { return &FloorplanInstance{P: p} }
+
+// Name implements Instance.
+func (f *FloorplanInstance) Name() string { return fmt.Sprintf("floorplan-c%d", len(f.P.Cells)) }
+
+// grid is an occupancy bitmap.
+type fpGrid struct {
+	w, h  int
+	cells []bool
+}
+
+func (g *fpGrid) clone() *fpGrid {
+	return &fpGrid{w: g.w, h: g.h, cells: append([]bool{}, g.cells...)}
+}
+
+func (g *fpGrid) fits(x, y, w, h int) bool {
+	if x+w > g.w || y+h > g.h {
+		return false
+	}
+	for i := 0; i < w; i++ {
+		for j := 0; j < h; j++ {
+			if g.cells[(y+j)*g.w+x+i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g *fpGrid) place(x, y, w, h int, v bool) {
+	for i := 0; i < w; i++ {
+		for j := 0; j < h; j++ {
+			g.cells[(y+j)*g.w+x+i] = v
+		}
+	}
+}
+
+// area of the bounding box covering all placed cells.
+func boundingArea(placed [][4]int) int32 {
+	maxX, maxY := 0, 0
+	for _, p := range placed {
+		if p[0]+p[2] > maxX {
+			maxX = p[0] + p[2]
+		}
+		if p[1]+p[3] > maxY {
+			maxY = p[1] + p[3]
+		}
+	}
+	return int32(maxX) * int32(maxY)
+}
+
+// Program implements Instance: branch-and-bound with a shared best bound.
+// Below the task cutoff (or when the bound prunes) branches run serially.
+// The shared bound is read/updated by tasks as they run — the source of the
+// schedule-dependent pruning the paper describes.
+func (f *FloorplanInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		best := int32(f.P.GridW*f.P.GridH) + 1
+		// The simulator runs task bodies one at a time, so the shared bound
+		// needs no lock; its VALUE still depends on execution order.
+		var search func(c rts.Ctx, g *fpGrid, idx int, placed [][4]int, depth int)
+		tryPlacements := func(c rts.Ctx, g *fpGrid, idx int, placed [][4]int, depth int, spawn bool) {
+			cell := f.P.Cells[idx]
+			for _, dims := range [][2]int{{cell[0], cell[1]}, {cell[1], cell[0]}} {
+				w, h := dims[0], dims[1]
+				for y := 0; y < g.h; y++ {
+					for x := 0; x < g.w; x++ {
+						c.Compute(uint64(w*h) * costCompare)
+						if !g.fits(x, y, w, h) {
+							continue
+						}
+						next := append(append([][4]int{}, placed...), [4]int{x, y, w, h})
+						// Prune against the shared bound.
+						if boundingArea(next) >= best {
+							continue
+						}
+						ng := g.clone()
+						ng.place(x, y, w, h, true)
+						if spawn {
+							c.Spawn(profile.Loc("floorplan.c", 188, "add_cell"), func(c rts.Ctx) {
+								search(c, ng, idx+1, next, depth+1)
+							})
+						} else {
+							search(c, ng, idx+1, next, depth+1)
+						}
+					}
+				}
+			}
+		}
+		search = func(c rts.Ctx, g *fpGrid, idx int, placed [][4]int, depth int) {
+			if idx == len(f.P.Cells) {
+				if a := boundingArea(placed); a < best {
+					best = a
+				}
+				c.Compute(10 * costArith)
+				return
+			}
+			spawn := depth < f.P.Cutoff
+			tryPlacements(c, g, idx, placed, depth, spawn)
+			if spawn {
+				c.TaskWait()
+			}
+		}
+		g := &fpGrid{w: f.P.GridW, h: f.P.GridH, cells: make([]bool, f.P.GridW*f.P.GridH)}
+		search(c, g, 0, nil, 0)
+		c.TaskWait()
+		f.BestArea = best
+	}
+}
+
+// Verify implements Instance: the found optimum must match an exhaustive
+// serial search (the optimum is schedule-independent even though the
+// explored tree is not).
+func (f *FloorplanInstance) Verify() error {
+	best := int32(f.P.GridW*f.P.GridH) + 1
+	var search func(g *fpGrid, idx int, placed [][4]int)
+	search = func(g *fpGrid, idx int, placed [][4]int) {
+		if idx == len(f.P.Cells) {
+			if a := boundingArea(placed); a < best {
+				best = a
+			}
+			return
+		}
+		cell := f.P.Cells[idx]
+		for _, dims := range [][2]int{{cell[0], cell[1]}, {cell[1], cell[0]}} {
+			w, h := dims[0], dims[1]
+			for y := 0; y < g.h; y++ {
+				for x := 0; x < g.w; x++ {
+					if !g.fits(x, y, w, h) {
+						continue
+					}
+					next := append(append([][4]int{}, placed...), [4]int{x, y, w, h})
+					if boundingArea(next) >= best {
+						continue
+					}
+					g.place(x, y, w, h, true)
+					search(g, idx+1, next)
+					g.place(x, y, w, h, false)
+				}
+			}
+		}
+	}
+	g := &fpGrid{w: f.P.GridW, h: f.P.GridH, cells: make([]bool, f.P.GridW*f.P.GridH)}
+	search(g, 0, nil)
+	if f.BestArea != best {
+		return fmt.Errorf("floorplan: best area %d, want %d", f.BestArea, best)
+	}
+	return nil
+}

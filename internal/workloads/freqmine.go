@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// FreqmineParams configures the Parsec Freqmine port. The program mines a
+// transaction database for frequent itemsets (array-based FP-growth); its
+// performance is dominated by the dynamically scheduled parallel for-loop
+// in FP_tree::FP_growth_first() — "FPGF" — whose grains are wildly uneven:
+// most iterations process items with tiny conditional pattern bases, while
+// a few heavy items take orders of magnitude longer and sit "spaced
+// irregularly across the iteration range" (paper §4.3.4, Figures 9/10), so
+// the greedy dynamic schedule cannot balance them.
+type FreqmineParams struct {
+	Items        int // loop iterations of the FPGF instance (items to mine)
+	Transactions int // synthetic database size
+	AvgLen       int // dust items per transaction
+	// HotItems is the number of heavy items (the paper's data shows a
+	// handful of large grains; 7 cores suffice for the whole loop).
+	HotItems   int
+	MinSupport int
+	// NumThreads caps the loop's thread count; 0 = all. Setting it to the
+	// bin-packed minimum is the paper's resource optimization.
+	NumThreads int
+	Seed       uint64
+}
+
+// DefaultFreqmineParams shapes the dominant FPGF instance like Figure 10:
+// 1292 chunks of disproportionate size, heavy items irregularly spaced.
+func DefaultFreqmineParams() FreqmineParams {
+	return FreqmineParams{Items: 1292, Transactions: 4000, AvgLen: 16,
+		HotItems: 6, MinSupport: 4, Seed: 17}
+}
+
+// FreqmineInstance is a runnable Freqmine workload.
+type FreqmineInstance struct {
+	P FreqmineParams
+	// db[t] is transaction t's item list.
+	db [][]int32
+	// bases[i] is item i's conditional-pattern-base size (support),
+	// precomputed from the database once at construction.
+	bases []int
+	// Frequent counts per item (the mining result we verify).
+	Frequent []int64
+}
+
+// hotItemID scatters the j-th heavy item pseudo-randomly across the
+// iteration range — the irregular spacing that defeats greedy scheduling.
+func hotItemID(j, items int) int32 { return int32((j*997 + 173) % items) }
+
+// NewFreqmine creates a Freqmine instance with a synthetic transaction
+// database: a handful of very popular items (huge conditional trees) at
+// irregular positions plus uniform dust.
+func NewFreqmine(p FreqmineParams) *FreqmineInstance {
+	f := &FreqmineInstance{P: p}
+	rng := newRNG(p.Seed)
+	hot := make([]int32, p.HotItems)
+	for j := range hot {
+		hot[j] = hotItemID(j, p.Items)
+	}
+	f.db = make([][]int32, p.Transactions)
+	for t := range f.db {
+		var tx []int32
+		// Each heavy item appears in ~half the transactions.
+		for _, h := range hot {
+			if rng.IntN(2) == 0 {
+				tx = append(tx, h)
+			}
+		}
+		for i := 0; i < p.AvgLen; i++ {
+			tx = append(tx, int32(rng.IntN(p.Items)))
+		}
+		f.db[t] = tx
+	}
+	// Precompute conditional-pattern-base sizes (one real counting pass).
+	f.bases = make([]int, p.Items)
+	seen := make([]int32, p.Items) // last tx that counted the item, +1
+	for t, tx := range f.db {
+		for _, it := range tx {
+			if seen[it] != int32(t)+1 {
+				seen[it] = int32(t) + 1
+				f.bases[it]++
+			}
+		}
+	}
+	return f
+}
+
+// Name implements Instance.
+func (f *FreqmineInstance) Name() string {
+	return fmt.Sprintf("freqmine-i%d-t%d-p%d", f.P.Items, f.P.Transactions, f.P.NumThreads)
+}
+
+// Program implements Instance: three instances of the FPGF loop (the
+// paper: "the loop is instantiated thrice and the second instance takes up
+// 70% of the program execution time"), dynamic schedule with chunk size 1.
+func (f *FreqmineInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		items := f.P.Items
+		f.Frequent = make([]int64, items)
+		dbBytes := int64(0)
+		for _, tx := range f.db {
+			dbBytes += int64(len(tx)) * 4
+		}
+		dbRegion := c.Alloc("fpdb", dbBytes)
+		treeRegion := c.Alloc("fptree", int64(f.P.Transactions)*256)
+		c.Store(dbRegion, 0, dbBytes)
+		c.Compute(uint64(f.P.Transactions) * costArith)
+
+		opt := rts.ForOpt{Schedule: profile.ScheduleDynamic, Chunk: 1}
+		// The paper's optimization sets num_threads only on the dominant
+		// (second) instance in the source code.
+		opt2 := opt
+		opt2.NumThreads = f.P.NumThreads
+		mine := func(scale uint64) func(c rts.Ctx, lo, hi int) {
+			return func(c rts.Ctx, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					// Real mining step: accumulate support over the item's
+					// conditional pattern base (a real reduction, verified),
+					// with conditional-tree construction cost growing
+					// super-linearly in the base size.
+					base := f.bases[i]
+					var acc int64
+					for k := 0; k < base; k++ {
+						acc += int64(k&7) + 1
+					}
+					if base >= f.P.MinSupport {
+						f.Frequent[i] += int64(base)
+					}
+					_ = acc
+					work := uint64(base) * uint64(base) / 8
+					c.Load(dbRegion, 0, int64(base+1)*64)
+					c.LoadStrided(treeRegion, int64(i%64)*64, base/4+1, 4096)
+					c.Compute((uint64(base)*20 + work*scale) * costCompare)
+				}
+			}
+		}
+		// Instance 1: initial projection (lighter).
+		c.For(profile.Loc("fp_tree.cpp", 1849, "FP_growth_first"), 0, items, opt, mine(1))
+		// Instance 2: the dominant one (~70% of execution time).
+		c.For(profile.Loc("fp_tree.cpp", 1849, "FP_growth_first"), 0, items, opt2, mine(5))
+		// Instance 3: residue.
+		c.For(profile.Loc("fp_tree.cpp", 1849, "FP_growth_first"), 0, items, opt, mine(1))
+	}
+}
+
+// Verify implements Instance: the mined support counts must match a fresh
+// sequential recount of the database.
+func (f *FreqmineInstance) Verify() error {
+	if len(f.Frequent) == 0 {
+		return fmt.Errorf("freqmine: not run")
+	}
+	recount := make([]int, f.P.Items)
+	seen := make([]int, f.P.Items)
+	for t, tx := range f.db {
+		for _, it := range tx {
+			if seen[it] != t+1 {
+				seen[it] = t + 1
+				recount[it]++
+			}
+		}
+	}
+	for i := range f.Frequent {
+		var want int64
+		if recount[i] >= f.P.MinSupport {
+			want = int64(recount[i]) * 3 // three loop instances accumulate
+		}
+		if f.Frequent[i] != want {
+			return fmt.Errorf("freqmine: item %d support %d, want %d", i, f.Frequent[i], want)
+		}
+	}
+	return nil
+}

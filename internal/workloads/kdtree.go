@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// KdTreeParams configures the SPEC 376.kdtree port: build a 2-d tree over
+// random points, then sweep it with tasks finding neighbours within a
+// radius for every point.
+//
+// The original program takes a cutoff that should stop task creation below
+// a recursion depth, but kdnode::sweeptree() forgets to increment the depth
+// on its recursive calls, so the cutoff never engages and the program
+// creates a task per tree node (paper §2, Figure 2). MissingDepthIncrement
+// reproduces the bug; the fixed variant increments depth and uses a
+// separate sweep cutoff, as in the paper's optimization.
+type KdTreeParams struct {
+	N      int     // points
+	Radius float64 // neighbour search radius
+	Cutoff int     // task-creation depth cutoff
+	// SweepCutoff is the separate cutoff the fix introduces for the sweep
+	// phase (ignored while the bug is active).
+	SweepCutoff int
+	// MissingDepthIncrement reproduces the original bug.
+	MissingDepthIncrement bool
+	Seed                  uint64
+}
+
+// DefaultKdTreeParams mirrors the paper's small input (tree size 200,
+// radius 10, cutoff 2) — the configuration of Figure 2.
+func DefaultKdTreeParams() KdTreeParams {
+	return KdTreeParams{N: 200, Radius: 0.1, Cutoff: 2, SweepCutoff: 2,
+		MissingDepthIncrement: true, Seed: 13}
+}
+
+// FixedKdTreeParams applies the paper's fix: depth increments on recursive
+// calls, original cutoff raised, separate sweep cutoff.
+func FixedKdTreeParams() KdTreeParams {
+	return KdTreeParams{N: 200, Radius: 0.1, Cutoff: 8, SweepCutoff: 4,
+		MissingDepthIncrement: false, Seed: 13}
+}
+
+// PerfKdTreeParams is the performance-evaluation input for Figure 1: big
+// enough that the per-node task explosion's overhead dominates the small
+// per-point searches.
+func PerfKdTreeParams(fixed bool) KdTreeParams {
+	p := KdTreeParams{N: 4000, Radius: 0.02, Cutoff: 2, SweepCutoff: 2,
+		MissingDepthIncrement: true, Seed: 13}
+	if fixed {
+		p.MissingDepthIncrement = false
+		p.Cutoff = 8
+		p.SweepCutoff = 6
+	}
+	return p
+}
+
+type kdPoint struct{ x, y float64 }
+
+type kdNode struct {
+	pt          kdPoint
+	axis        int
+	left, right *kdNode
+	index       int // node index for footprint accounting
+}
+
+// KdTreeInstance is a runnable kdtree workload.
+type KdTreeInstance struct {
+	P      KdTreeParams
+	points []kdPoint
+	root   *kdNode
+	counts []int // neighbours found per point
+}
+
+// NewKdTree creates a kdtree instance.
+func NewKdTree(p KdTreeParams) *KdTreeInstance {
+	return &KdTreeInstance{P: p, points: make([]kdPoint, p.N), counts: make([]int, p.N)}
+}
+
+// Name implements Instance.
+func (k *KdTreeInstance) Name() string {
+	bug := "fixed"
+	if k.P.MissingDepthIncrement {
+		bug = "buggy"
+	}
+	return fmt.Sprintf("kdtree-n%d-cut%d-%s", k.P.N, k.P.Cutoff, bug)
+}
+
+// buildTree really builds a balanced 2-d tree (median splits).
+func buildTree(pts []kdPoint, axis int, next *int) *kdNode {
+	if len(pts) == 0 {
+		return nil
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if axis == 0 {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	mid := len(pts) / 2
+	n := &kdNode{pt: pts[mid], axis: axis, index: *next}
+	*next++
+	n.left = buildTree(append([]kdPoint{}, pts[:mid]...), 1-axis, next)
+	n.right = buildTree(append([]kdPoint{}, pts[mid+1:]...), 1-axis, next)
+	return n
+}
+
+// searchRadius counts points within radius of q, returning the count and
+// the number of nodes visited.
+func searchRadius(n *kdNode, q kdPoint, r float64) (int, int) {
+	if n == nil {
+		return 0, 0
+	}
+	count, visited := 0, 1
+	dx, dy := n.pt.x-q.x, n.pt.y-q.y
+	if dx*dx+dy*dy <= r*r {
+		count++
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q.x - n.pt.x
+	} else {
+		diff = q.y - n.pt.y
+	}
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	cn, vn := searchRadius(near, q, r)
+	count += cn
+	visited += vn
+	if diff*diff <= r*r {
+		cf, vf := searchRadius(far, q, r)
+		count += cf
+		visited += vf
+	}
+	return count, visited
+}
+
+// Program implements Instance: builds the tree in the master, then sweeps
+// it with tasks. The sweep recursion spawns a task per node visited until
+// the depth cutoff engages — which, with the bug, is never.
+func (k *KdTreeInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		rng := newRNG(k.P.Seed)
+		for i := range k.points {
+			k.points[i] = kdPoint{rng.Float64(), rng.Float64()}
+		}
+		next := 0
+		k.root = buildTree(append([]kdPoint{}, k.points...), 0, &next)
+		nodes := c.Alloc("kdnodes", int64(k.P.N)*48)
+		c.Store(nodes, 0, int64(k.P.N)*48)
+		c.Compute(uint64(k.P.N) * 20 * costCompare) // build cost
+
+		idx := 0 // point result slot allocator (sequential simulator)
+		var sweep func(c rts.Ctx, n *kdNode, depth int)
+		sweep = func(c rts.Ctx, n *kdNode, depth int) {
+			if n == nil {
+				return
+			}
+			// A separate task finds neighbours for this node's point ("tasks
+			// are used to sweep the tree ... and to find neighbors for each
+			// point", paper §2).
+			slot := idx
+			idx++
+			c.Spawn(profile.Loc("kdtree.go", 120, "find_neighbors"), func(c rts.Ctx) {
+				cnt, visited := searchRadius(k.root, n.pt, k.P.Radius)
+				k.counts[slot] = cnt
+				c.LoadStrided(nodes, int64(n.index)*48, visited, 48)
+				c.Compute(uint64(visited) * 6 * costCompare)
+			})
+
+			cutoff := k.P.Cutoff
+			if !k.P.MissingDepthIncrement {
+				cutoff = k.P.SweepCutoff
+			}
+			childDepth := depth + 1
+			if k.P.MissingDepthIncrement {
+				// THE BUG (376.kdtree): recursive calls pass the same depth,
+				// so "depth >= cutoff" below never becomes true and a task
+				// is created for every tree node.
+				childDepth = depth
+			}
+			if depth >= cutoff {
+				// Serial sweep below the cutoff.
+				var serial func(n *kdNode)
+				serial = func(n *kdNode) {
+					if n == nil {
+						return
+					}
+					slot := idx
+					idx++
+					cnt, visited := searchRadius(k.root, n.pt, k.P.Radius)
+					k.counts[slot] = cnt
+					c.LoadStrided(nodes, int64(n.index)*48, visited, 48)
+					c.Compute(uint64(visited) * 6 * costCompare)
+					serial(n.left)
+					serial(n.right)
+				}
+				serial(n.left)
+				serial(n.right)
+				c.TaskWait() // join the find_neighbors task spawned above
+				return
+			}
+			if n.left != nil {
+				c.Spawn(profile.Loc("kdtree.go", 88, "sweeptree"), func(c rts.Ctx) {
+					sweep(c, n.left, childDepth)
+				})
+			}
+			if n.right != nil {
+				c.Spawn(profile.Loc("kdtree.go", 89, "sweeptree"), func(c rts.Ctx) {
+					sweep(c, n.right, childDepth)
+				})
+			}
+			c.TaskWait()
+		}
+		sweep(c, k.root, 0)
+		c.TaskWait()
+	}
+}
+
+// Verify implements Instance: neighbour counts must match brute force.
+// Counts are order-independent (we compare multisets via sorted copies).
+func (k *KdTreeInstance) Verify() error {
+	want := make([]int, len(k.points))
+	r2 := k.P.Radius * k.P.Radius
+	for i, p := range k.points {
+		for _, q := range k.points {
+			dx, dy := p.x-q.x, p.y-q.y
+			if dx*dx+dy*dy <= r2 {
+				want[i]++
+			}
+		}
+	}
+	got := append([]int{}, k.counts...)
+	sort.Ints(got)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("kdtree: neighbour count multiset differs at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

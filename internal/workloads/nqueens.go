@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// NQueensParams configures the BOTS NQueens port: count all placements of
+// N queens, spawning a task per first-levels branch with a depth cutoff.
+// The paper reports NQueens scales linearly with all metrics clean.
+type NQueensParams struct {
+	N      int
+	Cutoff int // rows below which the search runs serially
+}
+
+// DefaultNQueensParams is the paper's shape (input 14) at laptop scale.
+func DefaultNQueensParams() NQueensParams { return NQueensParams{N: 10, Cutoff: 3} }
+
+// NQueensInstance is a runnable NQueens workload.
+type NQueensInstance struct {
+	P        NQueensParams
+	Solution uint64
+}
+
+// NewNQueens creates an NQueens instance.
+func NewNQueens(p NQueensParams) *NQueensInstance { return &NQueensInstance{P: p} }
+
+// Name implements Instance.
+func (q *NQueensInstance) Name() string { return fmt.Sprintf("nqueens-n%d", q.P.N) }
+
+// safe reports whether a queen may go at row len(cols) column col.
+func safe(cols []int, col int) bool {
+	row := len(cols)
+	for r, c := range cols {
+		if c == col || c-col == row-r || col-c == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// countSeq exhaustively counts solutions below the task cutoff, returning
+// the solution count and the number of board positions probed.
+func countSeq(n int, cols []int) (uint64, uint64) {
+	if len(cols) == n {
+		return 1, 1
+	}
+	var sols, probes uint64
+	for col := 0; col < n; col++ {
+		probes++
+		if safe(cols, col) {
+			s, p := countSeq(n, append(cols, col))
+			sols += s
+			probes += p
+		}
+	}
+	return sols, probes
+}
+
+// Program implements Instance.
+func (q *NQueensInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		n := q.P.N
+		var total uint64 // mutated by tasks; the simulator is sequential
+		var rec func(c rts.Ctx, cols []int)
+		rec = func(c rts.Ctx, cols []int) {
+			if len(cols) >= q.P.Cutoff {
+				sols, probes := countSeq(n, cols)
+				c.Compute(probes * costCompare * uint64(len(cols)+1))
+				total += sols
+				return
+			}
+			for col := 0; col < n; col++ {
+				c.Compute(costCompare * uint64(len(cols)+1))
+				if safe(cols, col) {
+					branch := append(append([]int{}, cols...), col)
+					c.Spawn(profile.Loc("nqueens.go", 47, "nqueens"), func(c rts.Ctx) {
+						rec(c, branch)
+					})
+				}
+			}
+			c.TaskWait()
+		}
+		total = 0
+		rec(c, nil)
+		c.TaskWait()
+		q.Solution = total
+	}
+}
+
+// Verify implements Instance.
+func (q *NQueensInstance) Verify() error {
+	want, _ := countSeq(q.P.N, nil)
+	if q.Solution != want {
+		return fmt.Errorf("nqueens(%d) = %d, want %d", q.P.N, q.Solution, want)
+	}
+	return nil
+}

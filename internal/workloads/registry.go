@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Variant selects a workload configuration by name; most workloads have the
+// paper's "before" (troubled) and "after" (optimized) variants.
+type Variant string
+
+// Registry entries.
+const (
+	VariantDefault Variant = ""
+	VariantBefore  Variant = "before"
+	VariantAfter   Variant = "after"
+)
+
+// Spec describes a registered workload.
+type Spec struct {
+	Name        string
+	Description string
+	Variants    []Variant
+	Make        func(v Variant) (Instance, error)
+}
+
+var registry = []Spec{
+	{
+		Name:        "sort",
+		Description: "BOTS Sort: parallel merge sort + quick/insertion phases (before = first-touch pages; use -policy for the fix)",
+		Variants:    []Variant{VariantDefault, VariantBefore, VariantAfter},
+		Make: func(v Variant) (Instance, error) {
+			return NewSort(DefaultSortParams()), nil
+		},
+	},
+	{
+		Name:        "fft",
+		Description: "BOTS FFT: recursive Cooley-Tukey (before = no cutoff; after = recursion cutoffs)",
+		Variants:    []Variant{VariantDefault, VariantBefore, VariantAfter},
+		Make: func(v Variant) (Instance, error) {
+			if v == VariantAfter {
+				return NewFFT(OptimizedFFTParams()), nil
+			}
+			return NewFFT(DefaultFFTParams()), nil
+		},
+	},
+	{
+		Name:        "strassen",
+		Description: "BOTS Strassen: matrix multiply (before = hard-coded cutoff bug; after = SC honoured)",
+		Variants:    []Variant{VariantDefault, VariantBefore, VariantAfter},
+		Make: func(v Variant) (Instance, error) {
+			if v == VariantAfter {
+				return NewStrassen(FixedStrassenParams()), nil
+			}
+			return NewStrassen(DefaultStrassenParams()), nil
+		},
+	},
+	{
+		Name:        "sparselu",
+		Description: "SPEC 359.botsspar: blocked sparse LU (before = cache-hostile bmod; after = loop interchange)",
+		Variants:    []Variant{VariantDefault, VariantBefore, VariantAfter},
+		Make: func(v Variant) (Instance, error) {
+			if v == VariantAfter {
+				return NewSparseLU(OptimizedSparseLUParams()), nil
+			}
+			return NewSparseLU(DefaultSparseLUParams()), nil
+		},
+	},
+	{
+		Name:        "kdtree",
+		Description: "SPEC 376.kdtree: neighbour sweep (before = missing depth increment bug; after = fixed cutoffs)",
+		Variants:    []Variant{VariantDefault, VariantBefore, VariantAfter},
+		Make: func(v Variant) (Instance, error) {
+			if v == VariantAfter {
+				return NewKdTree(FixedKdTreeParams()), nil
+			}
+			return NewKdTree(DefaultKdTreeParams()), nil
+		},
+	},
+	{
+		Name:        "freqmine",
+		Description: "Parsec Freqmine: FP-growth FPGF loop with wildly uneven chunks",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewFreqmine(DefaultFreqmineParams()), nil
+		},
+	},
+	{
+		Name:        "nqueens",
+		Description: "BOTS NQueens: solution counting with a depth cutoff (scales linearly)",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewNQueens(DefaultNQueensParams()), nil
+		},
+	},
+	{
+		Name:        "fib",
+		Description: "Task-parallel Fibonacci with a depth cutoff (the classic illustration)",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewFib(DefaultFibParams()), nil
+		},
+	},
+	{
+		Name:        "uts",
+		Description: "Unbalanced Tree Search: a task per node (poor parallel benefit for most grains)",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewUTS(DefaultUTSParams()), nil
+		},
+	},
+	{
+		Name:        "alignment",
+		Description: "BOTS Alignment (SPEC 358.botsalgn): Smith-Waterman per protein pair (scales linearly)",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewAlignment(DefaultAlignmentParams()), nil
+		},
+	},
+	{
+		Name:        "floorplan",
+		Description: "BOTS Floorplan: branch-and-bound placement with schedule-dependent pruning",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewFloorplan(DefaultFloorplanParams()), nil
+		},
+	},
+	{
+		Name:        "blackscholes",
+		Description: "Parsec Blackscholes: one parallel for-loop pricing a portfolio",
+		Variants:    []Variant{VariantDefault},
+		Make: func(v Variant) (Instance, error) {
+			return NewBlackscholes(DefaultBlackscholesParams()), nil
+		},
+	},
+}
+
+// Names lists registered workloads alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the registry's specs for help text.
+func Describe() []Spec { return append([]Spec{}, registry...) }
+
+// Get builds a workload instance by name and variant.
+func Get(name string, variant Variant) (Instance, error) {
+	for _, s := range registry {
+		if s.Name != name {
+			continue
+		}
+		ok := variant == VariantDefault
+		for _, v := range s.Variants {
+			if v == variant {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("workloads: %s has no variant %q (have %v)", name, variant, s.Variants)
+		}
+		return s.Make(variant)
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q (have %s)", name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,274 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/machine"
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// SortParams configures the BOTS Sort port: three-phase divide-and-conquer
+// (parallel merge sort → sequential quick sort → insertion sort), with the
+// cutoffs the paper calls "crucial for performance".
+type SortParams struct {
+	N int // elements
+	// SeqCutoff switches to sequential quick sort below this subarray size
+	// (phase 2). Lowering it creates more, smaller grains — the experiment
+	// of Figure 5b.
+	SeqCutoff int
+	// MergeCutoff switches the parallel (cilkmerge-style) merge to a
+	// sequential merge below this output size; 0 derives it from SeqCutoff.
+	MergeCutoff int
+	// InsertionCutoff switches quick sort to insertion sort (phase 3).
+	InsertionCutoff int
+	Seed            uint64
+}
+
+// DefaultSortParams mirrors the paper's well-tuned configuration at laptop
+// scale: the array (2×16 MiB with the ping-pong buffer) exceeds a socket's
+// L3 so memory placement matters, and the cutoff is sized so the grain
+// graph lands near the paper's 815 grains (Figure 5a).
+func DefaultSortParams() SortParams {
+	return SortParams{N: 1 << 22, SeqCutoff: 16384, MergeCutoff: 65536, InsertionCutoff: 20, Seed: 11}
+}
+
+// SortInstance is a runnable Sort workload.
+type SortInstance struct {
+	P    SortParams
+	data []int32
+	tmp  []int32
+}
+
+// NewSort creates a Sort instance.
+func NewSort(p SortParams) *SortInstance {
+	return &SortInstance{P: p, data: make([]int32, p.N), tmp: make([]int32, p.N)}
+}
+
+// Name implements Instance.
+func (s *SortInstance) Name() string { return fmt.Sprintf("sort-n%d-cut%d", s.P.N, s.P.SeqCutoff) }
+
+// Program implements Instance: the master initializes the array
+// (first-touching every page), then sorts it with recursive tasks.
+func (s *SortInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		n := s.P.N
+		arr := c.Alloc("array", int64(n)*4)
+		tmp := c.Alloc("tmp", int64(n)*4)
+
+		// Sequential initialization by the master: under first-touch
+		// placement every page lands on node 0 — the root cause of the
+		// work inflation the paper fixes with round-robin placement.
+		rng := newRNG(s.P.Seed)
+		for i := range s.data {
+			s.data[i] = int32(rng.Int32())
+		}
+		c.Store(arr, 0, int64(n)*4)
+		c.Store(tmp, 0, int64(n)*4)
+		c.Compute(uint64(n) * costArith)
+
+		mergeCutoff := s.P.MergeCutoff
+		if mergeCutoff <= 0 {
+			mergeCutoff = 4 * s.P.SeqCutoff
+		}
+
+		// buf abstracts the two ping-pong buffers (BOTS cilksort alternates
+		// merge direction between levels instead of copying back).
+		type buf struct {
+			d []int32
+			r *machine.Region
+		}
+		bufA := buf{s.data, arr}
+		bufB := buf{s.tmp, tmp}
+		other := func(b buf) buf {
+			if &b.d[0] == &s.data[0] {
+				return bufB
+			}
+			return bufA
+		}
+
+		// pmerge merges the sorted runs src[alo:ahi] and src[blo:bhi] into
+		// dst[out:...], splitting recursively like BOTS/cilkmerge: take the
+		// midpoint of the larger run, binary-search its value in the other,
+		// and merge the two halves as independent tasks.
+		var pmerge func(c rts.Ctx, src, dst buf, alo, ahi, blo, bhi, out int)
+		pmerge = func(c rts.Ctx, src, dst buf, alo, ahi, blo, bhi, out int) {
+			an, bn := ahi-alo, bhi-blo
+			if an < bn {
+				alo, ahi, blo, bhi = blo, bhi, alo, ahi
+				an, bn = bn, an
+			}
+			if an+bn <= mergeCutoff || bn == 0 {
+				s.seqMerge(c, src.d, dst.d, src.r, dst.r, alo, ahi, blo, bhi, out)
+				return
+			}
+			amid := alo + an/2
+			pivot := src.d[amid]
+			lo2, hi2 := blo, bhi
+			for lo2 < hi2 {
+				m := (lo2 + hi2) / 2
+				if src.d[m] < pivot {
+					lo2 = m + 1
+				} else {
+					hi2 = m
+				}
+			}
+			bmid := lo2
+			c.Compute(uint64(16) * costCompare) // binary search
+			left := (amid - alo) + (bmid - blo)
+			c.Spawn(profile.Loc("sort.go", 61, "pmerge"), func(c rts.Ctx) {
+				pmerge(c, src, dst, alo, amid, blo, bmid, out)
+			})
+			c.Spawn(profile.Loc("sort.go", 62, "pmerge"), func(c rts.Ctx) {
+				pmerge(c, src, dst, amid, ahi, bmid, bhi, out+left)
+			})
+			c.TaskWait()
+		}
+
+		// msort sorts [lo,hi) leaving the result in dst; recursion sorts the
+		// halves into the other buffer and merges across.
+		var msort func(c rts.Ctx, dst buf, lo, hi int)
+		msort = func(c rts.Ctx, dst buf, lo, hi int) {
+			size := hi - lo
+			if size <= s.P.SeqCutoff {
+				s.seqSortInto(c, dst.d, dst.r, lo, hi)
+				return
+			}
+			mid := lo + size/2
+			src := other(dst)
+			c.Spawn(profile.Loc("sort.go", 42, "msort"), func(c rts.Ctx) { msort(c, src, lo, mid) })
+			c.Spawn(profile.Loc("sort.go", 43, "msort"), func(c rts.Ctx) { msort(c, src, mid, hi) })
+			c.TaskWait()
+			pmerge(c, src, dst, lo, mid, mid, hi, lo)
+			c.TaskWait()
+		}
+		msort(c, bufA, 0, n)
+		c.TaskWait()
+	}
+}
+
+// seqMerge really merges two sorted runs of src into dst[out:] and charges
+// the scan cost.
+func (s *SortInstance) seqMerge(c rts.Ctx, d, t []int32, srcReg, dstReg *machine.Region, alo, ahi, blo, bhi, out int) {
+	i, j, k := alo, blo, out
+	for i < ahi && j < bhi {
+		if d[i] <= d[j] {
+			t[k] = d[i]
+			i++
+		} else {
+			t[k] = d[j]
+			j++
+		}
+		k++
+	}
+	for ; i < ahi; i++ {
+		t[k] = d[i]
+		k++
+	}
+	for ; j < bhi; j++ {
+		t[k] = d[j]
+		k++
+	}
+	size := int64(k - out)
+	c.Load(srcReg, int64(alo)*4, int64(ahi-alo)*4)
+	c.Load(srcReg, int64(blo)*4, int64(bhi-blo)*4)
+	c.Store(dstReg, int64(out)*4, size*4)
+	c.Compute(uint64(size) * 3 * costCompare)
+}
+
+// seqSortInto really quick-sorts the input values of [lo,hi) into dst
+// (with insertion sort below the cutoff) and charges the equivalent
+// simulated cost. Input values always originate in s.data; when dst is the
+// other buffer they are copied across first, as the real alternating-buffer
+// cilksort does.
+func (s *SortInstance) seqSortInto(c rts.Ctx, dst []int32, dstReg *machine.Region, lo, hi int) {
+	if &dst[0] != &s.data[0] {
+		copy(dst[lo:hi], s.data[lo:hi])
+	}
+	comparisons := s.quicksort(dst, lo, hi-1)
+	c.Load(dstReg, int64(lo)*4, int64(hi-lo)*4)
+	c.Store(dstReg, int64(lo)*4, int64(hi-lo)*4)
+	c.Compute(uint64(comparisons) * costCompare)
+}
+
+// quicksort sorts d[lo..hi] inclusive and returns the comparison count.
+func (s *SortInstance) quicksort(d []int32, lo, hi int) uint64 {
+	var comps uint64
+	for lo < hi {
+		if hi-lo < s.P.InsertionCutoff {
+			comps += s.insertion(d, lo, hi)
+			return comps
+		}
+		p, cc := s.partition(d, lo, hi)
+		comps += cc
+		// Recurse into the smaller side to bound stack depth.
+		if p-lo < hi-p {
+			comps += s.quicksort(d, lo, p-1)
+			lo = p + 1
+		} else {
+			comps += s.quicksort(d, p+1, hi)
+			hi = p - 1
+		}
+	}
+	return comps
+}
+
+func (s *SortInstance) partition(d []int32, lo, hi int) (int, uint64) {
+	mid := lo + (hi-lo)/2
+	// Median-of-three pivot.
+	if d[mid] < d[lo] {
+		d[mid], d[lo] = d[lo], d[mid]
+	}
+	if d[hi] < d[lo] {
+		d[hi], d[lo] = d[lo], d[hi]
+	}
+	if d[hi] < d[mid] {
+		d[hi], d[mid] = d[mid], d[hi]
+	}
+	pivot := d[mid]
+	d[mid], d[hi-1] = d[hi-1], d[mid]
+	i, j := lo, hi-1
+	var comps uint64
+	for {
+		for i++; d[i] < pivot; i++ {
+			comps++
+		}
+		for j--; d[j] > pivot; j-- {
+			comps++
+		}
+		comps += 2
+		if i >= j {
+			break
+		}
+		d[i], d[j] = d[j], d[i]
+	}
+	d[i], d[hi-1] = d[hi-1], d[i]
+	return i, comps
+}
+
+func (s *SortInstance) insertion(d []int32, lo, hi int) uint64 {
+	var comps uint64
+	for i := lo + 1; i <= hi; i++ {
+		v := d[i]
+		j := i - 1
+		for j >= lo && d[j] > v {
+			d[j+1] = d[j]
+			j--
+			comps++
+		}
+		d[j+1] = v
+		comps++
+	}
+	return comps
+}
+
+// Verify implements Instance.
+func (s *SortInstance) Verify() error {
+	for i := 1; i < len(s.data); i++ {
+		if s.data[i-1] > s.data[i] {
+			return fmt.Errorf("sort: data[%d]=%d > data[%d]=%d", i-1, s.data[i-1], i, s.data[i])
+		}
+	}
+	// Checksum invariance is checked by tests regenerating the input.
+	return nil
+}

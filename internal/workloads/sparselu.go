@@ -1,0 +1,345 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"graingraph/internal/machine"
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// SparseLUParams configures the SPEC 359.botsspar port: LU factorization of
+// a sparse matrix of NB×NB blocks, each BS×BS, with tasks for the fwd,
+// bdiv and bmod kernels. The program exposes two interleaved phases per
+// outer iteration — fwd/bdiv (little parallelism) then bmod (lots) — and
+// suffers widespread work inflation whose root cause is bmod's
+// cache-unfriendly triple-nested loop (paper §4.3.2, Figure 6).
+type SparseLUParams struct {
+	NB int // blocks per dimension
+	BS int // block size
+	// LoopInterchange applies the paper's fix: interchanging bmod's loops
+	// into a cache-friendly (ikj) access pattern.
+	LoopInterchange bool
+	Seed            uint64
+}
+
+// DefaultSparseLUParams mirrors the paper's figure input shape at laptop
+// scale, with the original cache-hostile bmod.
+func DefaultSparseLUParams() SparseLUParams {
+	return SparseLUParams{NB: 10, BS: 32, LoopInterchange: false, Seed: 9}
+}
+
+// OptimizedSparseLUParams applies the loop interchange.
+func OptimizedSparseLUParams() SparseLUParams {
+	p := DefaultSparseLUParams()
+	p.LoopInterchange = true
+	return p
+}
+
+// SparseLUInstance is a runnable SparseLU workload.
+type SparseLUInstance struct {
+	P SparseLUParams
+	// blocks[i*NB+j] is nil for empty blocks (sparse occupancy as in BOTS).
+	blocks []([]float64)
+	orig   []([]float64) // copy of the input for verification
+	regs   []*machine.Region
+}
+
+// NewSparseLU creates a SparseLU instance with the BOTS occupancy pattern.
+func NewSparseLU(p SparseLUParams) *SparseLUInstance {
+	s := &SparseLUInstance{P: p}
+	s.blocks = make([][]float64, p.NB*p.NB)
+	s.orig = make([][]float64, p.NB*p.NB)
+	return s
+}
+
+// Name implements Instance.
+func (s *SparseLUInstance) Name() string {
+	opt := "orig"
+	if s.P.LoopInterchange {
+		opt = "interchanged"
+	}
+	return fmt.Sprintf("sparselu-nb%d-bs%d-%s", s.P.NB, s.P.BS, opt)
+}
+
+// occupied reproduces BOTS genmat's sparsity pattern (null_entry logic).
+func occupied(ii, jj, nb int) bool {
+	nullEntry := false
+	if ii < jj && ii%3 != 0 {
+		nullEntry = true
+	}
+	if ii > jj && jj%3 != 0 {
+		nullEntry = true
+	}
+	if ii%2 == 1 {
+		nullEntry = true
+	}
+	if jj%2 == 1 {
+		nullEntry = true
+	}
+	if ii == jj {
+		nullEntry = false
+	}
+	if ii == jj-1 || ii-1 == jj {
+		nullEntry = false
+	}
+	return !nullEntry
+}
+
+func (s *SparseLUInstance) allocBlock(c rts.Ctx, ii, jj int) []float64 {
+	bs := s.P.BS
+	blk := make([]float64, bs*bs)
+	s.blocks[ii*s.P.NB+jj] = blk
+	if s.regs[ii*s.P.NB+jj] == nil {
+		// Regions are padded 8×: a column walk of this row-major block uses
+		// only one of the eight elements in every cache line it fetches, so
+		// its effective footprint — and the address range the cache-hostile
+		// bmod variant touches — is eight times the dense block size.
+		s.regs[ii*s.P.NB+jj] = c.Alloc(fmt.Sprintf("blk%d_%d", ii, jj), int64(bs*bs)*64)
+	}
+	return blk
+}
+
+func (s *SparseLUInstance) reg(ii, jj int) *machine.Region { return s.regs[ii*s.P.NB+jj] }
+
+// Program implements Instance: the master creates tasks per outer
+// iteration — lu0 inline, then fwd+bdiv tasks (phase 1), taskwait, then
+// bmod tasks (phase 2), taskwait — the two interleaved phases of Figure 6a.
+func (s *SparseLUInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		nb, bs := s.P.NB, s.P.BS
+		s.regs = make([]*machine.Region, nb*nb)
+		rng := newRNG(s.P.Seed)
+		for ii := 0; ii < nb; ii++ {
+			for jj := 0; jj < nb; jj++ {
+				s.blocks[ii*nb+jj] = nil
+				if occupied(ii, jj, nb) {
+					blk := s.allocBlock(c, ii, jj)
+					for k := range blk {
+						blk[k] = rng.Float64()*2 - 1
+					}
+					// Diagonal dominance keeps the factorization stable.
+					if ii == jj {
+						for d := 0; d < bs; d++ {
+							blk[d*bs+d] += float64(2 * bs)
+						}
+					}
+					c.Store(s.reg(ii, jj), 0, int64(bs*bs)*8)
+				}
+			}
+		}
+		for i := range s.blocks {
+			if s.blocks[i] != nil {
+				s.orig[i] = append([]float64(nil), s.blocks[i]...)
+			} else {
+				s.orig[i] = nil
+			}
+		}
+		c.Compute(uint64(nb*nb*bs) * costArith)
+
+		for k := 0; k < nb; k++ {
+			k := k
+			// lu0 on the diagonal block, inline in the master.
+			s.lu0(c, k)
+
+			// Phase 1: fwd on row k, bdiv on column k.
+			for j := k + 1; j < nb; j++ {
+				j := j
+				if s.blocks[k*nb+j] != nil {
+					c.Spawn(profile.Loc("sparselu.go", 229, "fwd"), func(c rts.Ctx) {
+						s.fwd(c, k, j)
+					})
+				}
+				if s.blocks[j*nb+k] != nil {
+					c.Spawn(profile.Loc("sparselu.go", 235, "bdiv"), func(c rts.Ctx) {
+						s.bdiv(c, k, j)
+					})
+				}
+			}
+			c.TaskWait()
+
+			// Phase 2: bmod on the trailing submatrix.
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j < nb; j++ {
+					i, j := i, j
+					if s.blocks[i*nb+k] != nil && s.blocks[k*nb+j] != nil {
+						c.Spawn(profile.Loc("sparselu.go", 246, "bmod"), func(c rts.Ctx) {
+							s.bmod(c, i, j, k)
+						})
+					}
+				}
+			}
+			c.TaskWait()
+		}
+	}
+}
+
+// lu0 factorizes the diagonal block in place (Doolittle, no pivoting).
+func (s *SparseLUInstance) lu0(c rts.Ctx, k int) {
+	bs := s.P.BS
+	d := s.blocks[k*s.P.NB+k]
+	for i := 1; i < bs; i++ {
+		for j := 0; j < i; j++ {
+			d[i*bs+j] /= d[j*bs+j]
+			for l := j + 1; l < bs; l++ {
+				d[i*bs+l] -= d[i*bs+j] * d[j*bs+l]
+			}
+		}
+	}
+	c.Load(s.reg(k, k), 0, int64(bs*bs)*8)
+	c.Store(s.reg(k, k), 0, int64(bs*bs)*8)
+	c.Compute(uint64(bs) * uint64(bs) * uint64(bs) / 3 * 2 * costFlop)
+}
+
+// fwd solves L * X = B for a row-k block: B := L^-1 B with L unit lower
+// triangular from the diagonal block.
+func (s *SparseLUInstance) fwd(c rts.Ctx, k, j int) {
+	bs := s.P.BS
+	diag := s.blocks[k*s.P.NB+k]
+	b := s.blocks[k*s.P.NB+j]
+	for i := 1; i < bs; i++ {
+		for l := 0; l < i; l++ {
+			f := diag[i*bs+l]
+			for col := 0; col < bs; col++ {
+				b[i*bs+col] -= f * b[l*bs+col]
+			}
+		}
+	}
+	c.Load(s.reg(k, k), 0, int64(bs*bs)*8)
+	c.Load(s.reg(k, j), 0, int64(bs*bs)*8)
+	c.Store(s.reg(k, j), 0, int64(bs*bs)*8)
+	c.Compute(uint64(bs) * uint64(bs) * uint64(bs) * costFlop)
+}
+
+// bdiv solves X * U = B for a column-k block: B := B U^-1 with U upper
+// triangular from the diagonal block.
+func (s *SparseLUInstance) bdiv(c rts.Ctx, k, i int) {
+	bs := s.P.BS
+	diag := s.blocks[k*s.P.NB+k]
+	b := s.blocks[i*s.P.NB+k]
+	for r := 0; r < bs; r++ {
+		for jc := 0; jc < bs; jc++ {
+			b[r*bs+jc] /= diag[jc*bs+jc]
+			for l := jc + 1; l < bs; l++ {
+				b[r*bs+l] -= b[r*bs+jc] * diag[jc*bs+l]
+			}
+		}
+	}
+	c.Load(s.reg(k, k), 0, int64(bs*bs)*8)
+	c.Load(s.reg(i, k), 0, int64(bs*bs)*8)
+	c.Store(s.reg(i, k), 0, int64(bs*bs)*8)
+	c.Compute(uint64(bs) * uint64(bs) * uint64(bs) * costFlop)
+}
+
+// bmod computes A[i][j] -= A[i][k] * A[k][j], allocating A[i][j] if it was
+// an empty block (fill-in, as in BOTS). The original loop nest walks the
+// right operand down columns — a stride-BS access per inner step; the
+// paper's loop interchange makes it stride-1.
+func (s *SparseLUInstance) bmod(c rts.Ctx, i, j, k int) {
+	nb, bs := s.P.NB, s.P.BS
+	a := s.blocks[i*nb+k]
+	b := s.blocks[k*nb+j]
+	dst := s.blocks[i*nb+j]
+	if dst == nil {
+		dst = s.allocBlock(c, i, j)
+		s.orig[i*nb+j] = nil // fill-in block: zero in the original matrix
+	}
+	if s.P.LoopInterchange {
+		// Cache-friendly ikj: inner loop streams rows of b and dst.
+		for r := 0; r < bs; r++ {
+			for l := 0; l < bs; l++ {
+				f := a[r*bs+l]
+				for col := 0; col < bs; col++ {
+					dst[r*bs+col] -= f * b[l*bs+col]
+				}
+			}
+		}
+		// Streaming reads of b's dense prefix: every fetched line is fully
+		// used, and the block stays resident across output rows.
+		for r := 0; r < bs; r++ {
+			c.Load(s.reg(i, k), int64(r*bs)*8, int64(bs)*8)
+			c.Load(s.reg(k, j), 0, int64(bs*bs)*8)
+			c.Load(s.reg(i, j), int64(r*bs)*8, int64(bs)*8)
+			c.Store(s.reg(i, j), int64(r*bs)*8, int64(bs)*8)
+		}
+	} else {
+		// Original ijk: the inner product walks b column-wise, a
+		// stride-BS*8 access pattern that thrashes the caches.
+		for r := 0; r < bs; r++ {
+			for col := 0; col < bs; col++ {
+				var sum float64
+				for l := 0; l < bs; l++ {
+					sum += a[r*bs+l] * b[l*bs+col]
+				}
+				dst[r*bs+col] -= sum
+			}
+		}
+		// Column walks over b waste 7/8 of every fetched line; in the padded
+		// region model that is a strided sweep over the 8×-shadow address
+		// range, whose working set overflows the private caches.
+		for r := 0; r < bs; r++ {
+			c.Load(s.reg(i, k), int64(r*bs)*8, int64(bs)*8)
+			c.LoadStrided(s.reg(k, j), int64(r%8)*64, bs*bs/8, 512)
+			c.Load(s.reg(i, j), int64(r*bs)*8, int64(bs)*8)
+			c.Store(s.reg(i, j), int64(r*bs)*8, int64(bs)*8)
+		}
+	}
+	c.Compute(uint64(bs) * uint64(bs) * uint64(bs) * 2 * costFlop)
+}
+
+// Verify implements Instance: reconstructs L×U on the block level and
+// compares against the original matrix. Works on the dense representation
+// assembled from blocks.
+func (s *SparseLUInstance) Verify() error {
+	nb, bs := s.P.NB, s.P.BS
+	n := nb * bs
+	dense := func(src [][]float64) []float64 {
+		out := make([]float64, n*n)
+		for ii := 0; ii < nb; ii++ {
+			for jj := 0; jj < nb; jj++ {
+				blk := src[ii*nb+jj]
+				if blk == nil {
+					continue
+				}
+				for r := 0; r < bs; r++ {
+					copy(out[(ii*bs+r)*n+jj*bs:(ii*bs+r)*n+jj*bs+bs], blk[r*bs:r*bs+bs])
+				}
+			}
+		}
+		return out
+	}
+	lu := dense(s.blocks)
+	orig := dense(s.orig)
+
+	// Rebuild A = L*U from the packed factorization and compare.
+	var maxErr, ref float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k < kmax; k++ {
+				sum += lu[i*n+k] * lu[k*n+j]
+			}
+			if j >= i { // diagonal of L is 1
+				sum += lu[i*n+j]
+			} else {
+				sum += lu[i*n+j] * lu[j*n+j]
+			}
+			diff := math.Abs(sum - orig[i*n+j])
+			if diff > maxErr {
+				maxErr = diff
+			}
+			if a := math.Abs(orig[i*n+j]); a > ref {
+				ref = a
+			}
+		}
+	}
+	if maxErr > 1e-6*ref*float64(n) {
+		return fmt.Errorf("sparselu: reconstruction error %g (ref %g)", maxErr, ref)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// UTSParams configures the Unbalanced Tree Search port: count the nodes of
+// an implicitly defined, highly unbalanced tree whose shape derives from a
+// splittable hash of node identifiers. The paper reports UTS suffers poor
+// parallel benefit for most of its (millions of) grains and would profit
+// from inlining or depth cutoffs (§4.3.6).
+type UTSParams struct {
+	// BranchFactor m and Probability q define the geometric distribution:
+	// each node has m children with probability q (expected size stays
+	// finite for q*m < 1).
+	BranchFactor int
+	ProbPercent  int // q in percent
+	MaxDepth     int // safety bound
+	// Cutoff stops task creation below this depth (0 = a task per node,
+	// the troubled original).
+	Cutoff int
+	Seed   uint64
+}
+
+// DefaultUTSParams is the troubled original: a task per tree node.
+func DefaultUTSParams() UTSParams {
+	return UTSParams{BranchFactor: 4, ProbPercent: 24, MaxDepth: 200, Cutoff: 0, Seed: 46}
+}
+
+// UTSInstance is a runnable UTS workload.
+type UTSInstance struct {
+	P     UTSParams
+	Nodes uint64 // counted tree size
+}
+
+// NewUTS creates a UTS instance.
+func NewUTS(p UTSParams) *UTSInstance { return &UTSInstance{P: p} }
+
+// Name implements Instance.
+func (u *UTSInstance) Name() string {
+	return fmt.Sprintf("uts-m%d-q%d-cut%d", u.P.BranchFactor, u.P.ProbPercent, u.P.Cutoff)
+}
+
+// mix is the splittable hash defining the tree shape deterministically.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hasChildren decides a node's fertility from its hash.
+func (u *UTSInstance) hasChildren(h uint64) bool {
+	return int(h%100) < u.P.ProbPercent
+}
+
+// countSeqTree counts the subtree rooted at h serially, returning node
+// count and hash evaluations.
+func (u *UTSInstance) countSeqTree(h uint64, depth int) (uint64, uint64) {
+	nodes, hashes := uint64(1), uint64(1)
+	if depth >= u.P.MaxDepth || !u.hasChildren(h) {
+		return nodes, hashes
+	}
+	for i := 0; i < u.P.BranchFactor; i++ {
+		n, hh := u.countSeqTree(mix(h+uint64(i)+1), depth+1)
+		nodes += n
+		hashes += hh
+	}
+	return nodes, hashes
+}
+
+// Program implements Instance: a task per node (or per subtree below the
+// cutoff); each task evaluates the node's hash (real work) and spawns its
+// children.
+func (u *UTSInstance) Program() func(rts.Ctx) {
+	return func(c rts.Ctx) {
+		var total uint64
+		var visit func(c rts.Ctx, h uint64, depth int)
+		visit = func(c rts.Ctx, h uint64, depth int) {
+			if u.P.Cutoff > 0 && depth >= u.P.Cutoff {
+				nodes, hashes := u.countSeqTree(h, depth)
+				total += nodes
+				c.Compute(hashes * costHash * 8)
+				return
+			}
+			total++
+			c.Compute(costHash * 8)
+			if depth >= u.P.MaxDepth || !u.hasChildren(h) {
+				return
+			}
+			for i := 0; i < u.P.BranchFactor; i++ {
+				child := mix(h + uint64(i) + 1)
+				c.Spawn(profile.Loc("uts.go", 77, "parTreeSearch"), func(c rts.Ctx) {
+					visit(c, child, depth+1)
+				})
+			}
+			c.TaskWait()
+		}
+		total = 0
+		// The root hash: ensure a non-trivial tree by forcing fertility at
+		// the root (retry seeds deterministically).
+		h := mix(u.P.Seed)
+		for !u.hasChildren(h) {
+			h = mix(h)
+		}
+		c.Spawn(profile.Loc("uts.go", 70, "parTreeSearch"), func(c rts.Ctx) {
+			visit(c, h, 0)
+		})
+		c.TaskWait()
+		u.Nodes = total
+	}
+}
+
+// Verify implements Instance: the task-parallel count must match the
+// sequential traversal.
+func (u *UTSInstance) Verify() error {
+	h := mix(u.P.Seed)
+	for !u.hasChildren(h) {
+		h = mix(h)
+	}
+	want, _ := u.countSeqTree(h, 0)
+	if u.Nodes != want {
+		return fmt.Errorf("uts: counted %d nodes, want %d", u.Nodes, want)
+	}
+	return nil
+}
