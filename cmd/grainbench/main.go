@@ -7,23 +7,46 @@
 //	grainbench -fig 1        # only Figure 1
 //	grainbench -fig sort     # only the Sort problem table (§4.3.1)
 //	grainbench -cores 16     # override the core count for Figure 1
+//	grainbench -fig sort -trace sort.json -stats
+//	                         # + Perfetto trace and runtime-metrics footers
 //
 // Figure IDs: 1, 2, 4, 5, 6, 7, 8, 9 (covers 9/10 + Table 1), 11,
 // "sort" (the §4.3.1 table), "others" (§4.3.6).
+//
+// -trace writes every simulated run of the selected figures as one
+// Chrome-trace JSON file, openable at ui.perfetto.dev: one process per
+// run, one thread track per worker, grain slices labelled
+// file:line(func), steal/park instants, critical-path grains flagged.
+// -stats appends a runtime-metrics footer (steals, parks, cache hit
+// rates) to each figure so reproduction runs double as health reports.
+//
+// A figure step that fails is reported with its figure ID and the
+// remaining steps still run; the exit code is non-zero if any failed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"graingraph/internal/export"
 	"graingraph/internal/expt"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,all)")
 	cores := flag.Int("cores", 48, "core count for speedup experiments")
+	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace of all simulated runs to this file")
+	stats := flag.Bool("stats", false, "print a runtime-metrics footer after each figure")
 	flag.Parse()
+
+	if *traceOut != "" || *stats {
+		expt.Instr = &expt.Instrumentation{
+			CaptureEvents: *traceOut != "",
+			PrintFooter:   *stats,
+		}
+	}
 
 	type step struct {
 		id  string
@@ -44,6 +67,7 @@ func main() {
 		{"others", func() error { _, err := expt.OtherBenchmarks(w); return err }},
 	}
 	ran := false
+	var failed []string
 	for _, s := range steps {
 		if *fig != "all" && *fig != s.id {
 			continue
@@ -51,7 +75,8 @@ func main() {
 		ran = true
 		if err := s.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: figure %s: %v\n", s.id, err)
-			os.Exit(1)
+			failed = append(failed, s.id)
+			continue
 		}
 		fmt.Fprintln(w)
 	}
@@ -59,4 +84,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "grainbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
+			failed = append(failed, "trace")
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "grainbench: %d step(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// writeTrace exports every instrumented run as one Perfetto trace file.
+func writeTrace(path string) error {
+	runs := make([]export.PerfettoRun, 0, len(expt.Instr.Runs))
+	for _, r := range expt.Instr.Runs {
+		runs = append(runs, export.PerfettoRun{
+			Label: r.Label, Trace: r.Trace, Events: r.Events,
+			Dropped: r.Dropped, Critical: r.Critical,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := export.Perfetto(f, runs); err != nil {
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "grainbench: wrote %s (%d runs) — open at https://ui.perfetto.dev\n",
+		path, len(runs))
+	return nil
 }

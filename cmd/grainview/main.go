@@ -42,8 +42,14 @@ func main() {
 		summary  = flag.Bool("summary", false, "print the problem summary and timeline instead of exporting")
 		out      = flag.String("o", "", "output file (default stdout)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceOut = flag.String("trace", "", "write a Perfetto/Chrome trace of the run to this file")
+		stats    = flag.Bool("stats", false, "print the runtime scheduler/cache metrics registry")
 	)
 	flag.Parse()
+
+	if *traceOut != "" || *stats {
+		expt.Instr = &expt.Instrumentation{CaptureEvents: *traceOut != ""}
+	}
 
 	if *list {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -91,6 +97,12 @@ func main() {
 	res, err := expt.Run(inst, cfg)
 	die(err)
 
+	if *traceOut != "" {
+		die(writeTrace(*traceOut))
+	}
+	if *stats {
+		printStats(res)
+	}
 	if *summary {
 		printSummary(res)
 		return
@@ -142,6 +154,42 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "grainview: wrote %s (%d nodes, %d edges, %s view)\n",
 			*out, len(g.Nodes), len(g.Edges), v)
+	}
+}
+
+// writeTrace exports the instrumented runs (baseline + parallel) as one
+// Perfetto trace file.
+func writeTrace(path string) error {
+	runs := make([]export.PerfettoRun, 0, len(expt.Instr.Runs))
+	for _, r := range expt.Instr.Runs {
+		runs = append(runs, export.PerfettoRun{
+			Label: r.Label, Trace: r.Trace, Events: r.Events,
+			Dropped: r.Dropped, Critical: r.Critical,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := export.Perfetto(f, runs); err != nil {
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "grainview: wrote %s (%d runs) — open at https://ui.perfetto.dev\n",
+		path, len(runs))
+	return nil
+}
+
+// printStats renders each instrumented run's metrics registry and
+// cross-checks it against the trace-reconstructed timeline.
+func printStats(res *expt.Result) {
+	for _, r := range expt.Instr.Runs {
+		fmt.Printf("runtime stats — %s\n", r.Label)
+		die(r.Metrics.Render(os.Stdout))
+		if r.Trace == res.Trace {
+			die(timeline.FromTrace(r.Trace).CrossCheck(r.Metrics))
+		}
+		fmt.Println()
 	}
 }
 

@@ -309,3 +309,17 @@ func (g *Graph) Topological() []NodeID {
 	}
 	return order
 }
+
+// CriticalGrains returns the set of grain IDs whose fragment or chunk
+// nodes lie on the marked critical path. Run metrics.CriticalPath (or
+// metrics.Analyze) first; before that no node carries the Critical flag
+// and the result is empty.
+func (g *Graph) CriticalGrains() map[profile.GrainID]bool {
+	crit := make(map[profile.GrainID]bool)
+	for _, n := range g.Nodes {
+		if n.Critical && (n.Kind == NodeFragment || n.Kind == NodeChunk) {
+			crit[n.Grain] = true
+		}
+	}
+	return crit
+}

@@ -247,3 +247,27 @@ func TestViewStrings(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+// TestExportersByteStable: exporting the same analyzed graph twice must
+// produce identical bytes in every format — no map-iteration order may
+// leak into the output.
+func TestExportersByteStable(t *testing.T) {
+	g, a := testGraph(t)
+	formats := map[string]func(*bytes.Buffer) error{
+		"graphml": func(b *bytes.Buffer) error { return GraphML(b, g, a, ViewParallelBenefit) },
+		"dot":     func(b *bytes.Buffer) error { return DOT(b, g, a, ViewParallelism) },
+		"json":    func(b *bytes.Buffer) error { return JSON(b, g, a) },
+	}
+	for name, f := range formats {
+		var b1, b2 bytes.Buffer
+		if err := f(&b1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := f(&b2); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s output not byte-stable across exports", name)
+		}
+	}
+}

@@ -19,8 +19,100 @@ import (
 	"graingraph/internal/metrics"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
+	"graingraph/internal/trace"
 	"graingraph/internal/workloads"
 )
+
+// InstrumentedRun captures one simulated run's observability artifacts:
+// its profile, counter registry, captured event stream (when enabled)
+// and the critical-path grain set (for fully analyzed runs).
+type InstrumentedRun struct {
+	Label    string
+	Trace    *profile.Trace
+	Metrics  *trace.Metrics
+	Events   []trace.Event
+	Dropped  uint64
+	Critical map[profile.GrainID]bool
+}
+
+// Instrumentation makes every simulated run in this package double as a
+// runtime-health report: when Instr is non-nil, each rts.Run performed
+// by Run/Makespan attaches a metrics registry (and, with CaptureEvents,
+// a bounded ring-buffer event sink) and records the result in Runs.
+// The cmds enable it for their -trace / -stats flags.
+type Instrumentation struct {
+	// CaptureEvents attaches a trace.RingSink of Capacity events to each
+	// run (Perfetto export needs it); metrics alone are much cheaper.
+	CaptureEvents bool
+	// Capacity is the per-run ring-buffer size; <= 0 uses the default.
+	Capacity int
+	// PrintFooter makes each figure regenerator append a runtime-metrics
+	// footer covering the runs it performed.
+	PrintFooter bool
+
+	Runs []*InstrumentedRun
+
+	footerMark int // Runs already covered by a previous footer
+}
+
+// Instr, when non-nil, instruments every simulated run in this package.
+// The experiment harness is single-threaded per process; set it once
+// before running figures.
+var Instr *Instrumentation
+
+// runSim wraps rts.Run with the optional instrumentation.
+func runSim(rcfg rts.Config, program func(rts.Ctx), label string) (*profile.Trace, *InstrumentedRun) {
+	if Instr == nil {
+		return rts.Run(rcfg, program), nil
+	}
+	met := trace.NewMetrics()
+	rcfg.Metrics = met
+	var sink *trace.RingSink
+	if Instr.CaptureEvents {
+		sink = trace.NewRingSink(Instr.Capacity)
+		rcfg.Trace = sink
+	}
+	tr := rts.Run(rcfg, program)
+	run := &InstrumentedRun{Label: label, Trace: tr, Metrics: met}
+	if sink != nil {
+		run.Events = sink.Events()
+		run.Dropped = sink.Dropped()
+	}
+	Instr.Runs = append(Instr.Runs, run)
+	return tr, run
+}
+
+// runLabel names an instrumented run after its workload and config.
+func runLabel(program string, cfg Config, cores int, suffix string) string {
+	l := fmt.Sprintf("%s p%d %s/%s seed%d", program, cores, cfg.Flavor, cfg.Scheduler, cfg.Seed)
+	if suffix != "" {
+		l += " " + suffix
+	}
+	return l
+}
+
+// WriteFooter prints a one-line runtime-metrics summary for every run
+// recorded since the previous footer, then advances the mark.
+func (ins *Instrumentation) WriteFooter(w io.Writer) {
+	runs := ins.Runs[ins.footerMark:]
+	ins.footerMark = len(ins.Runs)
+	if len(runs) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "runtime metrics:")
+	for _, r := range runs {
+		fmt.Fprintf(w, "  %s: %s\n", r.Label, r.Metrics.Summary())
+	}
+}
+
+// footer appends the runtime-metrics footer to a figure's output when
+// instrumentation with footers is enabled.
+func footer(w io.Writer) {
+	if w == nil || Instr == nil || !Instr.PrintFooter {
+		return
+	}
+	Instr.WriteFooter(w)
+}
 
 // Result bundles a fully analyzed run.
 type Result struct {
@@ -59,17 +151,20 @@ func Run(inst workloads.Instance, cfg Config) (*Result, error) {
 	if cfg.Baseline {
 		bcfg := rcfg
 		bcfg.Cores = 1
-		baseline = rts.Run(bcfg, inst.Program())
+		baseline, _ = runSim(bcfg, inst.Program(), runLabel(inst.Name(), cfg, 1, "baseline"))
 		if err := inst.Verify(); err != nil {
 			return nil, fmt.Errorf("baseline run: %w", err)
 		}
 	}
-	tr := rts.Run(rcfg, inst.Program())
+	tr, irun := runSim(rcfg, inst.Program(), runLabel(inst.Name(), cfg, cfg.Cores, ""))
 	if err := inst.Verify(); err != nil {
 		return nil, fmt.Errorf("parallel run: %w", err)
 	}
 	g := core.Build(tr)
 	rep := metrics.Analyze(tr, g, baseline, metrics.Options{})
+	if irun != nil {
+		irun.Critical = g.CriticalGrains()
+	}
 	th := highlight.Defaults(cfg.Cores, 12)
 	if cfg.WorkDeviationMax > 0 {
 		th.WorkDeviationMax = cfg.WorkDeviationMax
@@ -88,7 +183,7 @@ func Makespan(inst workloads.Instance, cfg Config) (uint64, error) {
 		Seed:      cfg.Seed,
 		Policy:    cfg.Policy,
 	}
-	tr := rts.Run(rcfg, inst.Program())
+	tr, _ := runSim(rcfg, inst.Program(), runLabel(inst.Name(), cfg, cfg.Cores, "makespan"))
 	if err := inst.Verify(); err != nil {
 		return 0, err
 	}

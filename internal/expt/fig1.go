@@ -134,5 +134,6 @@ func Figure1(w io.Writer, cores int) (*Fig1Result, error) {
 		}
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

@@ -88,5 +88,6 @@ func Figure11(w io.Writer) (*Fig11Result, error) {
 		fmt.Fprintf(tw, "(d) scattered grains, central queue\t%s\t(speedup %.1f)\n", pct(res.ScatterCQ), res.SpeedupCQ)
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

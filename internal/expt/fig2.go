@@ -56,5 +56,6 @@ func Figure2(w io.Writer) (*Fig2Result, error) {
 		fmt.Fprintf(tw, "fixed (depth incremented)\t%d\t%d\n", res.FixedGrains, res.FixedDepth)
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

@@ -38,5 +38,6 @@ func Figure4(w io.Writer) (*Fig4Result, error) {
 		fmt.Fprintf(w, "\nWhat the timeline cannot show: the grain graph flags %s of grains\n", pct(out.LowIPAffected))
 		fmt.Fprintln(w, "for low instantaneous parallelism, pinpointing the culprit grains.")
 	}
+	footer(w)
 	return out, nil
 }

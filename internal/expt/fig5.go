@@ -72,6 +72,7 @@ func Figure5(w io.Writer) (*Fig5Result, error) {
 		fmt.Fprintln(w, "parallelism timeline (a), waxing/waning phases:")
 		renderSparkline(w, res.TunedTimeline, 48)
 	}
+	footer(w)
 	return res, nil
 }
 
@@ -152,5 +153,6 @@ func SortPageTable(w io.Writer) (*SortPageTableResult, error) {
 			pct(res.UtilizationBefore), pct(res.UtilizationAfter))
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

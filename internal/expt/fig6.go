@@ -92,5 +92,6 @@ func Figure6(w io.Writer) (*Fig6Result, error) {
 		}
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

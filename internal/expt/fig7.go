@@ -53,6 +53,7 @@ func Figure7(w io.Writer) (*Fig7Result, error) {
 		}
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }
 
@@ -81,5 +82,6 @@ func Figure8(w io.Writer) (*Fig8Result, error) {
 			res.Grains, pct(res.PoorMHU))
 		fmt.Fprintln(w, "(algorithmic changes / locality-aware scheduling needed next; critical-path-only optimization will not suffice)")
 	}
+	footer(w)
 	return res, nil
 }

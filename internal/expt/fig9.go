@@ -42,9 +42,11 @@ func dominantLoop(r *Result) (loopID profile.LoopID, chunks int, durations []uin
 		totals[ck.Loop] += ck.Duration()
 		counts[ck.Loop]++
 	}
+	// Map iteration order is random: break total-time ties by the lower
+	// loop ID so the choice (and everything printed from it) is stable.
 	best := profile.LoopID(-1)
 	for id, tot := range totals {
-		if best == -1 || tot > totals[best] {
+		if best == -1 || tot > totals[best] || (tot == totals[best] && id < best) {
 			best = id
 		}
 	}
@@ -127,5 +129,6 @@ func Figure9Table1(w io.Writer) (*Fig9Result, error) {
 		}
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

@@ -93,5 +93,6 @@ func OtherBenchmarks(w io.Writer) (*OthersResult, error) {
 		}
 		tw.Flush()
 	}
+	footer(w)
 	return res, nil
 }

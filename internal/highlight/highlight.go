@@ -252,8 +252,10 @@ func (a *Assessment) Summarize() Summary {
 	for _, p := range AllProblems {
 		s.Rows = append(s.Rows, SummaryRow{Problem: p, Count: a.Count(p), Affected: a.Affected(p)})
 	}
+	// Map iteration order is random: break load-balance ties by the lower
+	// loop ID so summaries are byte-stable across runs.
 	for id, lb := range a.Report.LoopLoadBalance {
-		if lb > s.WorstLoopLB {
+		if lb > s.WorstLoopLB || (lb == s.WorstLoopLB && lb > 0 && id < s.WorstLoopLBLoop) {
 			s.WorstLoopLB = lb
 			s.WorstLoopLBLoop = id
 		}

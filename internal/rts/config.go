@@ -19,6 +19,7 @@ import (
 	"graingraph/internal/cache"
 	"graingraph/internal/machine"
 	"graingraph/internal/profile"
+	"graingraph/internal/trace"
 )
 
 // Flavor selects the runtime-system policy personality, mirroring the three
@@ -127,6 +128,16 @@ type Config struct {
 	Seed          uint64
 	Costs         CostModel
 	RootLoc       profile.SrcLoc
+
+	// Trace, when non-nil, receives the structured runtime event stream
+	// (task spawn/start/steal/park/resume/end, chunk dispatch, fragment
+	// counter snapshots) in virtual-time order. Nil disables emission
+	// entirely; the engine pays only a nil check per event site.
+	Trace trace.Sink
+	// Metrics, when non-nil, is reset and filled with the run's
+	// scheduler and cache/NUMA counter registry (per worker and per
+	// grain definition). Nil disables collection.
+	Metrics *trace.Metrics
 }
 
 // withDefaults validates and fills zero fields.

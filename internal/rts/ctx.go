@@ -4,6 +4,7 @@ import (
 	"graingraph/internal/machine"
 	"graingraph/internal/profile"
 	"graingraph/internal/sim"
+	"graingraph/internal/trace"
 )
 
 // taskCtx is the Ctx given to task bodies (including the root/master task).
@@ -99,6 +100,15 @@ func (c *taskCtx) Spawn(loc profile.SrcLoc, body func(Ctx)) {
 	child.readyAt = w.clock
 	rt.trace.Tasks = append(rt.trace.Tasks, child.rec)
 	rt.live++
+	rt.countOverhead(w, trace.OvSpawn, spawnCost)
+	if rt.met != nil {
+		wm := rt.met.W(w.id)
+		wm.Spawns++
+		if throttled {
+			wm.InlinedSpawns++
+		}
+	}
+	rt.emitInstant(trace.KindTaskSpawn, w.clock, w.id, -1, childID, loc)
 
 	if throttled {
 		// Undeferred execution: the child runs right now on this worker and
@@ -116,11 +126,18 @@ func (c *taskCtx) Spawn(loc profile.SrcLoc, body func(Ctx)) {
 		done := acq + rt.cfg.Costs.QueueOp
 		rt.centralFree = done
 		w.overhead += done - w.clock
+		rt.countOverhead(w, trace.OvQueue, done-w.clock)
+		if rt.met != nil {
+			rt.met.W(w.id).QueueOps++
+		}
 		w.clock = done
 		child.readyAt = done
 		rt.central.Enqueue(child)
 	} else {
 		w.deque.PushBottom(child)
+		if rt.met != nil {
+			rt.met.W(w.id).DequePushes++
+		}
 	}
 	rt.queued++
 	rt.beginFragment(t, w.clock)
@@ -146,6 +163,7 @@ func (c *taskCtx) TaskWait() {
 		cost := rt.cfg.Costs.JoinPerChild * uint64(len(joined))
 		w.clock += cost
 		w.overhead += cost
+		rt.countOverhead(w, trace.OvJoin, cost)
 		t.rec.Boundaries = append(t.rec.Boundaries, profile.Boundary{
 			Kind: profile.BoundaryJoin, At: at, Joined: joined, Wait: cost,
 		})
@@ -163,6 +181,10 @@ func (c *taskCtx) TaskWait() {
 	t.waiting = true
 	t.waitStart = at
 	t.parked = parkTaskWait
+	if rt.met != nil {
+		rt.met.W(w.id).Parks++
+	}
+	rt.emitInstant(trace.KindPark, at, w.id, -1, t.rec.ID, t.rec.Loc)
 	t.coro.Park()
 }
 

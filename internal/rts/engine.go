@@ -9,6 +9,7 @@ import (
 	"graingraph/internal/profile"
 	"graingraph/internal/sched"
 	"graingraph/internal/sim"
+	"graingraph/internal/trace"
 )
 
 // parkReason says why a task's coroutine yielded.
@@ -69,6 +70,8 @@ type runtime struct {
 
 	rng     *rand.Rand
 	trace   *profile.Trace
+	sink    trace.Sink     // nil = event emission disabled
+	met     *trace.Metrics // nil = counter registry disabled
 	root    *task
 	live    int
 	loopSeq int
@@ -85,6 +88,11 @@ func Run(cfg Config, program func(Ctx)) *profile.Trace {
 	}
 	rt.mem = machine.NewMemory(rt.topo, cfg.Policy)
 	rt.hier = cache.New(cfg.Cache, rt.topo, rt.mem)
+	rt.sink = cfg.Trace
+	rt.met = cfg.Metrics
+	if rt.met != nil {
+		rt.met.Reset(cfg.Cores)
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		rt.workers = append(rt.workers, &worker{id: i})
 	}
@@ -221,6 +229,11 @@ func (rt *runtime) perform(a action) {
 		w.overhead += rt.cfg.Costs.Resume
 		w.clock = a.at
 		a.t.resumable = false
+		rt.countOverhead(w, trace.OvResume, rt.cfg.Costs.Resume)
+		if rt.met != nil {
+			rt.met.W(w.id).Resumes++
+		}
+		rt.emitInstant(trace.KindResume, a.at, w.id, -1, a.t.rec.ID, a.t.rec.Loc)
 	case actPop:
 		t, _ := w.deque.PopBottom()
 		if t != a.t {
@@ -229,6 +242,10 @@ func (rt *runtime) perform(a action) {
 		rt.queued--
 		w.overhead += rt.cfg.Costs.Pop
 		w.clock = a.at
+		rt.countOverhead(w, trace.OvPop, rt.cfg.Costs.Pop)
+		if rt.met != nil {
+			rt.met.W(w.id).DequePops++
+		}
 	case actSteal:
 		t, _ := a.victim.deque.StealTop()
 		if t != a.t {
@@ -237,6 +254,9 @@ func (rt *runtime) perform(a action) {
 		rt.queued--
 		w.overhead += rt.cfg.Costs.Steal
 		w.clock = a.at
+		rt.countOverhead(w, trace.OvSteal, rt.cfg.Costs.Steal)
+		rt.countSteal(w)
+		rt.emitInstant(trace.KindSteal, a.at, w.id, a.victim.id, a.t.rec.ID, a.t.rec.Loc)
 	case actCentral:
 		t, _ := rt.central.Dequeue()
 		if t != a.t {
@@ -246,6 +266,10 @@ func (rt *runtime) perform(a action) {
 		rt.centralFree = a.at // queue busy until the op completes
 		w.overhead += rt.cfg.Costs.QueueOp
 		w.clock = a.at
+		rt.countOverhead(w, trace.OvQueue, rt.cfg.Costs.QueueOp)
+		if rt.met != nil {
+			rt.met.W(w.id).QueueOps++
+		}
 	}
 	rt.runOn(w, a.t)
 }
@@ -256,6 +280,10 @@ func (rt *runtime) runOn(w *worker, t *task) {
 		t.started = true
 		t.owner = w.id
 		t.rec.StartTime = w.clock
+		if rt.met != nil {
+			rt.met.Def(t.rec.Loc).Grains++
+		}
+		rt.emitInstant(trace.KindTaskStart, w.clock, w.id, -1, t.rec.ID, t.rec.Loc)
 		body := t.body
 		ctx := &taskCtx{rt: rt, t: t}
 		t.coro = sim.NewCoro(func(*sim.Coro) { body(ctx) })
@@ -285,13 +313,17 @@ func (rt *runtime) endFragment(t *task, at sim.Time) {
 		Start: t.fragStart, End: at, Core: t.owner, Counters: t.cur,
 	})
 	w.busy += at - t.fragStart
+	rt.countGrain(t.owner, t.rec.Loc, at-t.fragStart, t.cur)
+	rt.emitSpan(trace.KindFragment, t.fragStart, at, t.owner, t.rec.ID, t.rec.Loc, t.cur)
 }
 
 func (rt *runtime) finishTask(w *worker, t *task) {
 	rt.endFragment(t, w.clock)
 	t.rec.EndTime = w.clock
+	rt.emitInstant(trace.KindTaskEnd, w.clock, w.id, -1, t.rec.ID, t.rec.Loc)
 	w.clock += rt.cfg.Costs.TaskEnd
 	w.overhead += rt.cfg.Costs.TaskEnd
+	rt.countOverhead(w, trace.OvTaskEnd, rt.cfg.Costs.TaskEnd)
 	rt.live--
 	if w.clock > rt.maxTime {
 		rt.maxTime = w.clock
@@ -336,4 +368,5 @@ func (rt *runtime) finalize() {
 			Busy: w.busy, Overhead: w.overhead,
 		})
 	}
+	rt.finalizeMetrics()
 }

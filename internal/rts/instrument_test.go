@@ -1,0 +1,183 @@
+package rts
+
+import (
+	"testing"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/trace"
+)
+
+// fibProgram is a spawn-heavy recursive workload that exercises steals,
+// parks and resumes on a few cores.
+func fibProgram(n int) func(Ctx) {
+	var fib func(c Ctx, n int)
+	fib = func(c Ctx, n int) {
+		if n < 2 {
+			c.Compute(100)
+			return
+		}
+		c.Spawn(testLoc(1, "fib"), func(c Ctx) { fib(c, n-1) })
+		c.Spawn(testLoc(1, "fib"), func(c Ctx) { fib(c, n-2) })
+		c.TaskWait()
+		c.Compute(50)
+	}
+	return func(c Ctx) { fib(c, n) }
+}
+
+func loopyProgram(c Ctx) {
+	c.Compute(500)
+	c.For(testLoc(2, "loop"), 0, 64,
+		ForOpt{Schedule: profile.ScheduleDynamic, Chunk: 4},
+		func(c Ctx, lo, hi int) { c.Compute(uint64(300 * (hi - lo))) })
+	c.Spawn(testLoc(3, "tail"), func(c Ctx) { c.Compute(2000) })
+	c.TaskWait()
+}
+
+// instrumentedRun runs prog twice under cfg — once bare, once with a
+// sink and registry attached — and returns both traces plus the
+// instrumentation artifacts.
+func instrumentedRun(t *testing.T, cfg Config, prog func(Ctx)) (bare, inst *profile.Trace, sink *trace.RingSink, met *trace.Metrics) {
+	t.Helper()
+	bare = Run(cfg, prog)
+	sink = trace.NewRingSink(1 << 20)
+	met = trace.NewMetrics()
+	icfg := cfg
+	icfg.Trace = sink
+	icfg.Metrics = met
+	inst = Run(icfg, prog)
+	return
+}
+
+// TestInstrumentationDoesNotPerturb: attaching a sink and a metrics
+// registry must not change the simulation at all — same makespan, same
+// per-worker time splits, same grain count.
+func TestInstrumentationDoesNotPerturb(t *testing.T) {
+	bare, inst, _, _ := instrumentedRun(t, smallConfig(4), fibProgram(10))
+	if bare.Makespan() != inst.Makespan() {
+		t.Fatalf("instrumentation changed makespan: %d vs %d", bare.Makespan(), inst.Makespan())
+	}
+	if len(bare.Tasks) != len(inst.Tasks) {
+		t.Fatalf("instrumentation changed task count: %d vs %d", len(bare.Tasks), len(inst.Tasks))
+	}
+	for i := range bare.Workers {
+		b, n := bare.Workers[i], inst.Workers[i]
+		if b.Busy != n.Busy || b.Overhead != n.Overhead {
+			t.Errorf("worker %d time split changed: busy %d/%d overhead %d/%d",
+				i, b.Busy, n.Busy, b.Overhead, n.Overhead)
+		}
+	}
+}
+
+// TestMetricsConservation: the registry's per-worker time split must
+// reconcile cycle-for-cycle with the profile's worker stats, its
+// per-kind overhead split must sum to the total, and
+// busy+overhead+idle must equal the makespan for every worker.
+func TestMetricsConservation(t *testing.T) {
+	for _, prog := range []struct {
+		name string
+		fn   func(Ctx)
+	}{{"fib", fibProgram(11)}, {"loop", loopyProgram}} {
+		t.Run(prog.name, func(t *testing.T) {
+			_, tr, _, met := instrumentedRun(t, smallConfig(4), prog.fn)
+			if met.Makespan != tr.Makespan() {
+				t.Fatalf("metrics makespan %d, trace %d", met.Makespan, tr.Makespan())
+			}
+			for i := range met.Workers {
+				wm := &met.Workers[i]
+				ws := tr.Workers[i]
+				if wm.Busy != ws.Busy {
+					t.Errorf("worker %d busy: metrics %d, profile %d", i, wm.Busy, ws.Busy)
+				}
+				if wm.Overhead != ws.Overhead {
+					t.Errorf("worker %d overhead: metrics %d, profile %d", i, wm.Overhead, ws.Overhead)
+				}
+				if got := met.OverheadOf(i); got != wm.Overhead {
+					t.Errorf("worker %d overhead split sums to %d, total %d", i, got, wm.Overhead)
+				}
+				if sum := wm.Busy + wm.Overhead + wm.Idle; sum != met.Makespan {
+					t.Errorf("worker %d busy+overhead+idle = %d ≠ makespan %d", i, sum, met.Makespan)
+				}
+			}
+		})
+	}
+}
+
+// TestEventStreamMatchesMetrics: with an undropped sink, the counted
+// events of each kind must equal the registry's counters, and span
+// events must be well-formed.
+func TestEventStreamMatchesMetrics(t *testing.T) {
+	_, tr, sink, met := instrumentedRun(t, smallConfig(4), fibProgram(10))
+	if sink.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events; enlarge the test capacity", sink.Dropped())
+	}
+	counts := map[trace.Kind]uint64{}
+	var fragments int
+	for _, e := range sink.Events() {
+		counts[e.Kind]++
+		if e.Start > e.At {
+			t.Fatalf("event %v has Start %d > At %d", e.Kind, e.Start, e.At)
+		}
+		if e.Kind == trace.KindFragment {
+			fragments++
+		}
+		if e.Worker < 0 || e.Worker >= tr.Cores {
+			t.Fatalf("event %v on out-of-range worker %d", e.Kind, e.Worker)
+		}
+	}
+	if counts[trace.KindSteal] != met.Steals() {
+		t.Errorf("steal events %d, registry %d", counts[trace.KindSteal], met.Steals())
+	}
+	if counts[trace.KindPark] != met.Parks() {
+		t.Errorf("park events %d, registry %d", counts[trace.KindPark], met.Parks())
+	}
+	if counts[trace.KindResume] != met.Resumes() {
+		t.Errorf("resume events %d, registry %d", counts[trace.KindResume], met.Resumes())
+	}
+	if counts[trace.KindTaskSpawn] != met.Spawns() {
+		t.Errorf("spawn events %d, registry %d", counts[trace.KindTaskSpawn], met.Spawns())
+	}
+	if met.Steals() == 0 {
+		t.Error("fib on 4 cores should steal at least once")
+	}
+	if met.Parks() == 0 || met.Parks() != met.Resumes() {
+		t.Errorf("parks %d / resumes %d, want equal and nonzero", met.Parks(), met.Resumes())
+	}
+	// Every profiled fragment must have produced a fragment event.
+	want := 0
+	for _, task := range tr.Tasks {
+		want += len(task.Fragments)
+	}
+	if fragments != want {
+		t.Errorf("fragment events %d, profile has %d fragments", fragments, want)
+	}
+}
+
+// TestMetricsBusyMatchesGrainExec: the per-definition exec aggregate
+// must cover exactly the busy cycles of the run.
+func TestMetricsBusyMatchesGrainExec(t *testing.T) {
+	_, tr, _, met := instrumentedRun(t, smallConfig(4), loopyProgram)
+	var defExec, busy profile.Time
+	for _, d := range met.SortedDefs() {
+		defExec += d.Exec
+	}
+	for i := range tr.Workers {
+		busy += tr.Workers[i].Busy
+	}
+	if defExec != busy {
+		t.Errorf("per-definition exec %d ≠ total busy %d", defExec, busy)
+	}
+}
+
+// TestCentralQueueMetrics: the central-queue scheduler books queue ops
+// instead of deque traffic.
+func TestCentralQueueMetrics(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.Scheduler = CentralQueueSched
+	_, _, _, met := instrumentedRun(t, cfg, fibProgram(9))
+	if met.QueueOps() == 0 {
+		t.Error("central-queue run recorded no queue ops")
+	}
+	if met.Steals() != 0 {
+		t.Errorf("central-queue run recorded %d steals, want 0", met.Steals())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"graingraph/internal/machine"
 	"graingraph/internal/profile"
 	"graingraph/internal/sim"
+	"graingraph/internal/trace"
 )
 
 // loopThread is one worker's state while executing a parallel for-loop.
@@ -129,6 +130,7 @@ func (rt *runtime) runLoop(t *task, loc profile.SrcLoc, lo, hi int, opt ForOpt, 
 		rt.trace.Bookkeeps = append(rt.trace.Bookkeeps, &profile.BookkeepRecord{
 			Loop: id, Thread: th.w.id, Grabs: th.grabs, Total: th.bookkeep,
 		})
+		rt.countOverhead(th.w, trace.OvBookkeep, th.bookkeep)
 	}
 	if end > rt.maxTime {
 		rt.maxTime = end
@@ -147,6 +149,12 @@ func (rt *runtime) execChunk(rec *profile.LoopRecord, th *loopThread, seq, clo, 
 	ck.End = th.clock
 	th.w.busy += ck.End - ck.Start
 	rt.trace.Chunks = append(rt.trace.Chunks, ck)
+	if rt.met != nil {
+		rt.met.Def(rec.Loc).Grains++
+	}
+	rt.countGrain(th.w.id, rec.Loc, ck.End-ck.Start, ck.Counters)
+	rt.emitSpan(trace.KindChunk, ck.Start, ck.End, th.w.id,
+		ck.ID(rec.StartThread), rec.Loc, ck.Counters)
 }
 
 // runStatic precomputes round-robin chunk assignment. A zero chunk size

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"graingraph/internal/profile"
+	"graingraph/internal/trace"
 )
 
 // ThreadRow is one worker's aggregate time split.
@@ -36,17 +37,77 @@ type View struct {
 	Rows     []ThreadRow
 }
 
-// FromTrace builds the timeline view from a profiled trace.
+// FromTrace builds the timeline view from a profiled trace. It panics if
+// any worker's busy+overhead exceeds the makespan: idle is derived as the
+// remainder, so an overshoot means busy+overhead+idle ≠ makespan·workers —
+// a runtime accounting bug that must not be papered over.
 func FromTrace(tr *profile.Trace) *View {
 	v := &View{Program: tr.Program, Makespan: tr.Makespan()}
 	for i, ws := range tr.Workers {
 		row := ThreadRow{Worker: i, Busy: ws.Busy, Overhead: ws.Overhead}
-		if used := ws.Busy + ws.Overhead; used < v.Makespan {
+		if used := ws.Busy + ws.Overhead; used > v.Makespan {
+			panic(fmt.Sprintf(
+				"timeline: worker %d busy+overhead = %d exceeds makespan %d — runtime time accounting is broken",
+				i, used, v.Makespan))
+		} else {
 			row.Idle = v.Makespan - used
 		}
 		v.Rows = append(v.Rows, row)
 	}
 	return v
+}
+
+// FromMetrics builds the timeline view directly from the runtime's
+// counter registry instead of the trace reconstruction — the two must
+// agree (see CrossCheck).
+func FromMetrics(program string, m *trace.Metrics) *View {
+	v := &View{Program: program, Makespan: m.Makespan}
+	for i := range m.Workers {
+		wm := &m.Workers[i]
+		v.Rows = append(v.Rows, ThreadRow{
+			Worker: i, Busy: wm.Busy, Overhead: wm.Overhead, Idle: wm.Idle,
+		})
+	}
+	return v
+}
+
+// CrossCheck verifies the trace-reconstructed view against the runtime's
+// own metrics registry: per-worker busy and overhead must match
+// cycle-for-cycle, the registry's per-kind overhead split must sum to its
+// total, and busy+overhead+idle must equal the makespan for every worker.
+func (v *View) CrossCheck(m *trace.Metrics) error {
+	if len(v.Rows) != len(m.Workers) {
+		return fmt.Errorf("timeline: view has %d workers, metrics registry %d",
+			len(v.Rows), len(m.Workers))
+	}
+	if v.Makespan != m.Makespan {
+		return fmt.Errorf("timeline: makespan mismatch: view %d, metrics %d",
+			v.Makespan, m.Makespan)
+	}
+	for i := range v.Rows {
+		r, wm := &v.Rows[i], &m.Workers[i]
+		if r.Busy != wm.Busy {
+			return fmt.Errorf("timeline: worker %d busy mismatch: trace %d, metrics %d",
+				i, r.Busy, wm.Busy)
+		}
+		if r.Overhead != wm.Overhead {
+			return fmt.Errorf("timeline: worker %d overhead mismatch: trace %d, metrics %d",
+				i, r.Overhead, wm.Overhead)
+		}
+		if byKind := m.OverheadOf(i); byKind != wm.Overhead {
+			return fmt.Errorf("timeline: worker %d overhead split sums to %d, total says %d",
+				i, byKind, wm.Overhead)
+		}
+		if sum := r.Busy + r.Overhead + r.Idle; sum != v.Makespan {
+			return fmt.Errorf("timeline: worker %d busy+overhead+idle = %d ≠ makespan %d",
+				i, sum, v.Makespan)
+		}
+		if sum := wm.Busy + wm.Overhead + wm.Idle; sum != m.Makespan {
+			return fmt.Errorf("timeline: metrics worker %d busy+overhead+idle = %d ≠ makespan %d",
+				i, sum, m.Makespan)
+		}
+	}
+	return nil
 }
 
 // LoadImbalance is the classic thread-level statistic the paper says is

@@ -1,0 +1,141 @@
+// Package trace is the runtime observability layer: a structured,
+// low-overhead event stream emitted by the simulated runtime
+// (internal/rts) through a pluggable Sink, plus an always-cheap Metrics
+// registry of scheduler and cache/NUMA counters.
+//
+// The event stream records what the runtime *did* (task spawn, start,
+// steal, park, resume, end; chunk dispatch; per-fragment cache-counter
+// snapshots) in virtual-time order, which is the substrate every later
+// analysis — Perfetto export, what-if studies, regression detection — is
+// built on. Both facilities are strictly opt-in: a nil Sink / nil Metrics
+// in rts.Config keeps the hot path untouched.
+package trace
+
+import (
+	"graingraph/internal/cache"
+	"graingraph/internal/profile"
+)
+
+// Kind is the event type.
+type Kind uint8
+
+const (
+	// KindTaskSpawn records a task creation by its parent.
+	KindTaskSpawn Kind = iota
+	// KindTaskStart records a task's first fragment beginning execution.
+	KindTaskStart
+	// KindSteal records a successful steal: Worker is the thief, Victim
+	// the deque owner the task was taken from.
+	KindSteal
+	// KindPark records a task suspending at a taskwait.
+	KindPark
+	// KindResume records a suspended task resuming on its owner worker.
+	KindResume
+	// KindTaskEnd records a task finishing its last fragment.
+	KindTaskEnd
+	// KindFragment records a completed execution fragment of a task,
+	// carrying the cache-counter snapshot accumulated over the fragment.
+	KindFragment
+	// KindChunk records a dispatched-and-executed parallel-for chunk,
+	// carrying its cache-counter snapshot.
+	KindChunk
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTaskSpawn:
+		return "spawn"
+	case KindTaskStart:
+		return "start"
+	case KindSteal:
+		return "steal"
+	case KindPark:
+		return "park"
+	case KindResume:
+		return "resume"
+	case KindTaskEnd:
+		return "end"
+	case KindFragment:
+		return "fragment"
+	case KindChunk:
+		return "chunk"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured runtime event. Instant events (spawn, start,
+// steal, park, resume, end) have Start == At; span events (fragment,
+// chunk) cover [Start, At).
+type Event struct {
+	Kind   Kind
+	Start  profile.Time // span begin; == At for instant events
+	At     profile.Time // event time / span end
+	Worker int          // executing (or thieving) worker
+	Victim int          // KindSteal: the deque owner; -1 otherwise
+	Grain  profile.GrainID
+	Loc    profile.SrcLoc
+	// Counters is the cache-counter snapshot of the fragment or chunk
+	// (KindFragment / KindChunk only).
+	Counters cache.Counters
+}
+
+// Sink receives runtime events in virtual-time emission order. The
+// runtime is single-threaded per simulation, so implementations need no
+// locking; a native (wall-clock) producer must wrap the sink itself.
+type Sink interface {
+	Emit(Event)
+}
+
+// DefaultRingCapacity is the RingSink capacity used when none is given.
+const DefaultRingCapacity = 1 << 16
+
+// RingSink is a bounded ring-buffer Sink. When full it overwrites the
+// oldest events, so the buffer always holds the most recent window;
+// Dropped reports how many events were overwritten.
+type RingSink struct {
+	buf   []Event
+	next  int    // write cursor
+	total uint64 // events ever emitted
+}
+
+// NewRingSink returns a ring sink holding at most capacity events
+// (DefaultRingCapacity if capacity <= 0).
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &RingSink{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends e, overwriting the oldest event when full.
+func (s *RingSink) Emit(e Event) {
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, e)
+	} else {
+		s.buf[s.next] = e
+	}
+	s.next = (s.next + 1) % cap(s.buf)
+	s.total++
+}
+
+// Len returns the number of buffered events.
+func (s *RingSink) Len() int { return len(s.buf) }
+
+// Total returns the number of events ever emitted.
+func (s *RingSink) Total() uint64 { return s.total }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (s *RingSink) Dropped() uint64 { return s.total - uint64(len(s.buf)) }
+
+// Events returns the buffered events in emission order (oldest first).
+func (s *RingSink) Events() []Event {
+	out := make([]Event, 0, len(s.buf))
+	if len(s.buf) == cap(s.buf) { // wrapped: oldest is at the cursor
+		out = append(out, s.buf[s.next:]...)
+		out = append(out, s.buf[:s.next]...)
+		return out
+	}
+	return append(out, s.buf...)
+}
