@@ -11,11 +11,29 @@
 package graingraph_test
 
 import (
+	"flag"
+	"os"
 	"testing"
 
 	"graingraph/internal/expt"
 	"graingraph/internal/rts"
 )
+
+// jobs bounds how many simulations the experiment engine runs in flight:
+//
+//	go test -bench=. -benchtime=1x .        # parallel (all CPUs)
+//	go test -bench=. -benchtime=1x -j 1 .   # serial fallback, for comparison
+//
+// Output is byte-identical either way; only wall time changes. Runs shared
+// between figures (e.g. Sort's default 48-core run) are memoized, so a
+// full pass executes each distinct simulation once.
+var jobs = flag.Int("j", 0, "simulation parallelism; 1 = serial, <=0 = all CPUs")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	expt.SetParallelism(*jobs)
+	os.Exit(m.Run())
+}
 
 // BenchmarkFigure1_Speedups regenerates Figure 1: before/after-optimization
 // speedups for the five case-study programs under three runtime flavours.

@@ -7,11 +7,18 @@
 //	grainbench -fig 1        # only Figure 1
 //	grainbench -fig sort     # only the Sort problem table (§4.3.1)
 //	grainbench -cores 16     # override the core count for Figure 1
+//	grainbench -j 8          # at most 8 simulations in flight (-j 1: serial)
+//	grainbench -benchjson BENCH_all.json
+//	                         # record per-figure wall time + engine stats
 //	grainbench -fig sort -trace sort.json -stats
 //	                         # + Perfetto trace and runtime-metrics footers
 //
 // Figure IDs: 1, 2, 4, 5, 6, 7, 8, 9 (covers 9/10 + Table 1), 11,
 // "sort" (the §4.3.1 table), "others" (§4.3.6).
+//
+// Simulation runs are deterministic, memoized and independent, so figures
+// fan their runs across -j workers (default: all CPUs) and the printed
+// tables are byte-identical at every -j, including -j 1.
 //
 // -trace writes every simulated run of the selected figures as one
 // Chrome-trace JSON file, openable at ui.perfetto.dev: one process per
@@ -25,10 +32,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"graingraph/internal/export"
 	"graingraph/internal/expt"
@@ -37,10 +46,13 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,all)")
 	cores := flag.Int("cores", 48, "core count for speedup experiments")
+	jobs := flag.Int("j", 0, "max simulations in flight; 1 = serial, <=0 = all CPUs")
+	benchOut := flag.String("benchjson", "", "write a per-figure wall-time/engine-stats benchmark report to this JSON file")
 	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace of all simulated runs to this file")
 	stats := flag.Bool("stats", false, "print a runtime-metrics footer after each figure")
 	flag.Parse()
 
+	expt.SetParallelism(*jobs)
 	if *traceOut != "" || *stats {
 		expt.Instr = &expt.Instrumentation{
 			CaptureEvents: *traceOut != "",
@@ -68,12 +80,26 @@ func main() {
 	}
 	ran := false
 	var failed []string
+	var report benchReport
+	start := time.Now()
 	for _, s := range steps {
 		if *fig != "all" && *fig != s.id {
 			continue
 		}
 		ran = true
-		if err := s.run(); err != nil {
+		simBefore, memoBefore := expt.MemoStats()
+		figStart := time.Now()
+		err := s.run()
+		fr := benchFigure{
+			ID:     s.id,
+			OK:     err == nil,
+			WallMS: float64(time.Since(figStart)) / float64(time.Millisecond),
+		}
+		sim, memo := expt.MemoStats()
+		fr.Simulated = sim - simBefore
+		fr.Memoized = memo - memoBefore
+		report.Figures = append(report.Figures, fr)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: figure %s: %v\n", s.id, err)
 			failed = append(failed, s.id)
 			continue
@@ -85,6 +111,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *benchOut != "" {
+		report.Parallelism = expt.Parallelism()
+		report.Cores = *cores
+		report.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		report.Simulated, report.Memoized = expt.MemoStats()
+		if err := writeBenchJSON(*benchOut, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
+			failed = append(failed, "benchjson")
+		}
+	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
@@ -96,6 +132,44 @@ func main() {
 			len(failed), strings.Join(failed, ", "))
 		os.Exit(1)
 	}
+}
+
+// benchFigure is one figure's entry in the -benchjson report.
+type benchFigure struct {
+	ID     string  `json:"id"`
+	OK     bool    `json:"ok"`
+	WallMS float64 `json:"wall_ms"`
+	// Simulated counts the rts.Run executions this figure triggered;
+	// Memoized counts the run requests it satisfied from the cache.
+	Simulated uint64 `json:"simulated_runs"`
+	Memoized  uint64 `json:"memoized_runs"`
+}
+
+// benchReport is the -benchjson output: per-figure wall time plus the
+// experiment engine's totals for the whole invocation.
+type benchReport struct {
+	Parallelism int           `json:"parallelism"`
+	Cores       int           `json:"cores"`
+	WallMS      float64       `json:"wall_ms"`
+	Simulated   uint64        `json:"simulated_runs"`
+	Memoized    uint64        `json:"memoized_runs"`
+	Figures     []benchFigure `json:"figures"`
+}
+
+// writeBenchJSON writes the benchmark report (conventionally named
+// BENCH_<what>.json) for regression tracking across commits.
+func writeBenchJSON(path string, r *benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing benchmark report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "grainbench: wrote %s (%d figures, %.0f ms, %d simulated / %d memoized runs)\n",
+		path, len(r.Figures), r.WallMS, r.Simulated, r.Memoized)
+	return nil
 }
 
 // writeTrace exports every instrumented run as one Perfetto trace file.

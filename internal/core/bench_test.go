@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+)
+
+// benchTrace profiles a moderately deep fork-join tree (2^depth leaf
+// tasks), the shape Build spends most of its time on when analyzing the
+// recursive BOTS programs.
+func benchTrace(depth int) *profile.Trace {
+	var tree func(c rts.Ctx, d int)
+	tree = func(c rts.Ctx, d int) {
+		if d == 0 {
+			c.Compute(500)
+			return
+		}
+		c.Spawn(profile.Loc("bench.go", 10+d, "left"), func(c rts.Ctx) { tree(c, d-1) })
+		c.Spawn(profile.Loc("bench.go", 20+d, "right"), func(c rts.Ctx) { tree(c, d-1) })
+		c.Compute(100)
+		c.TaskWait()
+	}
+	return rts.Run(rts.Config{Program: "bench-tree", Cores: 48, Seed: 7}, func(c rts.Ctx) {
+		tree(c, depth)
+	})
+}
+
+// BenchmarkBuild measures grain-graph construction (node/edge assembly plus
+// the critical-path pass) from an 8k-task trace.
+func BenchmarkBuild(b *testing.B) {
+	tr := benchTrace(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Build(tr)
+		if g == nil {
+			b.Fatal("nil graph")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package expt
+
+import (
+	"runtime"
+	"testing"
+)
+
+// figure1Bench regenerates Figure 1 at the given parallelism with a cold
+// memo cache, so every simulation executes for real and the serial/parallel
+// pair measures the pool itself.
+func figure1Bench(b *testing.B, jobs int) {
+	prev := Parallelism()
+	SetParallelism(jobs)
+	defer SetParallelism(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResetMemo()
+		if _, err := Figure1(nil, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Serial is the -j 1 half of the speedup pair: all 35 runs
+// execute sequentially on the calling goroutine.
+func BenchmarkFigure1Serial(b *testing.B) { figure1Bench(b, 1) }
+
+// BenchmarkFigure1Parallel is the -j GOMAXPROCS half: the same 35 runs fan
+// out across the worker pool. On an N-core machine the wall-time ratio to
+// BenchmarkFigure1Serial approaches min(N, 35); on one core it is ~1.
+func BenchmarkFigure1Parallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	figure1Bench(b, 0)
+}
+
+// BenchmarkMemoizedFigure1 measures the warm-cache path: after the first
+// regeneration, every run request is a memo hit and regeneration cost is
+// pure analysis.
+func BenchmarkMemoizedFigure1(b *testing.B) {
+	prev := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(prev)
+	ResetMemo()
+	if _, err := Figure1(nil, 48); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure1(nil, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

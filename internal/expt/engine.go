@@ -1,0 +1,223 @@
+// The experiment engine: every simulated run in this package flows through
+// simulate(), which layers two mechanisms over rts.Run:
+//
+//   - A content-addressed memoization cache. Runs are keyed by (workload
+//     content key, machine config, runtime knobs, instrumentation mode), so
+//     a run shared between figures — the default Sort/48-core/seed-1 run
+//     appears in Figure 4, Figure 5 and the §4.3.1 table — executes exactly
+//     once per process, with single-flight semantics under concurrency.
+//     The simulator is deterministic, so a cached trace is bit-identical to
+//     the rerun it replaces.
+//
+//   - A bounded worker pool (internal/runpool). Figures batch their
+//     independent runs through runBatch/makespanBatch, which fan out across
+//     SetParallelism workers and assemble results strictly by submission
+//     index — never by completion order — so figure output is byte-identical
+//     for every -j, including the serial fallback -j 1.
+//
+// Each simulation is fully self-contained: rts.Run builds a private
+// topology, memory, cache hierarchy and RNG per run, workload instances are
+// constructed per request inside the worker that runs them, and the shared
+// trace objects handed out by the cache are immutable after finalization
+// (profile.Trace's lazy indexes are built under sync.Once).
+package expt
+
+import (
+	"fmt"
+	"sync"
+
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+	"graingraph/internal/runpool"
+	"graingraph/internal/trace"
+	"graingraph/internal/workloads"
+)
+
+var (
+	poolMu sync.Mutex
+	pool   = runpool.New(1) // serial by default; cmds and tests opt in to -j
+)
+
+// simMemo caches verified simulation runs for the life of the process.
+var simMemo = runpool.NewCache[*simResult]()
+
+// SetParallelism bounds how many simulations run concurrently: the -j flag.
+// j == 1 is the strict serial fallback (runs execute in submission order on
+// the calling goroutine); j <= 0 selects GOMAXPROCS. Set it before
+// regenerating figures, not concurrently with them.
+func SetParallelism(j int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if j == 1 {
+		pool = runpool.New(1)
+		return
+	}
+	pool = runpool.New(j)
+}
+
+// Parallelism returns the current worker bound.
+func Parallelism() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return pool.Workers()
+}
+
+func currentPool() *runpool.Runner {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return pool
+}
+
+// ResetMemo drops every cached simulation. Benchmarks use it so that
+// repeated regenerations measure real work, and the determinism tests use
+// it so both sides of a -j comparison execute their runs for real.
+func ResetMemo() { simMemo.Reset() }
+
+// MemoStats reports how many simulations actually executed and how many
+// requests were served from the cache since process start or the last
+// ResetMemo.
+func MemoStats() (simulated, memoized uint64) { return simMemo.Stats() }
+
+// simResult is one verified simulation's immutable artifact set.
+type simResult struct {
+	trace   *profile.Trace
+	metrics *trace.Metrics
+	events  []trace.Event
+	dropped uint64
+}
+
+// simKey content-addresses a run request, covering the workload's full
+// input configuration and every runtime knob that shapes the trace. The
+// second return is false when the request cannot be fingerprinted (workload
+// without a content key, or a caller-supplied topology/sink we cannot
+// hash); such runs execute unconditionally.
+func simKey(inst workloads.Instance, rcfg rts.Config) (runpool.Key, bool) {
+	keyed, ok := inst.(workloads.Keyed)
+	if !ok || rcfg.Topology != nil || rcfg.Trace != nil || rcfg.Metrics != nil {
+		return runpool.Key{}, false
+	}
+	instr := "plain"
+	if ins := Instr; ins != nil {
+		// Cached artifacts include the metrics registry and event stream, so
+		// the instrumentation mode is part of the address.
+		instr = fmt.Sprintf("instr|events=%v|cap=%d", ins.CaptureEvents, ins.Capacity)
+	}
+	cfgSig := fmt.Sprintf("%s|c%d|%v|%v|%v|t%d|s%d|%+v|%+v|%+v",
+		rcfg.Program, rcfg.Cores, rcfg.Flavor, rcfg.Scheduler, rcfg.Policy,
+		rcfg.ThrottleLimit, rcfg.Seed, rcfg.Cache, rcfg.Costs, rcfg.RootLoc)
+	return runpool.KeyOf(keyed.Key(), cfgSig, instr), true
+}
+
+// simulate executes (or recalls) one verified simulation run. On a memo hit
+// the workload does not re-execute — the cached trace is identical to what
+// a rerun would produce, and verification already passed (or its error is
+// replayed). The returned InstrumentedRun (nil when instrumentation is off)
+// is a fresh per-call record carrying this call's label, so footers and
+// trace exports list every request in submission order whether or not it
+// was deduplicated.
+func simulate(inst workloads.Instance, rcfg rts.Config, label string) (*profile.Trace, *InstrumentedRun, error) {
+	ins := Instr
+	compute := func() (*simResult, error) {
+		runCfg := rcfg
+		r := &simResult{}
+		var sink *trace.RingSink
+		if ins != nil {
+			r.metrics = trace.NewMetrics()
+			runCfg.Metrics = r.metrics
+			if ins.CaptureEvents {
+				sink = trace.NewRingSink(ins.Capacity)
+				runCfg.Trace = sink
+			}
+		}
+		r.trace = rts.Run(runCfg, inst.Program())
+		if sink != nil {
+			r.events = sink.Events()
+			r.dropped = sink.Dropped()
+		}
+		if err := inst.Verify(); err != nil {
+			return r, err
+		}
+		return r, nil
+	}
+
+	var (
+		r   *simResult
+		err error
+	)
+	if key, ok := simKey(inst, rcfg); ok {
+		r, err, _ = simMemo.Do(key, compute)
+	} else {
+		r, err = compute()
+	}
+	if r == nil {
+		return nil, nil, err
+	}
+	var irun *InstrumentedRun
+	if ins != nil {
+		irun = &InstrumentedRun{
+			Label: label, Trace: r.trace, Metrics: r.metrics,
+			Events: r.events, Dropped: r.dropped,
+		}
+	}
+	return r.trace, irun, err
+}
+
+// runReq is one simulation request in a figure's batch: a workload factory
+// (the instance is constructed inside the worker that runs it, keeping
+// mutable workload state goroutine-local), a run configuration, and an
+// error-context prefix.
+type runReq struct {
+	mk   func() workloads.Instance
+	cfg  Config
+	wrap string
+}
+
+func wrapErr(wrap string, err error) error {
+	if err == nil || wrap == "" {
+		return err
+	}
+	return fmt.Errorf("%s: %w", wrap, err)
+}
+
+// runBatch performs the requests' full analyses (expt.Run each) across the
+// pool. Results are ordered by request index; instrumented runs are
+// recorded in request order after the whole batch completes, so the
+// observability stream is identical at every parallelism level. All
+// requests execute even if some fail; the returned error is the failing
+// request with the lowest index.
+func runBatch(reqs []runReq) ([]*Result, error) {
+	type out struct {
+		res   *Result
+		iruns []*InstrumentedRun
+	}
+	outs, err := runpool.Map(currentPool(), len(reqs), func(i int) (out, error) {
+		res, iruns, rerr := runOne(reqs[i].mk(), reqs[i].cfg)
+		return out{res, iruns}, wrapErr(reqs[i].wrap, rerr)
+	})
+	results := make([]*Result, len(outs))
+	for i, o := range outs {
+		record(o.iruns)
+		results[i] = o.res
+	}
+	return results, err
+}
+
+// makespanBatch performs the requests as makespan measurements (expt.
+// Makespan each) across the pool, with the same ordering guarantees as
+// runBatch.
+func makespanBatch(reqs []runReq) ([]uint64, error) {
+	type out struct {
+		mk    uint64
+		iruns []*InstrumentedRun
+	}
+	outs, err := runpool.Map(currentPool(), len(reqs), func(i int) (out, error) {
+		mk, iruns, rerr := makespanOne(reqs[i].mk(), reqs[i].cfg)
+		return out{mk, iruns}, wrapErr(reqs[i].wrap, rerr)
+	})
+	makespans := make([]uint64, len(outs))
+	for i, o := range outs {
+		record(o.iruns)
+		makespans[i] = o.mk
+	}
+	return makespans, err
+}

@@ -11,6 +11,7 @@ package expt
 import (
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 
 	"graingraph/internal/core"
@@ -40,6 +41,10 @@ type InstrumentedRun struct {
 // by Run/Makespan attaches a metrics registry (and, with CaptureEvents,
 // a bounded ring-buffer event sink) and records the result in Runs.
 // The cmds enable it for their -trace / -stats flags.
+//
+// Recording is serialized internally, but figures always append their
+// batches in request order (see runBatch), so Runs has the same contents
+// in the same order at every parallelism level.
 type Instrumentation struct {
 	// CaptureEvents attaches a trace.RingSink of Capacity events to each
 	// run (Perfetto export needs it); metrics alone are much cheaper.
@@ -52,34 +57,23 @@ type Instrumentation struct {
 
 	Runs []*InstrumentedRun
 
+	mu         sync.Mutex
 	footerMark int // Runs already covered by a previous footer
 }
 
 // Instr, when non-nil, instruments every simulated run in this package.
-// The experiment harness is single-threaded per process; set it once
-// before running figures.
+// Set it once before running figures, not while they execute.
 var Instr *Instrumentation
 
-// runSim wraps rts.Run with the optional instrumentation.
-func runSim(rcfg rts.Config, program func(rts.Ctx), label string) (*profile.Trace, *InstrumentedRun) {
-	if Instr == nil {
-		return rts.Run(rcfg, program), nil
+// record appends instrumented runs to the global stream.
+func record(iruns []*InstrumentedRun) {
+	ins := Instr
+	if ins == nil || len(iruns) == 0 {
+		return
 	}
-	met := trace.NewMetrics()
-	rcfg.Metrics = met
-	var sink *trace.RingSink
-	if Instr.CaptureEvents {
-		sink = trace.NewRingSink(Instr.Capacity)
-		rcfg.Trace = sink
-	}
-	tr := rts.Run(rcfg, program)
-	run := &InstrumentedRun{Label: label, Trace: tr, Metrics: met}
-	if sink != nil {
-		run.Events = sink.Events()
-		run.Dropped = sink.Dropped()
-	}
-	Instr.Runs = append(Instr.Runs, run)
-	return tr, run
+	ins.mu.Lock()
+	ins.Runs = append(ins.Runs, iruns...)
+	ins.mu.Unlock()
 }
 
 // runLabel names an instrumented run after its workload and config.
@@ -94,6 +88,8 @@ func runLabel(program string, cfg Config, cores int, suffix string) string {
 // WriteFooter prints a one-line runtime-metrics summary for every run
 // recorded since the previous footer, then advances the mark.
 func (ins *Instrumentation) WriteFooter(w io.Writer) {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
 	runs := ins.Runs[ins.footerMark:]
 	ins.footerMark = len(ins.Runs)
 	if len(runs) == 0 {
@@ -135,10 +131,9 @@ type Config struct {
 	WorkDeviationMax float64
 }
 
-// Run executes inst under cfg, verifies its computational result, and
-// derives the full metric set.
-func Run(inst workloads.Instance, cfg Config) (*Result, error) {
-	rcfg := rts.Config{
+// rtsConfig translates a harness Config into a run configuration.
+func rtsConfig(inst workloads.Instance, cfg Config) rts.Config {
+	return rts.Config{
 		Program:   inst.Name(),
 		Cores:     cfg.Cores,
 		Flavor:    cfg.Flavor,
@@ -146,19 +141,34 @@ func Run(inst workloads.Instance, cfg Config) (*Result, error) {
 		Seed:      cfg.Seed,
 		Policy:    cfg.Policy,
 	}
+}
 
+// runOne is Run without the instrumentation recording: it returns the
+// instrumented runs it produced so batch callers can record them in
+// request order after the whole batch completes.
+func runOne(inst workloads.Instance, cfg Config) (*Result, []*InstrumentedRun, error) {
+	rcfg := rtsConfig(inst, cfg)
+
+	var iruns []*InstrumentedRun
 	var baseline *profile.Trace
 	if cfg.Baseline {
 		bcfg := rcfg
 		bcfg.Cores = 1
-		baseline, _ = runSim(bcfg, inst.Program(), runLabel(inst.Name(), cfg, 1, "baseline"))
-		if err := inst.Verify(); err != nil {
-			return nil, fmt.Errorf("baseline run: %w", err)
+		tr, irun, err := simulate(inst, bcfg, runLabel(inst.Name(), cfg, 1, "baseline"))
+		if irun != nil {
+			iruns = append(iruns, irun)
 		}
+		if err != nil {
+			return nil, iruns, fmt.Errorf("baseline run: %w", err)
+		}
+		baseline = tr
 	}
-	tr, irun := runSim(rcfg, inst.Program(), runLabel(inst.Name(), cfg, cfg.Cores, ""))
-	if err := inst.Verify(); err != nil {
-		return nil, fmt.Errorf("parallel run: %w", err)
+	tr, irun, err := simulate(inst, rcfg, runLabel(inst.Name(), cfg, cfg.Cores, ""))
+	if irun != nil {
+		iruns = append(iruns, irun)
+	}
+	if err != nil {
+		return nil, iruns, fmt.Errorf("parallel run: %w", err)
 	}
 	g := core.Build(tr)
 	rep := metrics.Analyze(tr, g, baseline, metrics.Options{})
@@ -170,39 +180,51 @@ func Run(inst workloads.Instance, cfg Config) (*Result, error) {
 		th.WorkDeviationMax = cfg.WorkDeviationMax
 	}
 	a := highlight.Evaluate(rep, th)
-	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}, nil
+	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}, iruns, nil
+}
+
+// Run executes inst under cfg, verifies its computational result, and
+// derives the full metric set.
+func Run(inst workloads.Instance, cfg Config) (*Result, error) {
+	res, iruns, err := runOne(inst, cfg)
+	record(iruns)
+	return res, err
+}
+
+// makespanOne is Makespan without the instrumentation recording.
+func makespanOne(inst workloads.Instance, cfg Config) (uint64, []*InstrumentedRun, error) {
+	rcfg := rtsConfig(inst, cfg)
+	tr, irun, err := simulate(inst, rcfg, runLabel(inst.Name(), cfg, cfg.Cores, "makespan"))
+	var iruns []*InstrumentedRun
+	if irun != nil {
+		iruns = append(iruns, irun)
+	}
+	if err != nil {
+		return 0, iruns, err
+	}
+	return tr.Makespan(), iruns, nil
 }
 
 // Makespan runs inst and returns its virtual makespan (verifying results).
 func Makespan(inst workloads.Instance, cfg Config) (uint64, error) {
-	rcfg := rts.Config{
-		Program:   inst.Name(),
-		Cores:     cfg.Cores,
-		Flavor:    cfg.Flavor,
-		Scheduler: cfg.Scheduler,
-		Seed:      cfg.Seed,
-		Policy:    cfg.Policy,
-	}
-	tr, _ := runSim(rcfg, inst.Program(), runLabel(inst.Name(), cfg, cfg.Cores, "makespan"))
-	if err := inst.Verify(); err != nil {
-		return 0, err
-	}
-	return tr.Makespan(), nil
+	mk, iruns, err := makespanOne(inst, cfg)
+	record(iruns)
+	return mk, err
 }
 
-// Speedup returns makespan(1 core) / makespan(cores).
+// Speedup returns makespan(1 core) / makespan(cores). The two runs are
+// independent and execute through the pool.
 func Speedup(mk func() workloads.Instance, cfg Config) (float64, error) {
 	one := cfg
 	one.Cores = 1
-	t1, err := Makespan(mk(), one)
+	mks, err := makespanBatch([]runReq{
+		{mk: mk, cfg: one},
+		{mk: mk, cfg: cfg},
+	})
 	if err != nil {
 		return 0, err
 	}
-	tp, err := Makespan(mk(), cfg)
-	if err != nil {
-		return 0, err
-	}
-	return float64(t1) / float64(tp), nil
+	return float64(mks[0]) / float64(mks[1]), nil
 }
 
 // table starts a tabwriter for aligned console tables.

@@ -94,31 +94,52 @@ func Figure1(w io.Writer, cores int) (*Fig1Result, error) {
 	res := &Fig1Result{}
 	flavors := []rts.Flavor{rts.FlavorMIR, rts.FlavorGCC, rts.FlavorICC}
 
-	// Common serial baselines: the "after" variant on one core.
-	baseT1 := map[string]uint64{}
+	// One batch covers the whole figure: the five common serial baselines
+	// (the "after" variant on one core) followed by the 30 case × flavour
+	// parallel runs. Requests are independent, so the pool may interleave
+	// them freely; results come back in this order regardless.
+	var reqs []runReq
+	var basePrograms []string
 	for _, cs := range fig1Cases() {
 		if cs.variant != "after" {
 			continue
 		}
-		t1, err := Makespan(cs.mk(), Config{Cores: 1, Policy: cs.policy, Seed: 1})
-		if err != nil {
-			return nil, fmt.Errorf("figure 1 baseline %s: %w", cs.program, err)
-		}
-		baseT1[cs.program] = t1
+		basePrograms = append(basePrograms, cs.program)
+		reqs = append(reqs, runReq{
+			mk:   cs.mk,
+			cfg:  Config{Cores: 1, Policy: cs.policy, Seed: 1},
+			wrap: fmt.Sprintf("figure 1 baseline %s", cs.program),
+		})
 	}
-
+	type runIdx struct {
+		cs fig1Case
+		fl rts.Flavor
+	}
+	var runs []runIdx
 	for _, cs := range fig1Cases() {
 		for _, fl := range flavors {
-			cfg := Config{Cores: cores, Flavor: fl, Policy: cs.policy, Seed: 1}
-			tp, err := Makespan(cs.mk(), cfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure 1 %s/%s/%v: %w", cs.program, cs.variant, fl, err)
-			}
-			res.Rows = append(res.Rows, Fig1Row{
-				Program: cs.program, Variant: cs.variant, Flavor: fl,
-				Cores: cores, Speedup: float64(baseT1[cs.program]) / float64(tp),
+			runs = append(runs, runIdx{cs, fl})
+			reqs = append(reqs, runReq{
+				mk:   cs.mk,
+				cfg:  Config{Cores: cores, Flavor: fl, Policy: cs.policy, Seed: 1},
+				wrap: fmt.Sprintf("figure 1 %s/%s/%v", cs.program, cs.variant, fl),
 			})
 		}
+	}
+	mks, err := makespanBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	baseT1 := map[string]uint64{}
+	for i, program := range basePrograms {
+		baseT1[program] = mks[i]
+	}
+	for i, r := range runs {
+		tp := mks[len(basePrograms)+i]
+		res.Rows = append(res.Rows, Fig1Row{
+			Program: r.cs.program, Variant: r.cs.variant, Flavor: r.fl,
+			Cores: cores, Speedup: float64(baseT1[r.cs.program]) / float64(tp),
+		})
 	}
 	if w != nil {
 		tw := table(w)

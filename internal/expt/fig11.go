@@ -28,54 +28,56 @@ type Fig11Result struct {
 func Figure11(w io.Writer) (*Fig11Result, error) {
 	res := &Fig11Result{}
 
-	// (a) the hard-coded cutoff ignores SC.
 	pHigh := workloads.DefaultStrassenParams()
 	pHigh.SC = pHigh.N / 4
-	buggyHigh, err := Run(workloads.NewStrassen(pHigh), Config{Cores: 48, Seed: 1})
-	if err != nil {
-		return nil, fmt.Errorf("figure 11a high SC: %w", err)
-	}
 	pLow := workloads.DefaultStrassenParams()
 	pLow.SC = 8
-	buggyLow, err := Run(workloads.NewStrassen(pLow), Config{Cores: 48, Seed: 1})
-	if err != nil {
-		return nil, fmt.Errorf("figure 11a low SC: %w", err)
+	mkFixed := func() workloads.Instance {
+		return workloads.NewStrassen(workloads.FixedStrassenParams())
 	}
+	wsCfg := Config{Cores: 48, Seed: 1}
+	cqCfg := Config{Cores: 48, Seed: 1, Scheduler: rts.CentralQueueSched}
+
+	// (a) buggy at two SC values, (b) fixed, (d) fixed on the central
+	// queue — four independent analyses, one batch.
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewStrassen(pHigh) },
+			cfg: wsCfg, wrap: "figure 11a high SC"},
+		{mk: func() workloads.Instance { return workloads.NewStrassen(pLow) },
+			cfg: wsCfg, wrap: "figure 11a low SC"},
+		{mk: mkFixed, cfg: wsCfg, wrap: "figure 11b"},
+		{mk: mkFixed, cfg: cqCfg, wrap: "figure 11d"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	buggyHigh, buggyLow, fixed, cq := results[0], results[1], results[2], results[3]
+
 	res.BuggyGrainsSCHigh = buggyHigh.Trace.NumGrains()
 	res.BuggyGrainsSCLow = buggyLow.Trace.NumGrains()
 	res.Buggy = buggyLow
-
-	// (b) fix exposes parallelism; poor MHU comes to the fore.
-	fixed, err := Run(workloads.NewStrassen(workloads.FixedStrassenParams()), Config{Cores: 48, Seed: 1})
-	if err != nil {
-		return nil, fmt.Errorf("figure 11b: %w", err)
-	}
 	res.FixedGrains = fixed.Trace.NumGrains()
 	res.FixedPoorMHU = fixed.Assessment.Affected(poorUtilizationProblem())
 	res.Fixed = fixed
 	res.ScatterWS = fixed.Assessment.Affected(highScatterProblem())
-
-	// (d) central queue scatters siblings and hurts speedup.
-	cq, err := Run(workloads.NewStrassen(workloads.FixedStrassenParams()), Config{
-		Cores: 48, Seed: 1, Scheduler: rts.CentralQueueSched,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("figure 11d: %w", err)
-	}
 	res.ScatterCQ = cq.Assessment.Affected(highScatterProblem())
 	res.CQResult = cq
 
-	mkFixed := func() workloads.Instance {
-		return workloads.NewStrassen(workloads.FixedStrassenParams())
-	}
-	res.SpeedupWS, err = Speedup(mkFixed, Config{Cores: 48, Seed: 1})
+	// (c/d) speedups: the two 48-core makespans are memo hits from the runs
+	// above; only the 1-core references execute.
+	oneWS, oneCQ := wsCfg, cqCfg
+	oneWS.Cores, oneCQ.Cores = 1, 1
+	mks, err := makespanBatch([]runReq{
+		{mk: mkFixed, cfg: oneWS, wrap: "figure 11c"},
+		{mk: mkFixed, cfg: wsCfg, wrap: "figure 11c"},
+		{mk: mkFixed, cfg: oneCQ, wrap: "figure 11d speedup"},
+		{mk: mkFixed, cfg: cqCfg, wrap: "figure 11d speedup"},
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.SpeedupCQ, err = Speedup(mkFixed, Config{Cores: 48, Seed: 1, Scheduler: rts.CentralQueueSched})
-	if err != nil {
-		return nil, err
-	}
+	res.SpeedupWS = float64(mks[0]) / float64(mks[1])
+	res.SpeedupCQ = float64(mks[2]) / float64(mks[3])
 
 	if w != nil {
 		tw := table(w)

@@ -23,14 +23,16 @@ type Fig2Result struct {
 // input (tree size 200, radius, cutoff 2), before and after the missing
 // depth increment is fixed.
 func Figure2(w io.Writer) (*Fig2Result, error) {
-	buggy, err := Run(workloads.NewKdTree(workloads.DefaultKdTreeParams()), Config{Cores: 48, Seed: 1})
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewKdTree(workloads.DefaultKdTreeParams()) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "figure 2 buggy"},
+		{mk: func() workloads.Instance { return workloads.NewKdTree(workloads.FixedKdTreeParams()) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "figure 2 fixed"},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("figure 2 buggy: %w", err)
+		return nil, err
 	}
-	fixed, err := Run(workloads.NewKdTree(workloads.FixedKdTreeParams()), Config{Cores: 48, Seed: 1})
-	if err != nil {
-		return nil, fmt.Errorf("figure 2 fixed: %w", err)
-	}
+	buggy, fixed := results[0], results[1]
 	maxDepth := func(r *Result) int {
 		d := 0
 		for _, t := range r.Trace.Tasks {

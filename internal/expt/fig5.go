@@ -38,17 +38,19 @@ type Fig5Result struct {
 // and the failed fix of lowering cutoffs.
 func Figure5(w io.Writer) (*Fig5Result, error) {
 	tunedP := workloads.DefaultSortParams()
-	tuned, err := Run(workloads.NewSort(tunedP), Config{Cores: 48, Seed: 1})
-	if err != nil {
-		return nil, fmt.Errorf("figure 5 tuned: %w", err)
-	}
 	loweredP := tunedP
 	loweredP.SeqCutoff = tunedP.SeqCutoff / 128
 	loweredP.MergeCutoff = tunedP.MergeCutoff / 128
-	lowered, err := Run(workloads.NewSort(loweredP), Config{Cores: 48, Seed: 1})
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewSort(tunedP) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "figure 5 tuned"},
+		{mk: func() workloads.Instance { return workloads.NewSort(loweredP) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "figure 5 lowered"},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("figure 5 lowered: %w", err)
+		return nil, err
 	}
+	tuned, lowered := results[0], results[1]
 	res := &Fig5Result{
 		TunedGrains:     tuned.Trace.NumGrains(),
 		TunedLowIP:      tuned.Assessment.Affected(lowParallelismProblem()),
@@ -124,18 +126,18 @@ type SortPageTableResult struct {
 // SortPageTable regenerates the Sort problem table.
 func SortPageTable(w io.Writer) (*SortPageTableResult, error) {
 	p := workloads.DefaultSortParams()
-	before, err := Run(workloads.NewSort(p), Config{
-		Cores: 48, Seed: 1, Policy: machine.FirstTouch, Baseline: true,
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewSort(p) },
+			cfg:  Config{Cores: 48, Seed: 1, Policy: machine.FirstTouch, Baseline: true},
+			wrap: "sort table before"},
+		{mk: func() workloads.Instance { return workloads.NewSort(p) },
+			cfg:  Config{Cores: 48, Seed: 1, Policy: machine.RoundRobin, Baseline: true},
+			wrap: "sort table after"},
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sort table before: %w", err)
+		return nil, err
 	}
-	after, err := Run(workloads.NewSort(p), Config{
-		Cores: 48, Seed: 1, Policy: machine.RoundRobin, Baseline: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sort table after: %w", err)
-	}
+	before, after := results[0], results[1]
 	res := &SortPageTableResult{
 		InflationBefore:   before.Assessment.Affected(workInflationProblem()),
 		InflationAfter:    after.Assessment.Affected(workInflationProblem()),

@@ -25,18 +25,18 @@ type Fig6Result struct {
 
 // Figure6 regenerates Figure 6.
 func Figure6(w io.Writer) (*Fig6Result, error) {
-	before, err := Run(workloads.NewSparseLU(workloads.DefaultSparseLUParams()), Config{
-		Cores: 48, Seed: 1, Baseline: true, WorkDeviationMax: 1.2,
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewSparseLU(workloads.DefaultSparseLUParams()) },
+			cfg:  Config{Cores: 48, Seed: 1, Baseline: true, WorkDeviationMax: 1.2},
+			wrap: "figure 6 before"},
+		{mk: func() workloads.Instance { return workloads.NewSparseLU(workloads.OptimizedSparseLUParams()) },
+			cfg:  Config{Cores: 48, Seed: 1, Baseline: true, WorkDeviationMax: 1.2},
+			wrap: "figure 6 after"},
 	})
 	if err != nil {
-		return nil, fmt.Errorf("figure 6 before: %w", err)
+		return nil, err
 	}
-	after, err := Run(workloads.NewSparseLU(workloads.OptimizedSparseLUParams()), Config{
-		Cores: 48, Seed: 1, Baseline: true, WorkDeviationMax: 1.2,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("figure 6 after: %w", err)
-	}
+	before, after := results[0], results[1]
 
 	res := &Fig6Result{
 		Grains:          before.Trace.NumGrains(),

@@ -22,14 +22,16 @@ type Fig7Result struct {
 
 // Figure7 regenerates Figure 7.
 func Figure7(w io.Writer) (*Fig7Result, error) {
-	before, err := Run(workloads.NewFFT(workloads.DefaultFFTParams()), Config{Cores: 48, Seed: 1})
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewFFT(workloads.DefaultFFTParams()) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "figure 7 before"},
+		{mk: func() workloads.Instance { return workloads.NewFFT(workloads.OptimizedFFTParams()) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "figure 7 after"},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("figure 7 before: %w", err)
+		return nil, err
 	}
-	after, err := Run(workloads.NewFFT(workloads.OptimizedFFTParams()), Config{Cores: 48, Seed: 1})
-	if err != nil {
-		return nil, fmt.Errorf("figure 7 after: %w", err)
-	}
+	before, after := results[0], results[1]
 	res := &Fig7Result{
 		BeforeGrains: before.Trace.NumGrains(),
 		AfterGrains:  after.Trace.NumGrains(),

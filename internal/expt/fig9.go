@@ -94,23 +94,30 @@ func Figure9Table1(w io.Writer) (*Fig9Result, error) {
 		Reduced:        reduced,
 	}
 
-	// Table 1: per-flavour speedups and 48-core vs min-core times.
-	for _, fl := range []rts.Flavor{rts.FlavorICC, rts.FlavorGCC, rts.FlavorMIR} {
+	// Table 1: per-flavour speedups and 48-core vs min-core times, as one
+	// batch of 3 flavours × (1-core, 48-core, min-core) makespans. The
+	// 48-core run doubles as the speedup denominator.
+	flavors := []rts.Flavor{rts.FlavorICC, rts.FlavorGCC, rts.FlavorMIR}
+	var reqs []runReq
+	for _, fl := range flavors {
 		cfg := Config{Cores: 48, Flavor: fl, Seed: 1}
-		sp, err := Speedup(func() workloads.Instance { return mk(0) }, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("table 1 %v: %w", fl, err)
-		}
-		t48, err := Makespan(mk(0), cfg)
-		if err != nil {
-			return nil, err
-		}
-		tmin, err := Makespan(mk(minCores), cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Table1 = append(res.Table1, Table1Row{Flavor: fl, Speedup: sp,
-			Exec48Cycles: t48, ExecMinCores: tmin})
+		one := cfg
+		one.Cores = 1
+		wrap := fmt.Sprintf("table 1 %v", fl)
+		reqs = append(reqs,
+			runReq{mk: func() workloads.Instance { return mk(0) }, cfg: one, wrap: wrap},
+			runReq{mk: func() workloads.Instance { return mk(0) }, cfg: cfg, wrap: wrap},
+			runReq{mk: func() workloads.Instance { return mk(minCores) }, cfg: cfg, wrap: wrap},
+		)
+	}
+	mks, err := makespanBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, fl := range flavors {
+		t1, t48, tmin := mks[3*i], mks[3*i+1], mks[3*i+2]
+		res.Table1 = append(res.Table1, Table1Row{Flavor: fl,
+			Speedup: float64(t1) / float64(t48), Exec48Cycles: t48, ExecMinCores: tmin})
 	}
 
 	if w != nil {

@@ -63,19 +63,37 @@ func OtherBenchmarks(w io.Writer) (*OthersResult, error) {
 		}},
 	}
 	res := &OthersResult{}
+
+	// All six analyses in one batch, then the twelve speedup makespans in a
+	// second (each program's 48-core makespan memo-hits its analysis run
+	// above — the default-config programs share a content address).
+	var runReqs, mkReqs []runReq
 	for _, cs := range cases {
-		r, err := Run(cs.mk(), Config{Cores: 48, Seed: 1, Baseline: cs.baseline})
-		if err != nil {
-			return nil, fmt.Errorf("others %s: %w", cs.program, err)
-		}
-		sp, err := Speedup(cs.mk, Config{Cores: 48, Seed: 1})
-		if err != nil {
-			return nil, fmt.Errorf("others %s speedup: %w", cs.program, err)
-		}
+		runReqs = append(runReqs, runReq{
+			mk:   cs.mk,
+			cfg:  Config{Cores: 48, Seed: 1, Baseline: cs.baseline},
+			wrap: fmt.Sprintf("others %s", cs.program),
+		})
+		wrap := fmt.Sprintf("others %s speedup", cs.program)
+		mkReqs = append(mkReqs,
+			runReq{mk: cs.mk, cfg: Config{Cores: 1, Seed: 1}, wrap: wrap},
+			runReq{mk: cs.mk, cfg: Config{Cores: 48, Seed: 1}, wrap: wrap},
+		)
+	}
+	results, err := runBatch(runReqs)
+	if err != nil {
+		return nil, err
+	}
+	mks, err := makespanBatch(mkReqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cs := range cases {
+		r := results[i]
 		res.Rows = append(res.Rows, OtherRow{
 			Program:       cs.program,
 			Grains:        r.Trace.NumGrains(),
-			Speedup:       sp,
+			Speedup:       float64(mks[2*i]) / float64(mks[2*i+1]),
 			LowPB:         r.Assessment.Affected(lowBenefitProblem()),
 			PoorMHU:       r.Assessment.Affected(poorUtilizationProblem()),
 			WorkInflation: r.Assessment.Affected(workInflationProblem()),

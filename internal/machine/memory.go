@@ -51,17 +51,24 @@ func (r *Region) End() int64 { return r.Base + r.Size }
 
 // Memory is the simulated physical memory: an allocator plus a page table
 // mapping pages to NUMA nodes under the configured placement policy.
+//
+// The page table is a flat array indexed by page number: the bump allocator
+// hands out addresses densely from zero, so the table stays proportional to
+// the allocated footprint, and the per-access node lookup — one of the
+// simulator's hottest operations — is an array load instead of the map
+// probe it replaced.
 type Memory struct {
 	topo   *Topology
 	policy Policy
-	next   int64         // bump allocator cursor
-	pages  map[int64]int // page index -> NUMA node
-	rr     int           // next node for round-robin placement
+	next   int64   // bump allocator cursor
+	pages  []int16 // page index -> NUMA node; -1 = not yet placed
+	placed int     // pages assigned so far
+	rr     int     // next node for round-robin placement
 }
 
 // NewMemory creates an empty memory for the given topology and policy.
 func NewMemory(topo *Topology, policy Policy) *Memory {
-	return &Memory{topo: topo, policy: policy, pages: make(map[int64]int)}
+	return &Memory{topo: topo, policy: policy}
 }
 
 // Policy returns the placement policy in effect.
@@ -85,8 +92,12 @@ func (m *Memory) Alloc(name string, size int64) *Region {
 // core performing the access (used by first-touch).
 func (m *Memory) NodeOf(addr int64, touchingCore int) int {
 	page := addr / PageSize
-	if node, ok := m.pages[page]; ok {
-		return node
+	if page < int64(len(m.pages)) {
+		if node := m.pages[page]; node >= 0 {
+			return int(node)
+		}
+	} else {
+		m.growPages(page)
 	}
 	var node int
 	switch m.policy {
@@ -100,8 +111,27 @@ func (m *Memory) NodeOf(addr int64, touchingCore int) int {
 	default:
 		panic(fmt.Sprintf("machine: unknown policy %v", m.policy))
 	}
-	m.pages[page] = node
+	m.pages[page] = int16(node)
+	m.placed++
 	return node
+}
+
+// growPages extends the page table to cover page, marking new slots
+// unplaced.
+func (m *Memory) growPages(page int64) {
+	n := int64(len(m.pages))
+	if n == 0 {
+		n = 1 << 10
+	}
+	for n <= page {
+		n *= 2
+	}
+	np := make([]int16, n)
+	for i := len(m.pages); i < len(np); i++ {
+		np[i] = -1
+	}
+	copy(np, m.pages)
+	m.pages = np
 }
 
 // PlacedPages returns how many pages have been assigned to each node so
@@ -109,14 +139,22 @@ func (m *Memory) NodeOf(addr int64, touchingCore int) int {
 func (m *Memory) PlacedPages() []int {
 	counts := make([]int, m.topo.NumSockets())
 	for _, node := range m.pages {
-		counts[node]++
+		if node >= 0 {
+			counts[node]++
+		}
 	}
 	return counts
 }
 
+// NumPlaced returns the total number of pages assigned so far.
+func (m *Memory) NumPlaced() int { return m.placed }
+
 // Reset forgets all page placements (but not allocations), so a fresh run
 // can re-apply first-touch placement.
 func (m *Memory) Reset() {
-	m.pages = make(map[int64]int)
+	for i := range m.pages {
+		m.pages[i] = -1
+	}
+	m.placed = 0
 	m.rr = 0
 }

@@ -11,6 +11,7 @@ package profile
 
 import (
 	"fmt"
+	"sync"
 
 	"graingraph/internal/cache"
 )
@@ -265,8 +266,27 @@ type Trace struct {
 	Bookkeeps []*BookkeepRecord
 	Workers   []WorkerStat
 
+	// Lookup indexes, built lazily under indexOnce: a finished trace is
+	// immutable and may be shared by concurrently running analyses (the
+	// experiment engine memoizes simulation runs across figures), so the
+	// build must be race-free.
+	indexOnce sync.Once
 	taskIndex map[GrainID]*TaskRecord
 	loopIndex map[LoopID]*LoopRecord
+}
+
+// buildIndexes populates both lookup indexes exactly once.
+func (tr *Trace) buildIndexes() {
+	tr.indexOnce.Do(func() {
+		tr.taskIndex = make(map[GrainID]*TaskRecord, len(tr.Tasks))
+		for _, t := range tr.Tasks {
+			tr.taskIndex[t.ID] = t
+		}
+		tr.loopIndex = make(map[LoopID]*LoopRecord, len(tr.Loops))
+		for _, l := range tr.Loops {
+			tr.loopIndex[l.ID] = l
+		}
+	})
 }
 
 // Makespan returns the total profiled execution time.
@@ -274,23 +294,13 @@ func (tr *Trace) Makespan() Time { return tr.End - tr.Start }
 
 // Task looks up a task record by grain ID.
 func (tr *Trace) Task(id GrainID) *TaskRecord {
-	if tr.taskIndex == nil {
-		tr.taskIndex = make(map[GrainID]*TaskRecord, len(tr.Tasks))
-		for _, t := range tr.Tasks {
-			tr.taskIndex[t.ID] = t
-		}
-	}
+	tr.buildIndexes()
 	return tr.taskIndex[id]
 }
 
 // Loop looks up a loop record by ID.
 func (tr *Trace) Loop(id LoopID) *LoopRecord {
-	if tr.loopIndex == nil {
-		tr.loopIndex = make(map[LoopID]*LoopRecord, len(tr.Loops))
-		for _, l := range tr.Loops {
-			tr.loopIndex[l.ID] = l
-		}
-	}
+	tr.buildIndexes()
 	return tr.loopIndex[id]
 }
 

@@ -43,6 +43,7 @@ type task struct {
 	started   bool
 	fragStart sim.Time
 	cur       cache.Counters
+	defm      *trace.DefMetrics // cached met.Def(rec.Loc); nil when metrics off
 }
 
 // worker is one virtual core's scheduler state.
@@ -76,6 +77,23 @@ type runtime struct {
 	live    int
 	loopSeq int
 	maxTime sim.Time
+
+	// Single-entry cache over met.Def: chunk completions arrive in long
+	// same-definition streaks, so this removes the per-chunk map lookup
+	// (and the loc.String() allocation behind it).
+	lastDefLoc profile.SrcLoc
+	lastDef    *trace.DefMetrics
+}
+
+// defOf returns the metrics aggregate for loc via the single-entry cache.
+// Callers must have checked rt.met != nil.
+func (rt *runtime) defOf(loc profile.SrcLoc) *trace.DefMetrics {
+	if rt.lastDef != nil && rt.lastDefLoc == loc {
+		return rt.lastDef
+	}
+	d := rt.met.Def(loc)
+	rt.lastDefLoc, rt.lastDef = loc, d
+	return d
 }
 
 // Run executes program under cfg and returns the recorded trace.
@@ -281,7 +299,11 @@ func (rt *runtime) runOn(w *worker, t *task) {
 		t.owner = w.id
 		t.rec.StartTime = w.clock
 		if rt.met != nil {
-			rt.met.Def(t.rec.Loc).Grains++
+			// Cache the definition aggregate on the task: its location never
+			// changes, and resolving it per fragment would pay a map lookup
+			// plus the loc.String() allocation each time.
+			t.defm = rt.defOf(t.rec.Loc)
+			t.defm.Grains++
 		}
 		rt.emitInstant(trace.KindTaskStart, w.clock, w.id, -1, t.rec.ID, t.rec.Loc)
 		body := t.body
@@ -313,7 +335,7 @@ func (rt *runtime) endFragment(t *task, at sim.Time) {
 		Start: t.fragStart, End: at, Core: t.owner, Counters: t.cur,
 	})
 	w.busy += at - t.fragStart
-	rt.countGrain(t.owner, t.rec.Loc, at-t.fragStart, t.cur)
+	rt.countGrain(t.owner, t.defm, at-t.fragStart, t.cur)
 	rt.emitSpan(trace.KindFragment, t.fragStart, at, t.owner, t.rec.ID, t.rec.Loc, t.cur)
 }
 

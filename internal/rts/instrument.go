@@ -46,13 +46,13 @@ func (rt *runtime) countOverhead(w *worker, k trace.OverheadKind, cycles sim.Tim
 }
 
 // countGrain aggregates a finished fragment/chunk into the per-worker
-// and per-definition cache/exec rollups.
-func (rt *runtime) countGrain(worker int, loc profile.SrcLoc, exec sim.Time, cnt cache.Counters) {
+// and per-definition cache/exec rollups. d is the grain's definition
+// aggregate, resolved once by the caller (nil when metrics are off).
+func (rt *runtime) countGrain(worker int, d *trace.DefMetrics, exec sim.Time, cnt cache.Counters) {
 	if rt.met == nil {
 		return
 	}
 	rt.met.W(worker).Cache.Add(cnt)
-	d := rt.met.Def(loc)
 	d.Exec += exec
 	d.Cache.Add(cnt)
 }

@@ -149,10 +149,12 @@ func (rt *runtime) execChunk(rec *profile.LoopRecord, th *loopThread, seq, clo, 
 	ck.End = th.clock
 	th.w.busy += ck.End - ck.Start
 	rt.trace.Chunks = append(rt.trace.Chunks, ck)
+	var defm *trace.DefMetrics
 	if rt.met != nil {
-		rt.met.Def(rec.Loc).Grains++
+		defm = rt.defOf(rec.Loc)
+		defm.Grains++
 	}
-	rt.countGrain(th.w.id, rec.Loc, ck.End-ck.Start, ck.Counters)
+	rt.countGrain(th.w.id, defm, ck.End-ck.Start, ck.Counters)
 	rt.emitSpan(trace.KindChunk, ck.Start, ck.End, th.w.id,
 		ck.ID(rec.StartThread), rec.Loc, ck.Counters)
 }

@@ -1,0 +1,173 @@
+// Package runpool is the parallel experiment engine's substrate: a bounded
+// worker pool that fans independent jobs out across OS threads with
+// deterministic, submission-ordered result assembly, plus a
+// content-addressed memoization cache with single-flight semantics.
+//
+// The figure regenerators in internal/expt are embarrassingly parallel —
+// Figure 1 alone is 35 independent simulations — but their output must be
+// byte-identical regardless of worker count. Map therefore keys every
+// result by its submission index, never by completion order, and picks the
+// lowest-index error when several jobs fail, so -j 1 and -j N report the
+// same failure. The Cache deduplicates runs shared between figures (the
+// same Sort/MIR/48-core run appears in Figures 4, 5 and the §4.3.1 table):
+// concurrent requests for one key execute the computation exactly once and
+// share the result.
+package runpool
+
+import (
+	"crypto/sha256"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner is a bounded worker pool. The zero value is not usable; construct
+// with New. A Runner holds no per-job state and may be shared freely.
+type Runner struct {
+	workers int
+}
+
+// New returns a Runner executing at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers returns the concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Map runs fn(0..n-1) across the pool and returns the results in index
+// order. With one worker, jobs run strictly sequentially in index order on
+// the calling goroutine — the serial fallback is exactly the legacy
+// behaviour, not a degenerate concurrent schedule. All jobs run to
+// completion even when some fail; the returned error is the non-nil error
+// with the lowest index, so which failure is reported does not depend on
+// scheduling.
+func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if r == nil || r.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		workers := r.workers
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Key is a content address: the SHA-256 of its parts. Fixed-size and
+// comparable, so it serves directly as a map key.
+type Key [sha256.Size]byte
+
+// KeyOf hashes the parts (length-prefixed, so ("ab","c") != ("a","bc"))
+// into a content address.
+func KeyOf(parts ...string) Key {
+	h := sha256.New()
+	var lenbuf [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := 0; i < 8; i++ {
+			lenbuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenbuf[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Cache memoizes computations by content address with single-flight
+// semantics: concurrent Do calls for the same key run compute exactly once
+// and share the outcome. Errors are cached too — the simulator is
+// deterministic, so a failed run would fail identically if repeated.
+type Cache[V any] struct {
+	mu   sync.Mutex
+	m    map[Key]*cacheEntry[V]
+	hits atomic.Uint64
+	runs atomic.Uint64
+}
+
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	return &Cache[V]{m: make(map[Key]*cacheEntry[V])}
+}
+
+// Do returns the cached outcome for key, computing it via compute on first
+// use. hit reports whether the value was served from the cache (including
+// waiting on another goroutine's in-flight computation).
+func (c *Cache[V]) Do(key Key, compute func() (V, error)) (v V, err error, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		c.hits.Add(1)
+		return e.val, e.err, true
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	c.runs.Add(1)
+	e.val, e.err = compute()
+	close(e.done)
+	return e.val, e.err, false
+}
+
+// Len returns the number of cached entries (including in-flight ones).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns how many computations ran and how many lookups were served
+// from the cache since construction or the last Reset.
+func (c *Cache[V]) Stats() (runs, hits uint64) {
+	return c.runs.Load(), c.hits.Load()
+}
+
+// Reset drops all cached entries and zeroes the counters. Entries still
+// being computed are abandoned to their current waiters: goroutines already
+// waiting on an in-flight entry get its result, later Do calls recompute.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	c.m = make(map[Key]*cacheEntry[V])
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.runs.Store(0)
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChaseLevNearEmptyStress hammers the deque's hardest regime: the
+// owner pushing one or two items and immediately popping while a pack of
+// thieves spins on StealTop, so almost every operation races on the last
+// element (the PopBottom/StealTop CAS arbitration). Run under -race this
+// doubles as a memory-model check on the top/bottom loads.
+//
+// Invariants checked: every pushed value is taken exactly once, by either
+// the owner or a thief, and nothing is invented.
+func TestChaseLevNearEmptyStress(t *testing.T) {
+	const (
+		thieves = 8
+		rounds  = 20000
+	)
+	d := NewChaseLev()
+	taken := make([]atomic.Int32, rounds*2)
+	var stolen, popped atomic.Int64
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if v, ok := d.StealTop(); ok {
+					taken[v.(int)].Add(1)
+					stolen.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+			// Drain whatever remains after the owner finishes.
+			for {
+				v, ok := d.StealTop()
+				if !ok {
+					return
+				}
+				taken[v.(int)].Add(1)
+				stolen.Add(1)
+			}
+		}()
+	}
+
+	// Owner: keep the deque at one or two items so nearly every pop races a
+	// steal on the same element.
+	next := 0
+	for r := 0; r < rounds; r++ {
+		d.PushBottom(next)
+		next++
+		if r%2 == 1 {
+			d.PushBottom(next)
+			next++
+		}
+		if v, ok := d.PopBottom(); ok {
+			taken[v.(int)].Add(1)
+			popped.Add(1)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	for v := 0; v < next; v++ {
+		if n := taken[v].Load(); n != 1 {
+			t.Fatalf("value %d taken %d times, want exactly once", v, n)
+		}
+	}
+	if got := stolen.Load() + popped.Load(); got != int64(next) {
+		t.Fatalf("stole %d + popped %d = %d operations, want %d",
+			stolen.Load(), popped.Load(), stolen.Load()+popped.Load(), next)
+	}
+	if testing.Verbose() {
+		t.Logf("near-empty stress: %d values, %d stolen, %d popped",
+			next, stolen.Load(), popped.Load())
+	}
+}
+
+// TestChaseLevGrowthUnderSteals forces the circular array to grow while
+// thieves are actively reading it, covering the grow/publish path against
+// concurrent top-index access.
+func TestChaseLevGrowthUnderSteals(t *testing.T) {
+	const total = 1 << 14 // crosses several doublings from the initial size
+	d := NewChaseLev()
+	taken := make([]atomic.Int32, total)
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.StealTop(); ok {
+					taken[v.(int)].Add(1)
+				} else if done.Load() && d.Len() == 0 {
+					return
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for v := 0; v < total; v++ {
+		d.PushBottom(v)
+	}
+	// Owner drains from its end too, racing the thieves on the shrinking
+	// middle.
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		taken[v.(int)].Add(1)
+	}
+	done.Store(true)
+	wg.Wait()
+	for v := 0; v < total; v++ {
+		if n := taken[v].Load(); n != 1 {
+			t.Fatalf("value %d taken %d times, want exactly once", v, n)
+		}
+	}
+}

@@ -50,6 +50,9 @@ func NewAlignment(p AlignmentParams) *AlignmentInstance {
 // Name implements Instance.
 func (a *AlignmentInstance) Name() string { return fmt.Sprintf("alignment-s%d", a.P.Sequences) }
 
+// Key implements Keyed: the content address covers every parameter.
+func (a *AlignmentInstance) Key() string { return paramKey("alignment", a.P) }
+
 // smithWaterman really computes the best local-alignment score with linear
 // gap penalty (match +2, mismatch -1, gap -1), returning the score and the
 // number of DP cells evaluated.

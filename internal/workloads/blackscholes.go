@@ -59,6 +59,9 @@ func (b *BlackscholesInstance) Name() string {
 	return fmt.Sprintf("blackscholes-n%d-c%d", b.P.N, b.P.ChunkSize)
 }
 
+// Key implements Keyed: the content address covers every parameter.
+func (b *BlackscholesInstance) Key() string { return paramKey("blackscholes", b.P) }
+
 // cnd is the cumulative normal distribution (Abramowitz-Stegun polynomial,
 // as in the Parsec source).
 func cnd(x float64) float64 {

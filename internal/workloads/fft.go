@@ -57,6 +57,9 @@ func NewFFT(p FFTParams) *FFTInstance {
 // Name implements Instance.
 func (f *FFTInstance) Name() string { return fmt.Sprintf("fft-n%d-cut%d", f.P.N, f.P.Cutoff) }
 
+// Key implements Keyed: the content address covers every parameter.
+func (f *FFTInstance) Key() string { return paramKey("fft", f.P) }
+
 // log2 of a power of two.
 func ilog2(n int) uint64 {
 	l := uint64(0)

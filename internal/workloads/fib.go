@@ -31,6 +31,9 @@ func NewFib(p FibParams) *FibInstance { return &FibInstance{P: p} }
 // Name implements Instance.
 func (f *FibInstance) Name() string { return fmt.Sprintf("fib-n%d-cut%d", f.P.N, f.P.Cutoff) }
 
+// Key implements Keyed: the content address covers every parameter.
+func (f *FibInstance) Key() string { return paramKey("fib", f.P) }
+
 // fibSeq computes fib(n) and the number of recursive calls performed.
 func fibSeq(n int) (uint64, uint64) {
 	if n < 2 {

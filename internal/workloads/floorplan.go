@@ -44,6 +44,9 @@ func NewFloorplan(p FloorplanParams) *FloorplanInstance { return &FloorplanInsta
 // Name implements Instance.
 func (f *FloorplanInstance) Name() string { return fmt.Sprintf("floorplan-c%d", len(f.P.Cells)) }
 
+// Key implements Keyed: the content address covers every parameter.
+func (f *FloorplanInstance) Key() string { return paramKey("floorplan", f.P) }
+
 // grid is an occupancy bitmap.
 type fpGrid struct {
 	w, h  int

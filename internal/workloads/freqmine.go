@@ -95,6 +95,9 @@ func (f *FreqmineInstance) Name() string {
 	return fmt.Sprintf("freqmine-i%d-t%d-p%d", f.P.Items, f.P.Transactions, f.P.NumThreads)
 }
 
+// Key implements Keyed: the content address covers every parameter.
+func (f *FreqmineInstance) Key() string { return paramKey("freqmine", f.P) }
+
 // Program implements Instance: three instances of the FPGF loop (the
 // paper: "the loop is instantiated thrice and the second instance takes up
 // 70% of the program execution time"), dynamic schedule with chunk size 1.

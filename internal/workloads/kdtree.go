@@ -89,6 +89,9 @@ func (k *KdTreeInstance) Name() string {
 	return fmt.Sprintf("kdtree-n%d-cut%d-%s", k.P.N, k.P.Cutoff, bug)
 }
 
+// Key implements Keyed: the content address covers every parameter.
+func (k *KdTreeInstance) Key() string { return paramKey("kdtree", k.P) }
+
 // buildTree really builds a balanced 2-d tree (median splits).
 func buildTree(pts []kdPoint, axis int, next *int) *kdNode {
 	if len(pts) == 0 {

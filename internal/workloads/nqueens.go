@@ -30,6 +30,9 @@ func NewNQueens(p NQueensParams) *NQueensInstance { return &NQueensInstance{P: p
 // Name implements Instance.
 func (q *NQueensInstance) Name() string { return fmt.Sprintf("nqueens-n%d", q.P.N) }
 
+// Key implements Keyed: the content address covers every parameter.
+func (q *NQueensInstance) Key() string { return paramKey("nqueens", q.P) }
+
 // safe reports whether a queen may go at row len(cols) column col.
 func safe(cols []int, col int) bool {
 	row := len(cols)

@@ -48,6 +48,9 @@ func NewSort(p SortParams) *SortInstance {
 // Name implements Instance.
 func (s *SortInstance) Name() string { return fmt.Sprintf("sort-n%d-cut%d", s.P.N, s.P.SeqCutoff) }
 
+// Key implements Keyed: the content address covers every parameter.
+func (s *SortInstance) Key() string { return paramKey("sort", s.P) }
+
 // Program implements Instance: the master initializes the array
 // (first-touching every page), then sorts it with recursive tasks.
 func (s *SortInstance) Program() func(rts.Ctx) {

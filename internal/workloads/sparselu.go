@@ -63,6 +63,9 @@ func (s *SparseLUInstance) Name() string {
 	return fmt.Sprintf("sparselu-nb%d-bs%d-%s", s.P.NB, s.P.BS, opt)
 }
 
+// Key implements Keyed: the content address covers every parameter.
+func (s *SparseLUInstance) Key() string { return paramKey("sparselu", s.P) }
+
 // occupied reproduces BOTS genmat's sparsity pattern (null_entry logic).
 func occupied(ii, jj, nb int) bool {
 	nullEntry := false

@@ -65,6 +65,9 @@ func (s *StrassenInstance) Name() string {
 	return fmt.Sprintf("strassen-n%d-sc%d-%s", s.P.N, s.P.SC, bug)
 }
 
+// Key implements Keyed: the content address covers every parameter.
+func (s *StrassenInstance) Key() string { return paramKey("strassen", s.P) }
+
 // mat is a view into a row-major matrix backed by a simulated region, so
 // footprint accounting follows the data wherever it lives (operands,
 // result, or recursion temporaries).

@@ -44,6 +44,9 @@ func (u *UTSInstance) Name() string {
 	return fmt.Sprintf("uts-m%d-q%d-cut%d", u.P.BranchFactor, u.P.ProbPercent, u.P.Cutoff)
 }
 
+// Key implements Keyed: the content address covers every parameter.
+func (u *UTSInstance) Key() string { return paramKey("uts", u.P) }
+
 // mix is the splittable hash defining the tree shape deterministically.
 func mix(h uint64) uint64 {
 	h ^= h >> 33

@@ -14,6 +14,7 @@
 package workloads
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"graingraph/internal/rts"
@@ -34,6 +35,25 @@ const (
 // newRNG returns a deterministic PCG for workload data generation.
 func newRNG(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+}
+
+// Keyed is implemented by instances whose full input configuration can be
+// content-addressed. The experiment harness memoizes simulation runs by
+// (workload key, machine config, runtime knobs); two instances with equal
+// keys must produce byte-identical traces under equal run configurations.
+// All workloads in this package implement it; an instance that does not is
+// simply never memoized.
+type Keyed interface {
+	// Key returns a deterministic fingerprint of the workload identity and
+	// every parameter that influences its simulated execution.
+	Key() string
+}
+
+// paramKey renders a workload's parameter struct into its content-address
+// fragment. Params structs hold only values (ints, strings, value slices),
+// so the %+v rendering is deterministic and collision-free per kind.
+func paramKey(kind string, params any) string {
+	return fmt.Sprintf("%s|%+v", kind, params)
 }
 
 // Instance is a configured, runnable, verifiable workload.
