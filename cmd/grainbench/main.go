@@ -6,6 +6,9 @@
 //	grainbench               # run everything
 //	grainbench -fig 1        # only Figure 1
 //	grainbench -fig sort     # only the Sort problem table (§4.3.1)
+//	grainbench -fig whatif   # what-if opportunity tables (what would a
+//	                         # perfect cutoff / optimized grain buy?)
+//	grainbench -whatif       # full run plus the what-if tables
 //	grainbench -cores 16     # override the core count for Figure 1
 //	grainbench -j 8          # at most 8 simulations in flight (-j 1: serial)
 //	grainbench -benchjson BENCH_all.json
@@ -44,8 +47,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,whatif,all)")
 	cores := flag.Int("cores", 48, "core count for speedup experiments")
+	whatIf := flag.Bool("whatif", false, "append the what-if opportunity tables to a full run (same as -fig whatif, but alongside the figures)")
 	jobs := flag.Int("j", 0, "max simulations in flight; 1 = serial, <=0 = all CPUs")
 	benchOut := flag.String("benchjson", "", "write a per-figure wall-time/engine-stats benchmark report to this JSON file")
 	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace of all simulated runs to this file")
@@ -77,12 +81,18 @@ func main() {
 		{"9", func() error { _, err := expt.Figure9Table1(w); return err }},
 		{"11", func() error { _, err := expt.Figure11(w); return err }},
 		{"others", func() error { _, err := expt.OtherBenchmarks(w); return err }},
+		{"whatif", func() error { _, err := expt.WhatIfTable(w); return err }},
 	}
 	ran := false
 	var failed []string
 	var report benchReport
 	start := time.Now()
 	for _, s := range steps {
+		// The what-if pass is opt-in: it runs for -fig whatif, or rides along
+		// a full regeneration when -whatif is set.
+		if s.id == "whatif" && *fig != "whatif" && !(*whatIf && *fig == "all") {
+			continue
+		}
 		if *fig != "all" && *fig != s.id {
 			continue
 		}

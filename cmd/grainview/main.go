@@ -9,6 +9,8 @@
 //	grainview -workload kdtree -variant before -o kdtree.graphml
 //	grainview -workload sort -view parallelism -reduce -format dot -o sort.dot
 //	grainview -workload fft -variant after -cores 16 -summary
+//	grainview -workload fib -whatif rank
+//	grainview -workload fib -whatif cutoff:4,infcores -format json -o fib.json
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"graingraph/internal/machine"
 	"graingraph/internal/rts"
 	"graingraph/internal/timeline"
+	"graingraph/internal/whatif"
 	"graingraph/internal/workloads"
 )
 
@@ -42,6 +45,7 @@ func main() {
 		summary  = flag.Bool("summary", false, "print the problem summary and timeline instead of exporting")
 		out      = flag.String("o", "", "output file (default stdout)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		whatIf   = flag.String("whatif", "", "what-if analysis: \"rank\" for the auto-ranked opportunity table, or a spec list like \"cutoff:4,scale:R.0:0.5,infcores\" (see internal/whatif); projections are printed and attached to DOT/JSON exports")
 		traceOut = flag.String("trace", "", "write a Perfetto/Chrome trace of the run to this file")
 		stats    = flag.Bool("stats", false, "print the runtime scheduler/cache metrics registry")
 	)
@@ -97,6 +101,27 @@ func main() {
 	res, err := expt.Run(inst, cfg)
 	die(err)
 
+	// What-if analysis: replay the recorded graph under hypothetical
+	// transformations and print the projections. The table goes to stderr
+	// when the export itself streams to stdout, keeping pipes clean.
+	var projections []whatif.Projection
+	if *whatIf != "" {
+		eng := whatif.New(res.Graph, res.Report)
+		if *whatIf == "rank" {
+			projections = eng.Rank(res.Assessment, nil, whatif.RankOptions{TopN: 10})
+		} else {
+			hs, err := whatif.ParseSpecs(*whatIf)
+			die(err)
+			projections = eng.EvalAll(nil, hs)
+		}
+		tableW := os.Stdout
+		if !*summary && *out == "" {
+			tableW = os.Stderr
+		}
+		title := fmt.Sprintf("what-if: %s (%d cores)", inst.Name(), *cores)
+		die(whatif.WriteTable(tableW, title, projections))
+	}
+
 	if *traceOut != "" {
 		die(writeTrace(*traceOut))
 	}
@@ -145,9 +170,9 @@ func main() {
 	case "graphml":
 		die(export.GraphML(w, g, res.Assessment, v))
 	case "dot":
-		die(export.DOT(w, g, res.Assessment, v))
+		die(export.DOTWithWhatIf(w, g, res.Assessment, v, projections))
 	case "json":
-		die(export.JSON(w, g, res.Assessment))
+		die(export.JSONWithWhatIf(w, g, res.Assessment, projections))
 	default:
 		die(fmt.Errorf("unknown format %q", *format))
 	}

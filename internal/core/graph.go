@@ -159,6 +159,28 @@ func newGraph(tr *profile.Trace) *Graph {
 	}
 }
 
+// NewGraph allocates an empty graph bound to tr, for callers that assemble
+// graphs by hand (synthetic what-if scenarios, determinism tests) rather
+// than through Build.
+func NewGraph(tr *profile.Trace) *Graph { return newGraph(tr) }
+
+// AddNode appends a node (its ID field is assigned) and returns its ID.
+// FirstNode/LastNode bookkeeping is the caller's responsibility.
+func (g *Graph) AddNode(n Node) NodeID { return g.addNode(n).ID }
+
+// AddEdge appends an edge.
+func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind) { g.addEdge(from, to, kind) }
+
+// Weights returns a copy of the node weight vector, indexed by NodeID —
+// the starting point for what-if weight transformations.
+func (g *Graph) Weights() []profile.Time {
+	w := make([]profile.Time, len(g.Nodes))
+	for i, n := range g.Nodes {
+		w[i] = n.Weight
+	}
+	return w
+}
+
 // addNode appends a node and returns it.
 func (g *Graph) addNode(n Node) *Node {
 	n.ID = NodeID(len(g.Nodes))

@@ -10,11 +10,12 @@ import (
 
 // jsonGraph is the machine-readable dump schema.
 type jsonGraph struct {
-	Program  string     `json:"program"`
-	Cores    int        `json:"cores"`
-	Makespan uint64     `json:"makespan"`
-	Nodes    []jsonNode `json:"nodes"`
-	Edges    []jsonEdge `json:"edges"`
+	Program  string       `json:"program"`
+	Cores    int          `json:"cores"`
+	Makespan uint64       `json:"makespan"`
+	Nodes    []jsonNode   `json:"nodes"`
+	Edges    []jsonEdge   `json:"edges"`
+	WhatIf   []jsonWhatIf `json:"whatif,omitempty"`
 }
 
 type jsonNode struct {
@@ -47,10 +48,15 @@ type jsonEdge struct {
 // JSON writes the graph (with per-grain metrics and problem flags when an
 // assessment is supplied) as indented JSON.
 func JSON(w io.Writer, g *core.Graph, a *highlight.Assessment) error {
+	return jsonDump(w, g, a, nil)
+}
+
+func jsonDump(w io.Writer, g *core.Graph, a *highlight.Assessment, anns []jsonWhatIf) error {
 	out := jsonGraph{
 		Program:  g.Trace.Program,
 		Cores:    g.Trace.Cores,
 		Makespan: g.Trace.Makespan(),
+		WhatIf:   anns,
 	}
 	for _, n := range g.Nodes {
 		jn := jsonNode{

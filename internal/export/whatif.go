@@ -1,0 +1,62 @@
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+	"graingraph/internal/whatif"
+)
+
+// jsonWhatIf is one ranked what-if projection in the JSON dump: enough for a
+// viewer to show "fixing this buys that" next to the graph itself.
+type jsonWhatIf struct {
+	Rank        int     `json:"rank"`
+	Hypothesis  string  `json:"hypothesis"`
+	Makespan    uint64  `json:"proj_makespan"`
+	Speedup     float64 `json:"proj_speedup"`
+	Work        uint64  `json:"proj_work"`
+	Span        uint64  `json:"proj_span"`
+	Approximate bool    `json:"approximate"`
+}
+
+// JSONWithWhatIf writes the JSON dump with a ranked what-if section
+// appended. ps may be nil, which yields the plain dump.
+func JSONWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, ps []whatif.Projection) error {
+	return jsonDump(w, g, a, whatIfAnnotations(ps))
+}
+
+// DOTWithWhatIf writes the DOT rendering with the ranked what-if
+// projections as leading comment lines, so a `dot`-rendered file still
+// carries the analysis that motivated it. ps may be nil.
+func DOTWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, ps []whatif.Projection) error {
+	bw := bufio.NewWriter(w)
+	for _, ann := range whatIfAnnotations(ps) {
+		fmt.Fprintf(bw, "// what-if #%d: %s -> makespan %d (%.2fx", ann.Rank, ann.Hypothesis, ann.Makespan, ann.Speedup)
+		if ann.Approximate {
+			fmt.Fprintf(bw, ", approx")
+		}
+		fmt.Fprintf(bw, ")\n")
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return DOT(w, g, a, v)
+}
+
+func whatIfAnnotations(ps []whatif.Projection) []jsonWhatIf {
+	if len(ps) == 0 {
+		return nil
+	}
+	anns := make([]jsonWhatIf, len(ps))
+	for i, p := range ps {
+		anns[i] = jsonWhatIf{
+			Rank: i + 1, Hypothesis: p.Label,
+			Makespan: p.Makespan, Speedup: p.Speedup,
+			Work: p.Work, Span: p.Span, Approximate: p.Approximate,
+		}
+	}
+	return anns
+}

@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"graingraph/internal/whatif"
+	"graingraph/internal/workloads"
+)
+
+// WhatIfResult carries the what-if analysis of the two standard subjects:
+// the Figure 5 tuned Sort run and a deliberately broken-cutoff Fib run
+// (cutoff deeper than the recursion, so every call spawns a task).
+type WhatIfResult struct {
+	Sort, Fib             *Result
+	SortRanked, FibRanked []whatif.Projection
+}
+
+// brokenFibParams spawns all the way to the leaves: with Cutoff >= N the
+// depth test never trips, reproducing the paper's broken-cutoff anti-pattern
+// where per-task overhead rivals the work.
+func brokenFibParams() workloads.FibParams { return workloads.FibParams{N: 18, Cutoff: 18} }
+
+// WhatIfTable regenerates the what-if opportunity tables: for each subject
+// run, the engine replays recorded grain weights under hypothetical
+// transformations (perfect cutoffs, grain scaling, de-inflation, infinite
+// cores) and ranks them by projected makespan — no re-simulation. The
+// hypothesis evaluations fan out across the same -j pool as the simulations
+// themselves, and output is byte-identical at every parallelism level.
+func WhatIfTable(w io.Writer) (*WhatIfResult, error) {
+	results, err := runBatch([]runReq{
+		{mk: func() workloads.Instance { return workloads.NewSort(workloads.DefaultSortParams()) },
+			cfg: Config{Cores: 48, Seed: 1, Baseline: true}, wrap: "what-if sort"},
+		{mk: func() workloads.Instance { return workloads.NewFib(brokenFibParams()) },
+			cfg: Config{Cores: 48, Seed: 1}, wrap: "what-if fib"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &WhatIfResult{Sort: results[0], Fib: results[1]}
+	opt := whatif.RankOptions{TopN: 8}
+	pool := currentPool()
+
+	sortEng := whatif.New(res.Sort.Graph, res.Sort.Report)
+	res.SortRanked = sortEng.Rank(res.Sort.Assessment, pool, opt)
+	fibEng := whatif.New(res.Fib.Graph, res.Fib.Report)
+	res.FibRanked = fibEng.Rank(res.Fib.Assessment, pool, opt)
+
+	if w != nil {
+		title := fmt.Sprintf("What-if: sort, tuned cutoffs (%d grains, %d cores)",
+			res.Sort.Trace.NumGrains(), res.Sort.Trace.Cores)
+		if err := whatif.WriteTable(w, title, res.SortRanked); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(w)
+		title = fmt.Sprintf("What-if: fib, broken cutoff (%d grains, %d cores)",
+			res.Fib.Trace.NumGrains(), res.Fib.Trace.Cores)
+		if err := whatif.WriteTable(w, title, res.FibRanked); err != nil {
+			return nil, err
+		}
+	}
+	footer(w)
+	return res, nil
+}

@@ -129,7 +129,9 @@ func Evaluate(rep *metrics.Report, th Thresholds) *Assessment {
 		if gm.InstParallelism < th.ParallelismMin {
 			ga.Mask |= LowParallelism
 		}
-		if gm.Scatter > th.ScatterMax {
+		// Unknown scatter (unrecorded cores) is not evidence of a problem:
+		// skip the sentinel rather than treating it as "packed" or flagged.
+		if gm.Scatter != metrics.ScatterUnknown && gm.Scatter > th.ScatterMax {
 			ga.Mask |= HighScatter
 		}
 		// Grains that never stall are fine regardless of the ratio; grains

@@ -229,3 +229,25 @@ func TestRefinedThreshold(t *testing.T) {
 		t.Error("1.5 deviation not flagged at threshold 1.2")
 	}
 }
+
+func TestUnknownScatterNotFlagged(t *testing.T) {
+	// ScatterUnknown (-1) means "could not measure", not "packed" and not
+	// "scattered": the highlight pass must skip it even when the threshold
+	// is negative enough that a naive comparison would flag it.
+	unknown := &metrics.GrainMetrics{
+		Grain: &profile.Grain{ID: "u"}, Scatter: metrics.ScatterUnknown,
+		ParallelBenefit: 10, InstParallelism: 100,
+	}
+	scattered := &metrics.GrainMetrics{
+		Grain: &profile.Grain{ID: "s"}, Scatter: 30,
+		ParallelBenefit: 10, InstParallelism: 100,
+	}
+	rep := &metrics.Report{Grains: []*metrics.GrainMetrics{unknown, scattered}, Trace: &profile.Trace{}}
+	a := Evaluate(rep, Thresholds{ScatterMax: 12, ParallelismMin: 1, ParallelBenefitMin: 1, WorkDeviationMax: 2})
+	if a.Get("u").Has(HighScatter) {
+		t.Error("unknown scatter flagged as high scatter")
+	}
+	if !a.Get("s").Has(HighScatter) {
+		t.Error("genuinely scattered grain not flagged")
+	}
+}

@@ -5,14 +5,27 @@ import (
 	"graingraph/internal/profile"
 )
 
-// CriticalPath computes the heaviest path through the grain graph, weighting
-// each node by its time contribution (execution time for grains, creation/
-// synchronization overhead for fork/join nodes, delivery cost for
-// book-keeping nodes). It marks the nodes and edges on the path via their
-// Critical flags and returns the path length and node sequence.
-func CriticalPath(g *core.Graph) (profile.Time, []core.NodeID) {
+// CriticalPathOver computes the heaviest path through the grain graph under
+// a hypothetical weight vector, without touching the graph's Critical flags.
+// weights[i] substitutes g.Nodes[i].Weight; pass nil to use the recorded
+// weights. The what-if engine calls this with modified vectors to project
+// the effect of optimizations without re-running the simulation, so it must
+// be safe for concurrent use on a shared graph whose adjacency has already
+// been built (force it with g.Out(0) or a prior Topological call).
+//
+// Tie-breaking is explicit so output is deterministic regardless of edge
+// insertion order: among sink nodes tied for the longest path the lowest
+// NodeID wins, and among equal-length predecessor paths the lowest
+// predecessor NodeID wins.
+func CriticalPathOver(g *core.Graph, weights []profile.Time) (profile.Time, []core.NodeID) {
 	if len(g.Nodes) == 0 {
 		return 0, nil
+	}
+	weightOf := func(n core.NodeID) profile.Time {
+		if weights != nil {
+			return weights[n]
+		}
+		return g.Nodes[n].Weight
 	}
 	order := g.Topological()
 	dist := make([]profile.Time, len(g.Nodes))
@@ -20,42 +33,62 @@ func CriticalPath(g *core.Graph) (profile.Time, []core.NodeID) {
 	for i := range pred {
 		pred[i] = -1
 	}
-	var bestEnd core.NodeID
+	bestEnd := core.NodeID(-1)
 	var best profile.Time
 	for _, n := range order {
-		d := dist[n] + g.Nodes[n].Weight
-		if d > best {
+		d := dist[n] + weightOf(n)
+		if d > best || (d == best && (bestEnd < 0 || n < bestEnd)) {
 			best = d
 			bestEnd = n
 		}
 		for _, ei := range g.Out(n) {
 			e := &g.Edges[ei]
-			if d > dist[e.To] {
+			if d > dist[e.To] || (d == dist[e.To] && (pred[e.To] < 0 || n < pred[e.To])) {
 				dist[e.To] = d
 				pred[e.To] = n
 			}
 		}
 	}
 
-	// Recover and mark the path.
+	// An all-zero-weight graph has no meaningful critical path: report
+	// length 0 with no path rather than an arbitrary single node.
+	if best == 0 {
+		return 0, nil
+	}
+
+	// Recover the path in forward order.
 	var path []core.NodeID
 	for n := bestEnd; n >= 0; n = pred[n] {
 		path = append(path, n)
-		g.Nodes[n].Critical = true
 	}
-	// Reverse into forward order.
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
+	}
+	return best, path
+}
+
+// CriticalPath computes the heaviest path through the grain graph, weighting
+// each node by its time contribution (execution time for grains, creation/
+// synchronization overhead for fork/join nodes, delivery cost for
+// book-keeping nodes). It marks the nodes and edges on the path via their
+// Critical flags and returns the path length and node sequence. When every
+// node weight is zero no path exists and nothing is marked.
+func CriticalPath(g *core.Graph) (profile.Time, []core.NodeID) {
+	best, path := CriticalPathOver(g, nil)
+	for _, n := range path {
+		g.Nodes[n].Critical = true
 	}
 	// Mark edges between consecutive path nodes.
 	onPath := make(map[[2]core.NodeID]bool, len(path))
 	for i := 1; i < len(path); i++ {
 		onPath[[2]core.NodeID{path[i-1], path[i]}] = true
 	}
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		if onPath[[2]core.NodeID{e.From, e.To}] {
-			e.Critical = true
+	if len(onPath) > 0 {
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			if onPath[[2]core.NodeID{e.From, e.To}] {
+				e.Critical = true
+			}
 		}
 	}
 	return best, path

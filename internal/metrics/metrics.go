@@ -33,12 +33,20 @@ type GrainMetrics struct {
 	InstParallelism int
 
 	// Scatter is the median pairwise core distance among the grain's
-	// sibling set; 0 for only children. Problematic beyond a socket.
+	// sibling set; 0 for only children, ScatterUnknown when the grain's
+	// core (or all but one sibling core) went unrecorded. Problematic
+	// beyond a socket.
 	Scatter int
 
 	// Utilization is compute cycles per stall cycle. Problematic below 2.
 	Utilization float64
 }
+
+// ScatterUnknown is the sentinel Scatter value for grains whose placement
+// could not be measured: the grain's own core was unrecorded (Core < 0), or
+// its sibling set has fewer than two recorded cores. It is distinct from 0
+// ("perfectly packed") and is skipped by the highlight pass.
+const ScatterUnknown = -1
 
 // IPFlavor selects the instantaneous-parallelism counting rule.
 type IPFlavor int

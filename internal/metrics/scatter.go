@@ -10,6 +10,13 @@ import (
 // sibling set (paper §3.2). Sets larger than opts.ScatterSample are
 // deterministically subsampled (every k-th sibling) to bound the quadratic
 // pairwise computation.
+//
+// Grains whose executing core was not recorded (Core < 0) cannot
+// participate in the distance computation and receive ScatterUnknown, as
+// does every member of a sibling set with fewer than two recorded cores —
+// "we could not measure" must stay distinguishable from "perfectly packed"
+// (scatter 0). Only children keep scatter 0: a grain with no siblings is
+// trivially unscattered.
 func scatter(grains []*profile.Grain, byID map[profile.GrainID]*GrainMetrics,
 	tr *profile.Trace, opts Options) {
 
@@ -31,24 +38,45 @@ func scatter(grains []*profile.Grain, byID map[profile.GrainID]*GrainMetrics,
 				cores = append(cores, g.Core)
 			}
 		}
-		if len(cores) > opts.ScatterSample {
-			step := len(cores) / opts.ScatterSample
-			sampled := make([]int, 0, opts.ScatterSample)
-			for i := 0; i < len(cores); i += step {
-				sampled = append(sampled, cores[i])
-			}
-			cores = sampled
+		val := ScatterUnknown
+		if len(cores) >= 2 {
+			val = medianPairwiseDistance(subsampleCores(cores, opts.ScatterSample))
 		}
-		val := medianPairwiseDistance(cores)
 		for _, g := range siblings {
-			if gm := byID[g.ID]; gm != nil {
-				gm.Scatter = val
+			gm := byID[g.ID]
+			if gm == nil {
+				continue
 			}
+			if g.Core < 0 {
+				gm.Scatter = ScatterUnknown
+				continue
+			}
+			gm.Scatter = val
 		}
 	}
 }
 
+// subsampleCores bounds the sibling set to at most limit cores by taking
+// every step-th element. The stride uses ceiling division: floor division
+// would produce step 1 for sets just under 2×limit (e.g. 4095 cores with
+// limit 2048), returning the whole set and voiding the quadratic bound the
+// cap promises. The result always satisfies len <= limit for limit >= 1.
+func subsampleCores(cores []int, limit int) []int {
+	if limit <= 0 || len(cores) <= limit {
+		return cores
+	}
+	step := (len(cores) + limit - 1) / limit
+	sampled := make([]int, 0, limit)
+	for i := 0; i < len(cores); i += step {
+		sampled = append(sampled, cores[i])
+	}
+	return sampled
+}
+
 // medianPairwiseDistance returns the median |a-b| over all unordered pairs.
+// For an even pair count the upper-middle element is taken (index n/2 of the
+// sorted distances) — the same convention MedianGrainLength and medianTimes
+// use, biasing ties toward reporting scatter rather than hiding it.
 func medianPairwiseDistance(cores []int) int {
 	n := len(cores)
 	if n < 2 {

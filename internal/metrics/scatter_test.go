@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"graingraph/internal/profile"
+)
+
+// TestSubsampleStrideBound is the regression test for the floor-division
+// stride bug: a sibling set of 4095 cores with ScatterSample 2048 used to
+// get step 1 — no reduction at all — overflowing the sampled slice's
+// declared capacity and voiding the quadratic bound. Ceiling division keeps
+// len(sampled) <= limit at every boundary size.
+func TestSubsampleStrideBound(t *testing.T) {
+	limit := 2048
+	sizes := []int{
+		limit, limit + 1, 2*limit - 1, 2 * limit, 2*limit + 1,
+		3*limit - 1, 3 * limit, 4*limit - 1, 4*limit + 1,
+	}
+	for _, n := range sizes {
+		cores := make([]int, n)
+		for i := range cores {
+			cores[i] = i
+		}
+		sampled := subsampleCores(cores, limit)
+		if len(sampled) > limit {
+			t.Errorf("size %d: len(sampled) = %d, want <= %d", n, len(sampled), limit)
+		}
+		if len(sampled) == 0 {
+			t.Errorf("size %d: sampling removed everything", n)
+		}
+		// The sample must be a subsequence of the input (every k-th element).
+		for i := 1; i < len(sampled); i++ {
+			if sampled[i] <= sampled[i-1] {
+				t.Fatalf("size %d: sample not strictly increasing at %d", n, i)
+			}
+		}
+	}
+	// Small sets pass through untouched.
+	small := []int{3, 1, 4}
+	if got := subsampleCores(small, 2048); len(got) != 3 {
+		t.Errorf("small set resampled: len = %d", len(got))
+	}
+}
+
+// scatterFixture runs the scatter pass over hand-built grains.
+func scatterFixture(t *testing.T, grains []*profile.Grain) map[profile.GrainID]*GrainMetrics {
+	t.Helper()
+	byID := make(map[profile.GrainID]*GrainMetrics, len(grains))
+	for _, g := range grains {
+		byID[g.ID] = &GrainMetrics{Grain: g}
+	}
+	scatter(grains, byID, &profile.Trace{}, Options{}.withDefaults())
+	return byID
+}
+
+// TestScatterUnknownCoreSentinel: a grain with an unrecorded core must not
+// inherit its siblings' median — it gets the ScatterUnknown sentinel, while
+// siblings with recorded cores still get the median over recorded cores.
+func TestScatterUnknownCoreSentinel(t *testing.T) {
+	byID := scatterFixture(t, []*profile.Grain{
+		{ID: "R.0", Parent: "R", Core: 0},
+		{ID: "R.1", Parent: "R", Core: 24},
+		{ID: "R.2", Parent: "R", Core: -1},
+	})
+	if got := byID["R.2"].Scatter; got != ScatterUnknown {
+		t.Errorf("unrecorded-core grain scatter = %d, want ScatterUnknown (%d)", got, ScatterUnknown)
+	}
+	if got := byID["R.0"].Scatter; got != 24 {
+		t.Errorf("recorded-core grain scatter = %d, want 24", got)
+	}
+	if got := byID["R.1"].Scatter; got != 24 {
+		t.Errorf("recorded-core grain scatter = %d, want 24", got)
+	}
+}
+
+// TestScatterTooFewRecordedCores: a sibling set with fewer than two
+// recorded cores cannot report a distance; every member gets the sentinel,
+// not a silent 0 indistinguishable from "perfectly packed".
+func TestScatterTooFewRecordedCores(t *testing.T) {
+	byID := scatterFixture(t, []*profile.Grain{
+		{ID: "R.0", Parent: "R", Core: 5},
+		{ID: "R.1", Parent: "R", Core: -1},
+		{ID: "R.2", Parent: "R", Core: -1},
+	})
+	for _, id := range []profile.GrainID{"R.0", "R.1", "R.2"} {
+		if got := byID[id].Scatter; got != ScatterUnknown {
+			t.Errorf("%s scatter = %d, want ScatterUnknown", id, got)
+		}
+	}
+}
+
+// TestScatterOnlyChildStaysZero: an only child is trivially unscattered —
+// scatter 0, even when its core went unrecorded.
+func TestScatterOnlyChildStaysZero(t *testing.T) {
+	byID := scatterFixture(t, []*profile.Grain{
+		{ID: "R", Parent: "", Core: -1},
+	})
+	if got := byID["R"].Scatter; got != 0 {
+		t.Errorf("only-child scatter = %d, want 0", got)
+	}
+}
+
+// bruteMedianPairwise is the oracle: materialize every unordered pair
+// distance, sort, take the upper-middle element.
+func bruteMedianPairwise(cores []int) int {
+	var dists []int
+	for i := range cores {
+		for j := i + 1; j < len(cores); j++ {
+			d := cores[i] - cores[j]
+			if d < 0 {
+				d = -d
+			}
+			dists = append(dists, d)
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dists)))
+	// Upper middle of the ascending order = index (n-1) - n/2 descending.
+	return dists[len(dists)-1-len(dists)/2]
+}
+
+// TestMedianPairwiseDistanceProperty checks medianPairwiseDistance against
+// the brute-force oracle over random core sets, including even pair counts
+// where the documented convention takes the upper-middle element.
+func TestMedianPairwiseDistanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(14)
+		cores := make([]int, n)
+		for i := range cores {
+			cores[i] = rng.Intn(48)
+		}
+		got := medianPairwiseDistance(cores)
+		want := bruteMedianPairwise(cores)
+		if got != want {
+			t.Fatalf("trial %d, cores %v: median = %d, oracle = %d", trial, cores, got, want)
+		}
+		// The median must be an actually occurring pair distance.
+		found := false
+		for i := range cores {
+			for j := i + 1; j < n; j++ {
+				d := cores[i] - cores[j]
+				if d < 0 {
+					d = -d
+				}
+				if d == got {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: median %d is not a pair distance of %v", trial, got, cores)
+		}
+	}
+}
+
+// TestMedianPairwiseEvenTieConvention pins the documented convention: with
+// an even number of pairs the upper-middle element is returned.
+func TestMedianPairwiseEvenTieConvention(t *testing.T) {
+	// Distances of {0,1,2,10}: [1,1,2,8,9,10] — six pairs, upper middle 8.
+	if got := medianPairwiseDistance([]int{0, 1, 2, 10}); got != 8 {
+		t.Errorf("even pair count median = %d, want 8 (upper middle)", got)
+	}
+}

@@ -1,0 +1,120 @@
+package whatif
+
+import (
+	"sort"
+
+	"graingraph/internal/highlight"
+	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
+)
+
+// RankOptions tunes candidate generation.
+type RankOptions struct {
+	// TopN truncates the ranked result (0 = keep every candidate).
+	TopN int
+	// MaxDepth caps the deepest perfect-cutoff level explored (default 12).
+	MaxDepth int
+	// ScaleFactor is the hypothetical optimization factor applied to
+	// threshold-crossing grains (default 0.5 — "make it twice as fast").
+	ScaleFactor float64
+	// PerProblem bounds how many top offenders per problem class get
+	// individual hypotheses (default 3).
+	PerProblem int
+}
+
+func (o RankOptions) withDefaults() RankOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	if o.ScaleFactor == 0 {
+		o.ScaleFactor = 0.5
+	}
+	if o.PerProblem == 0 {
+		o.PerProblem = 3
+	}
+	return o
+}
+
+// Candidates generates the hypothesis set the ranking pass evaluates, in a
+// deterministic order:
+//
+//   - the span bound (infinite cores), as the reference ceiling;
+//   - a perfect-cutoff hypothesis per populated spawn depth ("raise the
+//     cutoff to depth d"), the fix for broken cutoffs;
+//   - de-inflation of all grains plus the top work-inflation offenders
+//     individually, when a baseline-backed report is available;
+//   - a ScaleFactor weight scaling per top offender of every highlight
+//     problem class — the TASKPROF-style "optimize this region" probe.
+//
+// a may be nil, which limits generation to the structural hypotheses.
+func (e *Engine) Candidates(a *highlight.Assessment, opt RankOptions) []Hypothesis {
+	opt = opt.withDefaults()
+	hs := []Hypothesis{InfiniteCores{}}
+
+	// Perfect cutoffs: one per depth that still has tasks below it.
+	maxDepth := 0
+	for _, n := range e.G.Nodes {
+		if d, ok := taskDepth(n.Grain); ok && d > maxDepth {
+			maxDepth = d
+		}
+	}
+	limit := maxDepth - 1 // collapsing at the deepest level is a no-op
+	if limit > opt.MaxDepth {
+		limit = opt.MaxDepth
+	}
+	for d := 0; d <= limit; d++ {
+		hs = append(hs, CollapseAtDepth{Depth: d})
+	}
+
+	if a != nil {
+		// Work-inflation removal, when deviations were measured.
+		inflated := false
+		if e.Rep != nil {
+			for _, gm := range e.Rep.Grains {
+				if gm.WorkDeviation > 1 {
+					inflated = true
+					break
+				}
+			}
+		}
+		if inflated {
+			hs = append(hs, ZeroInflation{All: true})
+			for _, ga := range a.TopOffenders(highlight.WorkInflation, opt.PerProblem) {
+				hs = append(hs, ZeroInflation{Grain: ga.Metrics.Grain.ID})
+			}
+		}
+
+		// Scale the worst offender grains of every problem class, deduped.
+		seen := make(map[profile.GrainID]bool)
+		for _, p := range highlight.AllProblems {
+			for _, ga := range a.TopOffenders(p, opt.PerProblem) {
+				id := ga.Metrics.Grain.ID
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				hs = append(hs, ScaleGrain{Grain: id, Factor: opt.ScaleFactor})
+			}
+		}
+	}
+	return hs
+}
+
+// Rank generates candidates from the highlighted assessment, evaluates them
+// in parallel across the pool, and returns projections ordered by projected
+// makespan reduction (largest first; label breaks ties), truncated to
+// opt.TopN. The result is deterministic at every pool size.
+func (e *Engine) Rank(a *highlight.Assessment, pool *runpool.Runner, opt RankOptions) []Projection {
+	opt = opt.withDefaults()
+	ps := e.EvalAll(pool, e.Candidates(a, opt))
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Makespan != ps[j].Makespan {
+			return ps[i].Makespan < ps[j].Makespan
+		}
+		return ps[i].Label < ps[j].Label
+	})
+	if opt.TopN > 0 && len(ps) > opt.TopN {
+		ps = ps[:opt.TopN]
+	}
+	return ps
+}

@@ -1,0 +1,90 @@
+package whatif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graingraph/internal/profile"
+)
+
+// ParseSpecs parses a comma-separated list of what-if hypothesis specs, the
+// grammar behind the -whatif command-line flags:
+//
+//	scale:<grain>:<factor>          scale one grain's execution weight
+//	scale-subtree:<grain>:<factor>  scale a whole spawn subtree
+//	collapse:<grain>                perfect cutoff: subtree runs inline
+//	cutoff:<depth>                  perfect cutoff at a spawn-tree depth
+//	deinflate:<grain>               remove one grain's measured inflation
+//	deinflate:all                   remove every grain's measured inflation
+//	infcores                        infinite cores (critical-path bound)
+//	rank                            auto-generate and rank candidates
+//
+// "rank" is handled by the callers (it selects the ranking pass rather than
+// a single hypothesis) and is rejected here.
+func ParseSpecs(s string) ([]Hypothesis, error) {
+	var hs []Hypothesis
+	for _, raw := range strings.Split(s, ",") {
+		spec := strings.TrimSpace(raw)
+		if spec == "" {
+			continue
+		}
+		h, err := parseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		hs = append(hs, h)
+	}
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("whatif: empty hypothesis spec")
+	}
+	return hs, nil
+}
+
+func parseSpec(spec string) (Hypothesis, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "scale", "scale-subtree":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("whatif: %q: want %s:<grain>:<factor>", spec, parts[0])
+		}
+		f, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("whatif: %q: bad factor %q", spec, parts[2])
+		}
+		return ScaleGrain{
+			Grain:   profile.GrainID(parts[1]),
+			Factor:  f,
+			Subtree: parts[0] == "scale-subtree",
+		}, nil
+	case "collapse":
+		if len(parts) != 2 || parts[1] == "" {
+			return nil, fmt.Errorf("whatif: %q: want collapse:<grain>", spec)
+		}
+		return CollapseSubtree{Root: profile.GrainID(parts[1])}, nil
+	case "cutoff":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("whatif: %q: want cutoff:<depth>", spec)
+		}
+		d, err := strconv.Atoi(parts[1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("whatif: %q: bad depth %q", spec, parts[1])
+		}
+		return CollapseAtDepth{Depth: d}, nil
+	case "deinflate":
+		if len(parts) != 2 || parts[1] == "" {
+			return nil, fmt.Errorf("whatif: %q: want deinflate:<grain|all>", spec)
+		}
+		if parts[1] == "all" {
+			return ZeroInflation{All: true}, nil
+		}
+		return ZeroInflation{Grain: profile.GrainID(parts[1])}, nil
+	case "infcores":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("whatif: %q: infcores takes no arguments", spec)
+		}
+		return InfiniteCores{}, nil
+	default:
+		return nil, fmt.Errorf("whatif: unknown hypothesis %q (want scale, scale-subtree, collapse, cutoff, deinflate, infcores)", spec)
+	}
+}

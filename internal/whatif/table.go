@@ -1,0 +1,37 @@
+package whatif
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders ranked projections as the what-if summary table shown
+// by grainbench -whatif and grainview -whatif rank. Formatting is fixed and
+// deterministic: the golden-output tests and the -j determinism guarantee
+// both depend on it.
+func WriteTable(w io.Writer, title string, ps []Projection) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if title != "" {
+		fmt.Fprintln(tw, title)
+	}
+	fmt.Fprintln(tw, "#\thypothesis\tproj makespan\tspeedup\twork Δ\tproj span\tnote")
+	for i, p := range ps {
+		note := "exact"
+		if p.Approximate {
+			note = "approx"
+		}
+		delta := -100 * p.WorkDelta()
+		if delta == 0 {
+			delta = 0 // avoid "-0.0%" when the hypothesis leaves work untouched
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.2fx\t%+.1f%%\t%d\t%s\n",
+			i+1, p.Label, p.Makespan, p.Speedup, delta, p.Span, note)
+	}
+	if len(ps) > 0 {
+		p := ps[0]
+		fmt.Fprintf(tw, "-\tbaseline (observed)\t%d\t1.00x\t+0.0%%\t%d\tmeasured\n",
+			p.BaseMakespan, p.BaseSpan)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,433 @@
+// Package whatif is a causal-profiling layer over the grain graph: it
+// applies hypothetical transformations to a recorded run — scale a grain's
+// (or subtree's) work, collapse a broken-cutoff subtree into its parent,
+// remove measured work inflation, lift the core count to infinity — and
+// recomputes critical path, average parallelism and projected makespan
+// *without re-running the simulation*, in the spirit of TASKPROF's what-if
+// analyses. The paper's workflow (diagnose → fix → re-profile, §5) tells
+// the programmer where to act; this layer estimates how much each candidate
+// fix would pay, so it answers "fix this first".
+//
+// Soundness: weight transformations (ScaleGrain, ZeroInflation) are exact
+// with respect to the model — the graph's structure is unchanged, so the
+// recomputed critical path is the true critical path of the transformed
+// DAG, and the makespan projection only assumes the removed work was spread
+// evenly across cores. Structural transformations (CollapseSubtree,
+// CollapseAtDepth) are approximate: serializing a subtree into its root
+// changes scheduling in ways a fixed DAG cannot fully capture, so their
+// projections carry Approximate=true. See DESIGN.md §7.
+package whatif
+
+import (
+	"fmt"
+	"strings"
+
+	"graingraph/internal/core"
+	"graingraph/internal/metrics"
+	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
+)
+
+// Hypothesis is one hypothetical transformation of a recorded grain graph.
+type Hypothesis interface {
+	// Label names the hypothesis for tables and annotations. Labels are
+	// unique per generated candidate set and serve as deterministic
+	// tie-breakers.
+	Label() string
+	// Approximate reports whether the projection changes graph structure
+	// (serialization) rather than applying sound weight algebra.
+	Approximate() bool
+	// apply mutates the weight vector in place and reports whether the
+	// hypothesis models an unbounded core count.
+	apply(e *Engine, w []profile.Time) (infiniteCores bool)
+}
+
+// Projection is the outcome of evaluating one hypothesis.
+type Projection struct {
+	Label       string
+	Approximate bool
+
+	// Projected quantities: total work (sum of node weights), critical
+	// path length, and makespan under the transformation.
+	Work, Span, Makespan profile.Time
+
+	// Baseline quantities for reference.
+	BaseWork, BaseSpan, BaseMakespan profile.Time
+
+	// Speedup is BaseMakespan / Makespan; above 1 the hypothesis pays.
+	Speedup float64
+	// AvgParallelism is projected work over projected makespan.
+	AvgParallelism float64
+}
+
+// WorkDelta returns the fraction of baseline work the hypothesis removes
+// (negative when it adds work).
+func (p Projection) WorkDelta() float64 {
+	if p.BaseWork == 0 {
+		return 0
+	}
+	return (float64(p.BaseWork) - float64(p.Work)) / float64(p.BaseWork)
+}
+
+// Engine evaluates hypotheses against one recorded run. Construction
+// precomputes the baseline and forces the graph's adjacency index, so Eval
+// is safe to call concurrently from EvalAll's worker pool: every evaluation
+// works on its own weight vector and only reads the shared graph.
+type Engine struct {
+	G   *core.Graph
+	Rep *metrics.Report // optional; required for inflation hypotheses
+
+	Cores        int
+	BaseMakespan profile.Time
+	BaseWork     profile.Time
+	BaseSpan     profile.Time
+
+	// loopOwner maps each loop to the task that executed it, resolved from
+	// the graph's book-keeping nodes (chunk nodes carry chunk grain IDs, so
+	// subtree membership for chunks goes through their loop's owner).
+	loopOwner map[profile.LoopID]profile.GrainID
+}
+
+// New builds an engine over a grain graph and its (optional) metric report.
+// The graph's trace supplies core count and observed makespan; hand-built
+// graphs without timing fall back to the work/span bound.
+func New(g *core.Graph, rep *metrics.Report) *Engine {
+	e := &Engine{G: g, Rep: rep, Cores: 1}
+	if g.Trace != nil {
+		if g.Trace.Cores > 0 {
+			e.Cores = g.Trace.Cores
+		}
+		e.BaseMakespan = g.Trace.Makespan()
+	}
+	if len(g.Nodes) > 0 {
+		g.Out(0) // force the adjacency index before concurrent evaluation
+	}
+	for _, w := range g.Weights() {
+		e.BaseWork += w
+	}
+	e.BaseSpan, _ = metrics.CriticalPathOver(g, nil)
+	if e.BaseMakespan == 0 {
+		// No recorded timing (synthetic graph): Brent's bound as baseline.
+		e.BaseMakespan = e.BaseSpan
+		if perCore := e.BaseWork / profile.Time(e.Cores); perCore > e.BaseMakespan {
+			e.BaseMakespan = perCore
+		}
+	}
+	e.loopOwner = make(map[profile.LoopID]profile.GrainID)
+	for _, n := range g.Nodes {
+		if n.Kind == core.NodeBookkeep {
+			e.loopOwner[n.Loop] = n.Grain
+		}
+	}
+	return e
+}
+
+// Eval projects one hypothesis: copy the weight vector, apply the
+// transformation, recompute work and critical path, and model the makespan
+// as max(new span, observed makespan minus the removed work spread evenly
+// over the cores). Infinite-core hypotheses collapse to the span.
+func (e *Engine) Eval(h Hypothesis) Projection {
+	w := e.G.Weights()
+	inf := h.apply(e, w)
+
+	var work profile.Time
+	for _, v := range w {
+		work += v
+	}
+	span, _ := metrics.CriticalPathOver(e.G, w)
+
+	cores := int64(e.Cores)
+	if cores < 1 {
+		cores = 1
+	}
+	proj := int64(e.BaseMakespan) - (int64(e.BaseWork)-int64(work))/cores
+	if inf {
+		proj = int64(span)
+	}
+	if proj < int64(span) {
+		proj = int64(span)
+	}
+	if proj < 1 {
+		proj = 1
+	}
+
+	p := Projection{
+		Label:        h.Label(),
+		Approximate:  h.Approximate(),
+		Work:         work,
+		Span:         span,
+		Makespan:     profile.Time(proj),
+		BaseWork:     e.BaseWork,
+		BaseSpan:     e.BaseSpan,
+		BaseMakespan: e.BaseMakespan,
+	}
+	p.Speedup = float64(e.BaseMakespan) / float64(p.Makespan)
+	p.AvgParallelism = float64(work) / float64(p.Makespan)
+	return p
+}
+
+// EvalAll evaluates independent hypotheses across the pool (nil or
+// single-worker pools run serially) and returns projections in hypothesis
+// order — never completion order — so output is deterministic at every
+// parallelism level.
+func (e *Engine) EvalAll(pool *runpool.Runner, hs []Hypothesis) []Projection {
+	out, _ := runpool.Map(pool, len(hs), func(i int) (Projection, error) {
+		return e.Eval(hs[i]), nil
+	})
+	return out
+}
+
+// taskDepth returns the spawn-tree depth encoded in a task grain's
+// path-enumeration ID ("R" = 0, "R.3.1" = 2); ok is false for chunk grains.
+func taskDepth(id profile.GrainID) (int, bool) {
+	if id == profile.RootID {
+		return 0, true
+	}
+	s := string(id)
+	if !strings.HasPrefix(s, string(profile.RootID)+".") {
+		return 0, false
+	}
+	return strings.Count(s, "."), true
+}
+
+// inSubtree reports whether task grain id lies in the spawn subtree rooted
+// at root (inclusive).
+func inSubtree(id, root profile.GrainID) bool {
+	return id == root || strings.HasPrefix(string(id), string(root)+".")
+}
+
+// ancestorAt truncates a task grain ID to its spawn-tree ancestor at depth
+// d ("R.a.b.c" at depth 1 → "R.a").
+func ancestorAt(id profile.GrainID, d int) profile.GrainID {
+	parts := strings.Split(string(id), ".")
+	if d+1 >= len(parts) {
+		return id
+	}
+	return profile.GrainID(strings.Join(parts[:d+1], "."))
+}
+
+// entryNode returns the node that absorbs serialized work for a task grain:
+// its first fragment.
+func (e *Engine) entryNode(id profile.GrainID) (core.NodeID, bool) {
+	if n, ok := e.G.FirstNode[id]; ok {
+		return n, true
+	}
+	for _, n := range e.G.Nodes {
+		if n.Grain == id && n.Kind == core.NodeFragment {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}
+
+// ScaleGrain scales the execution weight of one grain — or its whole spawn
+// subtree — by Factor, modelling "optimize this region by 1/Factor×"
+// (TASKPROF's classic what-if). Overhead nodes are untouched.
+type ScaleGrain struct {
+	Grain   profile.GrainID
+	Factor  float64
+	Subtree bool
+}
+
+// Label implements Hypothesis.
+func (h ScaleGrain) Label() string {
+	if h.Subtree {
+		return fmt.Sprintf("scale subtree %s x%.2f", h.Grain, h.Factor)
+	}
+	return fmt.Sprintf("scale %s x%.2f", h.Grain, h.Factor)
+}
+
+// Approximate implements Hypothesis: pure weight algebra is exact.
+func (h ScaleGrain) Approximate() bool { return false }
+
+func (h ScaleGrain) apply(e *Engine, w []profile.Time) bool {
+	for _, n := range e.G.Nodes {
+		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
+			continue
+		}
+		if n.Grain == h.Grain || (h.Subtree && inSubtree(n.Grain, h.Grain)) {
+			w[n.ID] = profile.Time(float64(w[n.ID])*h.Factor + 0.5)
+		}
+	}
+	return false
+}
+
+// ZeroInflation removes the measured work-inflation component of one grain:
+// its execution weight is divided by its work deviation (parallel exec time
+// over single-core exec time), projecting the grain running at its 1-core
+// speed — the separation of work inflation from parallelism loss that Acar
+// et al. argue for. Requires a report computed against a baseline run;
+// grains without a deviation above 1 are untouched.
+type ZeroInflation struct {
+	Grain profile.GrainID
+	// All de-inflates every grain in the report instead of just Grain.
+	All bool
+}
+
+// Label implements Hypothesis.
+func (h ZeroInflation) Label() string {
+	if h.All {
+		return "de-inflate all grains"
+	}
+	return fmt.Sprintf("de-inflate %s", h.Grain)
+}
+
+// Approximate implements Hypothesis: deviation-scaled weights are exact
+// with respect to the measured baseline.
+func (h ZeroInflation) Approximate() bool { return false }
+
+func (h ZeroInflation) apply(e *Engine, w []profile.Time) bool {
+	if e.Rep == nil {
+		return false
+	}
+	deviation := make(map[profile.GrainID]float64, len(e.Rep.Grains))
+	for _, gm := range e.Rep.Grains {
+		if gm.WorkDeviation > 1 {
+			deviation[gm.Grain.ID] = gm.WorkDeviation
+		}
+	}
+	deflate := func(id profile.GrainID) float64 {
+		if wd, ok := deviation[id]; ok {
+			return wd
+		}
+		return 1
+	}
+	for _, n := range e.G.Nodes {
+		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
+			continue
+		}
+		if !h.All && n.Grain != h.Grain {
+			continue
+		}
+		if wd := deflate(n.Grain); wd > 1 {
+			w[n.ID] = profile.Time(float64(w[n.ID])/wd + 0.5)
+		}
+	}
+	return false
+}
+
+// InfiniteCores lifts the core count to infinity: the projected makespan is
+// the critical path itself — the upper bound on what any scheduling fix can
+// achieve without reducing work or span.
+type InfiniteCores struct{}
+
+// Label implements Hypothesis.
+func (InfiniteCores) Label() string { return "infinite cores (span bound)" }
+
+// Approximate implements Hypothesis.
+func (InfiniteCores) Approximate() bool { return false }
+
+func (InfiniteCores) apply(e *Engine, w []profile.Time) bool { return true }
+
+// CollapseSubtree models a perfect cutoff at one task: the entire spawn
+// subtree below Root executes inline in Root — all fork/join/book-keeping
+// overhead inside the subtree disappears, and every descendant's execution
+// weight is serialized into Root's first fragment. Loops executed by
+// subtree tasks serialize too (their chunks' work moves to Root). The
+// projection trades lost parallelism (longer span) against saved overhead
+// (less work); for broken cutoffs spawning tiny grains the overhead wins.
+type CollapseSubtree struct {
+	Root profile.GrainID
+}
+
+// Label implements Hypothesis.
+func (h CollapseSubtree) Label() string { return fmt.Sprintf("perfect cutoff at %s", h.Root) }
+
+// Approximate implements Hypothesis: serialization changes structure.
+func (h CollapseSubtree) Approximate() bool { return true }
+
+func (h CollapseSubtree) apply(e *Engine, w []profile.Time) bool {
+	collapseRoots(e, w, func(id profile.GrainID) (profile.GrainID, bool) {
+		if inSubtree(id, h.Root) {
+			return h.Root, true
+		}
+		return "", false
+	})
+	return false
+}
+
+// CollapseAtDepth models raising the task cutoff to spawn-tree depth Depth:
+// every task at that depth absorbs its subtree serially, exactly as
+// CollapseSubtree does per root. Depth 0 is the fully-serial hypothesis.
+type CollapseAtDepth struct {
+	Depth int
+}
+
+// Label implements Hypothesis.
+func (h CollapseAtDepth) Label() string { return fmt.Sprintf("perfect cutoff at depth %d", h.Depth) }
+
+// Approximate implements Hypothesis.
+func (h CollapseAtDepth) Approximate() bool { return true }
+
+func (h CollapseAtDepth) apply(e *Engine, w []profile.Time) bool {
+	collapseRoots(e, w, func(id profile.GrainID) (profile.GrainID, bool) {
+		d, ok := taskDepth(id)
+		if !ok || d < h.Depth {
+			return "", false
+		}
+		return ancestorAt(id, h.Depth), true
+	})
+	return false
+}
+
+// collapseRoots is the shared serialization machinery: rootOf maps a task
+// grain to the collapse root owning it (ok=false for tasks outside every
+// collapsed subtree). For every owned task, fork/join/book-keeping weights
+// vanish; fragment weights of strict descendants (and chunk weights of
+// owned loops) accumulate into the root's first fragment. Roots without an
+// entry node keep their subtree unmodified rather than dropping its work.
+func collapseRoots(e *Engine, w []profile.Time,
+	rootOf func(profile.GrainID) (profile.GrainID, bool)) {
+
+	type change struct {
+		zero  []core.NodeID
+		moved profile.Time
+	}
+	pending := make(map[profile.GrainID]*change)
+	get := func(root profile.GrainID) *change {
+		c := pending[root]
+		if c == nil {
+			c = &change{}
+			pending[root] = c
+		}
+		return c
+	}
+
+	for _, n := range e.G.Nodes {
+		// Resolve the task grain that owns this node: chunks go through
+		// their loop's executing task, everything else carries it directly.
+		owner := n.Grain
+		if n.Kind == core.NodeChunk {
+			owner = e.loopOwner[n.Loop]
+		}
+		root, ok := rootOf(owner)
+		if !ok {
+			continue
+		}
+		c := get(root)
+		switch n.Kind {
+		case core.NodeFork, core.NodeJoin, core.NodeBookkeep:
+			// Parallelization overhead inside the collapsed region vanishes.
+			c.zero = append(c.zero, n.ID)
+		case core.NodeFragment:
+			if n.Grain != root {
+				c.zero = append(c.zero, n.ID)
+				c.moved += w[n.ID]
+			}
+		case core.NodeChunk:
+			c.zero = append(c.zero, n.ID)
+			c.moved += w[n.ID]
+		}
+	}
+
+	for root, c := range pending {
+		entry, ok := e.entryNode(root)
+		if !ok {
+			continue
+		}
+		for _, id := range c.zero {
+			w[id] = 0
+		}
+		w[entry] += c.moved
+	}
+}

@@ -1,0 +1,257 @@
+package whatif
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+	"graingraph/internal/metrics"
+	"graingraph/internal/profile"
+	"graingraph/internal/rts"
+	"graingraph/internal/runpool"
+)
+
+// overheadGraph hand-builds a tiny broken-cutoff shape: root R spawns two
+// children whose creation+join overhead (40 each) dwarfs their execution
+// weight (10 each).
+//
+//	n0 R frag(5) → n1 fork(40) → n3 R.0 frag(10) → n5 join(40)
+//	             → n2 fork(40) → n4 R.1 frag(10) ↗
+//	n5 → n6 R frag(5)
+func overheadGraph() *core.Graph {
+	tr := &profile.Trace{Program: "synthetic", Cores: 2, Start: 0, End: 200}
+	g := core.NewGraph(tr)
+	add := func(kind core.NodeKind, grain profile.GrainID, w profile.Time) core.NodeID {
+		return g.AddNode(core.Node{Kind: kind, Grain: grain, Weight: w})
+	}
+	n0 := add(core.NodeFragment, "R", 5)
+	n1 := add(core.NodeFork, "R", 40)
+	n2 := add(core.NodeFork, "R", 40)
+	n3 := add(core.NodeFragment, "R.0", 10)
+	n4 := add(core.NodeFragment, "R.1", 10)
+	n5 := add(core.NodeJoin, "R", 40)
+	n6 := add(core.NodeFragment, "R", 5)
+	g.FirstNode["R"] = n0
+	g.FirstNode["R.0"] = n3
+	g.FirstNode["R.1"] = n4
+	g.AddEdge(n0, n1, core.EdgeContinuation)
+	g.AddEdge(n1, n2, core.EdgeContinuation)
+	g.AddEdge(n1, n3, core.EdgeCreation)
+	g.AddEdge(n2, n4, core.EdgeCreation)
+	g.AddEdge(n3, n5, core.EdgeJoin)
+	g.AddEdge(n4, n5, core.EdgeJoin)
+	g.AddEdge(n2, n5, core.EdgeContinuation)
+	g.AddEdge(n5, n6, core.EdgeContinuation)
+	return g
+}
+
+func TestEngineBaseline(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	if e.BaseWork != 150 {
+		t.Errorf("base work = %d, want 150", e.BaseWork)
+	}
+	if e.BaseMakespan != 200 {
+		t.Errorf("base makespan = %d, want 200 (from trace)", e.BaseMakespan)
+	}
+	if e.BaseSpan != 140 {
+		t.Errorf("base span = %d, want 140 (path through a child)", e.BaseSpan)
+	}
+	if e.BaseSpan == 0 || e.BaseSpan > e.BaseWork {
+		t.Errorf("base span = %d out of range", e.BaseSpan)
+	}
+}
+
+func TestScaleGrainProjection(t *testing.T) {
+	g := overheadGraph()
+	e := New(g, nil)
+	p := e.Eval(ScaleGrain{Grain: "R.0", Factor: 0.5})
+	if p.Approximate {
+		t.Error("weight scaling marked approximate")
+	}
+	if p.Work != e.BaseWork-5 {
+		t.Errorf("projected work = %d, want %d", p.Work, e.BaseWork-5)
+	}
+	if p.Speedup < 1 {
+		t.Errorf("halving a grain projects slowdown: %.2f", p.Speedup)
+	}
+	// The recorded graph must be untouched.
+	if g.Nodes[3].Weight != 10 {
+		t.Error("Eval mutated recorded weights")
+	}
+}
+
+func TestCollapseSubtreeRemovesOverheadSerializesWork(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	p := e.Eval(CollapseSubtree{Root: "R"})
+	if !p.Approximate {
+		t.Error("structural collapse not marked approximate")
+	}
+	// All 120 cycles of fork/join overhead vanish; the 20 cycles of child
+	// exec serialize into R: projected work = 5+10+10+5 = 30.
+	if p.Work != 30 {
+		t.Errorf("projected work = %d, want 30", p.Work)
+	}
+	// Span is now the serial chain: 5+20+5 = 30.
+	if p.Span != 30 {
+		t.Errorf("projected span = %d, want 30", p.Span)
+	}
+	// Overhead dominated → the collapse pays.
+	if p.Speedup <= 1 {
+		t.Errorf("broken-cutoff collapse projects speedup %.2f, want > 1", p.Speedup)
+	}
+}
+
+func TestCollapseAtDepthEqualsSubtreeCollapseAtRoot(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	byDepth := e.Eval(CollapseAtDepth{Depth: 0})
+	byRoot := e.Eval(CollapseSubtree{Root: "R"})
+	if byDepth.Work != byRoot.Work || byDepth.Span != byRoot.Span || byDepth.Makespan != byRoot.Makespan {
+		t.Errorf("depth-0 collapse %+v differs from root collapse %+v", byDepth, byRoot)
+	}
+}
+
+func TestInfiniteCoresProjectsSpan(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	p := e.Eval(InfiniteCores{})
+	if p.Makespan != p.Span {
+		t.Errorf("infinite cores makespan = %d, want span %d", p.Makespan, p.Span)
+	}
+	if p.Work != e.BaseWork {
+		t.Errorf("infinite cores changed work: %d", p.Work)
+	}
+}
+
+func TestZeroInflationUsesDeviation(t *testing.T) {
+	g := overheadGraph()
+	rep := &metrics.Report{
+		Trace: g.Trace,
+		Grains: []*metrics.GrainMetrics{
+			{Grain: &profile.Grain{ID: "R.0"}, WorkDeviation: 2.0},
+			{Grain: &profile.Grain{ID: "R.1"}, WorkDeviation: 0.9},
+		},
+	}
+	e := New(g, rep)
+	p := e.Eval(ZeroInflation{Grain: "R.0"})
+	// R.0's 10 cycles deflate to 5; R.1 (deviation < 1) is untouched.
+	if p.Work != e.BaseWork-5 {
+		t.Errorf("projected work = %d, want %d", p.Work, e.BaseWork-5)
+	}
+	all := e.Eval(ZeroInflation{All: true})
+	if all.Work != e.BaseWork-5 {
+		t.Errorf("de-inflate all work = %d, want %d (R.1 not inflated)", all.Work, e.BaseWork-5)
+	}
+}
+
+func TestEvalAllDeterministicAcrossPoolSizes(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	hs := e.Candidates(nil, RankOptions{})
+	serial := e.EvalAll(runpool.New(1), hs)
+	parallel := e.EvalAll(runpool.New(8), hs)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("projections differ across pool sizes:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+func TestRankOrdersByProjectedMakespan(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	ps := e.Rank(nil, nil, RankOptions{})
+	if len(ps) == 0 {
+		t.Fatal("no candidates ranked")
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Makespan < ps[i-1].Makespan {
+			t.Fatalf("rank not ordered at %d: %d before %d", i, ps[i-1].Makespan, ps[i].Makespan)
+		}
+	}
+	top := e.Rank(nil, nil, RankOptions{TopN: 2})
+	if len(top) != 2 {
+		t.Errorf("TopN=2 returned %d rows", len(top))
+	}
+}
+
+// TestBrokenCutoffFibShapeProjectsPositiveSpeedup drives the engine over a
+// real simulated run shaped like the paper's broken-cutoff fib: a deep
+// spawn tree of tiny tasks where creation overhead rivals the work. Some
+// perfect-cutoff hypothesis must project a strictly positive speedup.
+func TestBrokenCutoffFibShapeProjectsPositiveSpeedup(t *testing.T) {
+	tr := rts.Run(rts.Config{Program: "fib-broken", Cores: 8, Seed: 1}, func(c rts.Ctx) {
+		var fib func(c rts.Ctx, n int) int
+		fib = func(c rts.Ctx, n int) int {
+			if n < 2 {
+				c.Compute(20)
+				return n
+			}
+			var a, b int
+			c.Spawn(profile.Loc("fib.go", 1, "fib"), func(c rts.Ctx) { a = fib(c, n-1) })
+			c.Spawn(profile.Loc("fib.go", 2, "fib"), func(c rts.Ctx) { b = fib(c, n-2) })
+			c.TaskWait()
+			c.Compute(20)
+			return a + b
+		}
+		fib(c, 12)
+	})
+	g := core.Build(tr)
+	rep := metrics.Analyze(tr, g, nil, metrics.Options{})
+	a := highlight.Evaluate(rep, highlight.Defaults(tr.Cores, 4))
+	e := New(g, rep)
+	ps := e.Rank(a, runpool.New(4), RankOptions{})
+
+	best := 0.0
+	for _, p := range ps {
+		if p.Approximate && p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	if best <= 1 {
+		t.Errorf("no perfect-cutoff hypothesis projects speedup > 1 on a broken-cutoff tree (best %.3f)", best)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	hs, err := ParseSpecs("scale:R.0:0.5, collapse:R.1,cutoff:3,deinflate:all,infcores,scale-subtree:R:0.25,deinflate:R.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Hypothesis{
+		ScaleGrain{Grain: "R.0", Factor: 0.5},
+		CollapseSubtree{Root: "R.1"},
+		CollapseAtDepth{Depth: 3},
+		ZeroInflation{All: true},
+		InfiniteCores{},
+		ScaleGrain{Grain: "R", Factor: 0.25, Subtree: true},
+		ZeroInflation{Grain: "R.2"},
+	}
+	if !reflect.DeepEqual(hs, want) {
+		t.Errorf("parsed %+v, want %+v", hs, want)
+	}
+	for _, bad := range []string{"", "bogus", "scale:R", "scale:R:x", "cutoff:-1", "cutoff:x", "collapse:", "deinflate:", "infcores:3"} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestWriteTableGolden pins the what-if summary table's exact bytes: the
+// expt regenerator and the -j determinism guarantee both build on this
+// formatting.
+func TestWriteTableGolden(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	ps := []Projection{
+		e.Eval(CollapseSubtree{Root: "R"}),
+		e.Eval(InfiniteCores{}),
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, "what-if: synthetic", ps); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "what-if: synthetic\n" +
+		"#  hypothesis                   proj makespan  speedup  work Δ  proj span  note\n" +
+		"1  perfect cutoff at R          140            1.43x    -80.0%  30         approx\n" +
+		"2  infinite cores (span bound)  140            1.43x    +0.0%   140        exact\n" +
+		"-  baseline (observed)          200            1.00x    +0.0%   140        measured\n"
+	if got := buf.String(); got != golden {
+		t.Errorf("table mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
