@@ -15,6 +15,10 @@
 //	                         # record per-figure wall time + engine stats
 //	grainbench -fig sort -trace sort.json -stats
 //	                         # + Perfetto trace and runtime-metrics footers
+//	grainbench -record runs/ # additionally save every simulation as a
+//	                         # .ggp artifact named by its content key
+//	grainbench -replay runs/ # analyze saved artifacts instead of
+//	                         # simulating (byte-identical output)
 //
 // Figure IDs: 1, 2, 4, 5, 6, 7, 8, 9 (covers 9/10 + Table 1), 11,
 // "sort" (the §4.3.1 table), "others" (§4.3.6).
@@ -52,11 +56,19 @@ func main() {
 	whatIf := flag.Bool("whatif", false, "append the what-if opportunity tables to a full run (same as -fig whatif, but alongside the figures)")
 	jobs := flag.Int("j", 0, "max simulations in flight; 1 = serial, <=0 = all CPUs")
 	benchOut := flag.String("benchjson", "", "write a per-figure wall-time/engine-stats benchmark report to this JSON file")
+	record := flag.String("record", "", "write every keyed simulation of the selected figures as a grain-profile artifact (<hex key>.ggp) into this directory")
+	replay := flag.String("replay", "", "load simulations from grain-profile artifacts in this directory instead of executing them (missing artifacts simulate live)")
 	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace of all simulated runs to this file")
 	stats := flag.Bool("stats", false, "print a runtime-metrics footer after each figure")
 	flag.Parse()
 
 	expt.SetParallelism(*jobs)
+	if *record != "" {
+		expt.SetRecordDir(*record)
+	}
+	if *replay != "" {
+		expt.SetReplayDir(*replay)
+	}
 	if *traceOut != "" || *stats {
 		expt.Instr = &expt.Instrumentation{
 			CaptureEvents: *traceOut != "",

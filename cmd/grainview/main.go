@@ -3,6 +3,12 @@
 // viewing (GraphML for yEd/Cytoscape, DOT for Graphviz, JSON for tooling)
 // together with a problem summary.
 //
+// Given a positional grain-profile artifact (a .ggp file recorded with
+// grainbench -record or an rts Profile sink), grainview analyzes the saved
+// trace instead of simulating: the graph, metrics, what-if projections and
+// exports are byte-identical to the live run that recorded it. A second
+// positional artifact supplies the 1-core baseline for work deviation.
+//
 // Examples:
 //
 //	grainview -list
@@ -11,6 +17,8 @@
 //	grainview -workload fft -variant after -cores 16 -summary
 //	grainview -workload fib -whatif rank
 //	grainview -workload fib -whatif cutoff:4,infcores -format json -o fib.json
+//	grainview -summary run.ggp            # analyze a saved artifact
+//	grainview -whatif rank run.ggp base.ggp
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"graingraph/internal/core"
 	"graingraph/internal/export"
 	"graingraph/internal/expt"
+	"graingraph/internal/ggp"
 	"graingraph/internal/machine"
+	"graingraph/internal/profile"
 	"graingraph/internal/rts"
 	"graingraph/internal/timeline"
 	"graingraph/internal/whatif"
@@ -65,41 +75,68 @@ func main() {
 		return
 	}
 
-	inst, err := workloads.Get(*workload, workloads.Variant(*variant))
-	die(err)
+	// Two input modes: a positional .ggp artifact analyzes a saved trace
+	// (no simulation, byte-identical analysis); otherwise the named
+	// workload is simulated live.
+	var (
+		res    *expt.Result
+		name   string
+		ncores int
+	)
+	if flag.NArg() > 0 {
+		if *traceOut != "" || *stats {
+			die(fmt.Errorf("-trace/-stats need a live simulation; they are unavailable when analyzing a saved artifact"))
+		}
+		if flag.NArg() > 2 {
+			die(fmt.Errorf("expected <run.ggp> [baseline.ggp], got %d arguments", flag.NArg()))
+		}
+		tr, err := ggp.ReadFile(flag.Arg(0))
+		die(err)
+		var base *profile.Trace
+		if flag.NArg() == 2 {
+			base, err = ggp.ReadFile(flag.Arg(1))
+			die(err)
+		}
+		res = expt.AnalyzeTrace(tr, base, expt.Config{})
+		name, ncores = tr.Program, tr.Cores
+	} else {
+		inst, err := workloads.Get(*workload, workloads.Variant(*variant))
+		die(err)
 
-	cfg := expt.Config{Cores: *cores, Seed: *seed, Baseline: *baseline}
-	switch *flavor {
-	case "MIR":
-		cfg.Flavor = rts.FlavorMIR
-	case "GCC":
-		cfg.Flavor = rts.FlavorGCC
-	case "ICC":
-		cfg.Flavor = rts.FlavorICC
-	default:
-		die(fmt.Errorf("unknown flavor %q", *flavor))
-	}
-	switch *schedArg {
-	case "ws":
-		cfg.Scheduler = rts.WorkStealing
-	case "cq":
-		cfg.Scheduler = rts.CentralQueueSched
-	default:
-		die(fmt.Errorf("unknown scheduler %q", *schedArg))
-	}
-	switch *policy {
-	case "first-touch":
-		cfg.Policy = machine.FirstTouch
-	case "round-robin":
-		cfg.Policy = machine.RoundRobin
-	case "node0":
-		cfg.Policy = machine.Node0
-	default:
-		die(fmt.Errorf("unknown policy %q", *policy))
-	}
+		cfg := expt.Config{Cores: *cores, Seed: *seed, Baseline: *baseline}
+		switch *flavor {
+		case "MIR":
+			cfg.Flavor = rts.FlavorMIR
+		case "GCC":
+			cfg.Flavor = rts.FlavorGCC
+		case "ICC":
+			cfg.Flavor = rts.FlavorICC
+		default:
+			die(fmt.Errorf("unknown flavor %q", *flavor))
+		}
+		switch *schedArg {
+		case "ws":
+			cfg.Scheduler = rts.WorkStealing
+		case "cq":
+			cfg.Scheduler = rts.CentralQueueSched
+		default:
+			die(fmt.Errorf("unknown scheduler %q", *schedArg))
+		}
+		switch *policy {
+		case "first-touch":
+			cfg.Policy = machine.FirstTouch
+		case "round-robin":
+			cfg.Policy = machine.RoundRobin
+		case "node0":
+			cfg.Policy = machine.Node0
+		default:
+			die(fmt.Errorf("unknown policy %q", *policy))
+		}
 
-	res, err := expt.Run(inst, cfg)
-	die(err)
+		res, err = expt.Run(inst, cfg)
+		die(err)
+		name, ncores = inst.Name(), *cores
+	}
 
 	// What-if analysis: replay the recorded graph under hypothetical
 	// transformations and print the projections. The table goes to stderr
@@ -118,7 +155,7 @@ func main() {
 		if !*summary && *out == "" {
 			tableW = os.Stderr
 		}
-		title := fmt.Sprintf("what-if: %s (%d cores)", inst.Name(), *cores)
+		title := fmt.Sprintf("what-if: %s (%d cores)", name, ncores)
 		die(whatif.WriteTable(tableW, title, projections))
 	}
 
@@ -178,7 +215,7 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "grainview: wrote %s (%d nodes, %d edges, %s view)\n",
-			*out, len(g.Nodes), len(g.Edges), v)
+			*out, g.NumNodes(), g.NumEdges(), v)
 	}
 }
 

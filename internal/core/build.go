@@ -40,7 +40,7 @@ func Build(tr *profile.Trace) *Graph {
 		var prev NodeID = -1
 		for fi := range task.Fragments {
 			f := &task.Fragments[fi]
-			n := g.addNode(Node{
+			n := g.appendNode(Node{
 				Kind:     NodeFragment,
 				Grain:    task.ID,
 				Seq:      fi,
@@ -52,24 +52,24 @@ func Build(tr *profile.Trace) *Graph {
 				Counters: f.Counters,
 			})
 			if fi == 0 {
-				g.FirstNode[task.ID] = n.ID
+				g.FirstNode[task.ID] = n
 			}
-			g.LastNode[task.ID] = n.ID
+			g.LastNode[task.ID] = n
 			if prev >= 0 {
-				g.addEdge(prev, n.ID, EdgeContinuation)
+				g.appendEdge(prev, n, EdgeContinuation)
 			}
-			prev = n.ID
+			prev = n
 
 			if fi < len(task.Boundaries) {
 				b := &task.Boundaries[fi]
-				var bn *Node
+				var bn NodeID
 				switch b.Kind {
 				case profile.BoundaryFork:
 					var cost profile.Time
 					if child := tr.Task(b.Child); child != nil {
 						cost = child.CreateCost
 					}
-					bn = g.addNode(Node{
+					bn = g.appendNode(Node{
 						Kind:   NodeFork,
 						Grain:  task.ID,
 						Seq:    fi,
@@ -80,7 +80,7 @@ func Build(tr *profile.Trace) *Graph {
 						Core:   f.Core,
 					})
 				case profile.BoundaryJoin:
-					bn = g.addNode(Node{
+					bn = g.appendNode(Node{
 						Kind:   NodeJoin,
 						Grain:  task.ID,
 						Seq:    fi,
@@ -95,14 +95,14 @@ func Build(tr *profile.Trace) *Graph {
 						return bkTotals[loopThreadKey{b.Loop, thread}]
 					})
 				}
-				g.addEdge(prev, bn.ID, EdgeContinuation)
+				g.appendEdge(prev, bn, EdgeContinuation)
 				// The node the NEXT fragment hangs off: for loops that is the
 				// loop's join node, recorded by expandLoop via lastLoopJoin.
-				next := bn.ID
+				next := bn
 				if b.Kind == profile.BoundaryLoop {
 					next = g.lastLoopJoin
 				}
-				boundaryNodes[ti] = append(boundaryNodes[ti], bn.ID)
+				boundaryNodes[ti] = append(boundaryNodes[ti], bn)
 				prev = next
 			}
 		}
@@ -116,12 +116,12 @@ func Build(tr *profile.Trace) *Graph {
 			switch b.Kind {
 			case profile.BoundaryFork:
 				if first, ok := g.FirstNode[b.Child]; ok {
-					g.addEdge(bn, first, EdgeCreation)
+					g.appendEdge(bn, first, EdgeCreation)
 				}
 			case profile.BoundaryJoin:
 				for _, child := range b.Joined {
 					if last, ok := g.LastNode[child]; ok {
-						g.addEdge(last, bn, EdgeJoin)
+						g.appendEdge(last, bn, EdgeJoin)
 					}
 				}
 			}
@@ -135,12 +135,12 @@ func Build(tr *profile.Trace) *Graph {
 // records the join node in g.lastLoopJoin.
 func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int,
 	chunks []*profile.ChunkRecord,
-	bkFor func(thread int) *profile.BookkeepRecord) *Node {
+	bkFor func(thread int) *profile.BookkeepRecord) NodeID {
 
 	tr := g.Trace
 	loop := tr.Loop(id)
 
-	fork := g.addNode(Node{
+	fork := g.appendNode(Node{
 		Kind:    NodeFork,
 		Grain:   master.ID,
 		Loop:    id,
@@ -151,7 +151,7 @@ func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int
 		Core:    loop.StartThread,
 		Members: len(loop.Threads), // conceptually one fork per thread chain
 	})
-	join := g.addNode(Node{
+	join := g.appendNode(Node{
 		Kind:  NodeJoin,
 		Grain: master.ID,
 		Loop:  id,
@@ -175,7 +175,7 @@ func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int
 		var bkSpent profile.Time
 		prev := NodeID(-1)
 		for _, ck := range cks {
-			bk := g.addNode(Node{
+			bk := g.appendNode(Node{
 				Kind:   NodeBookkeep,
 				Grain:  master.ID,
 				Loop:   id,
@@ -188,12 +188,12 @@ func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int
 			})
 			bkSpent += ck.Bookkeep
 			if prev < 0 {
-				g.addEdge(fork.ID, bk.ID, EdgeCreation)
+				g.appendEdge(fork, bk, EdgeCreation)
 			} else {
-				g.addEdge(prev, bk.ID, EdgeContinuation)
+				g.appendEdge(prev, bk, EdgeContinuation)
 			}
 			cid := tr.ChunkGrainID(ck)
-			cn := g.addNode(Node{
+			cn := g.appendNode(Node{
 				Kind:     NodeChunk,
 				Grain:    cid,
 				Loop:     id,
@@ -205,17 +205,17 @@ func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int
 				Core:     thread,
 				Counters: ck.Counters,
 			})
-			g.FirstNode[cid] = cn.ID
-			g.LastNode[cid] = cn.ID
-			g.addEdge(bk.ID, cn.ID, EdgeContinuation)
-			prev = cn.ID
+			g.FirstNode[cid] = cn
+			g.LastNode[cid] = cn
+			g.appendEdge(bk, cn, EdgeContinuation)
+			prev = cn
 		}
 		// Final (empty) book-keeping grab before joining the barrier.
 		var finalCost profile.Time
 		if rec := bkFor(thread); rec != nil && rec.Total > bkSpent {
 			finalCost = rec.Total - bkSpent
 		}
-		fbk := g.addNode(Node{
+		fbk := g.appendNode(Node{
 			Kind:   NodeBookkeep,
 			Grain:  master.ID,
 			Loop:   id,
@@ -225,13 +225,13 @@ func (g *Graph) expandLoop(id profile.LoopID, master *profile.TaskRecord, fi int
 			Core:   thread,
 		})
 		if prev < 0 {
-			g.addEdge(fork.ID, fbk.ID, EdgeCreation)
+			g.appendEdge(fork, fbk, EdgeCreation)
 		} else {
-			g.addEdge(prev, fbk.ID, EdgeContinuation)
+			g.appendEdge(prev, fbk, EdgeContinuation)
 		}
-		g.addEdge(fbk.ID, join.ID, EdgeJoin)
+		g.appendEdge(fbk, join, EdgeJoin)
 	}
 
-	g.lastLoopJoin = join.ID
+	g.lastLoopJoin = join
 	return fork
 }

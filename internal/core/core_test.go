@@ -37,16 +37,16 @@ func fig3bTrace(t *testing.T) *profile.Trace {
 
 func countKinds(g *Graph) map[NodeKind]int {
 	m := map[NodeKind]int{}
-	for _, n := range g.Nodes {
-		m[n.Kind]++
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		m[g.Kind(n)]++
 	}
 	return m
 }
 
 func countEdgeKinds(g *Graph) map[EdgeKind]int {
 	m := map[EdgeKind]int{}
-	for i := range g.Edges {
-		m[g.Edges[i].Kind]++
+	for i := 0; i < g.NumEdges(); i++ {
+		m[g.EdgeKindAt(i)]++
 	}
 	return m
 }
@@ -87,14 +87,14 @@ func TestBuildFig3aStructure(t *testing.T) {
 func TestFragmentNodesCarryWeights(t *testing.T) {
 	tr := fig3aTrace(t, 2)
 	g := Build(tr)
-	bar := g.Nodes[g.FirstNode["R.0"]]
+	bar := g.NodeAt(g.FirstNode["R.0"])
 	if bar.Kind != NodeFragment || bar.Weight != 4000 {
 		t.Errorf("bar node = kind %v weight %d, want fragment/4000", bar.Kind, bar.Weight)
 	}
 	// Fork nodes carry the child's creation cost.
-	for _, n := range g.Nodes {
-		if n.Kind == NodeFork && n.Weight == 0 {
-			t.Errorf("fork node %d has zero weight", n.ID)
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		if g.Kind(n) == NodeFork && g.Weight(n) == 0 {
+			t.Errorf("fork node %d has zero weight", n)
 		}
 	}
 }
@@ -137,15 +137,15 @@ func TestChunkChainAlternates(t *testing.T) {
 	g := Build(tr)
 	// Walk each thread chain from the loop fork: bookkeep and chunk nodes
 	// must alternate, ending with a bookkeep into the join.
-	var fork *Node
-	for _, n := range g.Nodes {
-		if n.Kind == NodeFork {
+	fork := NodeID(-1)
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		if g.Kind(n) == NodeFork {
 			fork = n
 		}
 	}
 	chains := 0
-	for _, ei := range g.Out(fork.ID) {
-		e := g.Edges[ei]
+	for _, ei := range g.Out(fork) {
+		e := g.EdgeAt(int(ei))
 		if e.Kind != EdgeCreation {
 			continue
 		}
@@ -153,7 +153,7 @@ func TestChunkChainAlternates(t *testing.T) {
 		cur := e.To
 		wantBk := true
 		for {
-			n := g.Nodes[cur]
+			n := g.NodeAt(cur)
 			if wantBk && n.Kind != NodeBookkeep {
 				t.Fatalf("expected bookkeep, got %v", n.Kind)
 			}
@@ -163,7 +163,7 @@ func TestChunkChainAlternates(t *testing.T) {
 			var next NodeID = -1
 			done := false
 			for _, oi := range g.Out(cur) {
-				oe := g.Edges[oi]
+				oe := g.EdgeAt(int(oi))
 				if oe.Kind == EdgeContinuation {
 					next = oe.To
 				}
@@ -208,14 +208,14 @@ func TestGraphIndependentOfMachineSize(t *testing.T) {
 	}
 	g1 := Build(rts.Run(rts.Config{Program: "p", Cores: 1, Seed: 1}, prog))
 	g8 := Build(rts.Run(rts.Config{Program: "p", Cores: 8, Seed: 99}, prog))
-	if len(g1.Nodes) != len(g8.Nodes) || len(g1.Edges) != len(g8.Edges) {
+	if g1.NumNodes() != g8.NumNodes() || g1.NumEdges() != g8.NumEdges() {
 		t.Fatalf("graph shape differs: %d/%d nodes, %d/%d edges",
-			len(g1.Nodes), len(g8.Nodes), len(g1.Edges), len(g8.Edges))
+			g1.NumNodes(), g8.NumNodes(), g1.NumEdges(), g8.NumEdges())
 	}
 	sig := func(g *Graph) map[string]int {
 		m := map[string]int{}
-		for _, n := range g.Nodes {
-			m[string(n.Grain)+"|"+n.Kind.String()]++
+		for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+			m[string(g.Grain(n))+"|"+g.Kind(n).String()]++
 		}
 		return m
 	}
@@ -240,7 +240,7 @@ func TestReduceFragments(t *testing.T) {
 		t.Errorf("reduced fragments = %d, want 3", kinds[NodeFragment])
 	}
 	// Aggregated weight preserved.
-	foo := rg.Nodes[rg.FirstNode[profile.RootID]]
+	foo := rg.NodeAt(rg.FirstNode[profile.RootID])
 	if foo.Members != 4 {
 		t.Errorf("merged foo members = %d, want 4", foo.Members)
 	}
@@ -249,11 +249,11 @@ func TestReduceFragments(t *testing.T) {
 	}
 	// Total grain weight is conserved by reduction.
 	var wg, wr uint64
-	for _, n := range g.Nodes {
-		wg += n.Weight
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		wg += g.Weight(n)
 	}
-	for _, n := range rg.Nodes {
-		wr += n.Weight
+	for n := NodeID(0); n < NodeID(rg.NumNodes()); n++ {
+		wr += rg.Weight(n)
 	}
 	if wg != wr {
 		t.Errorf("reduction changed total weight: %d -> %d", wg, wr)
@@ -271,18 +271,18 @@ func TestReduceForks(t *testing.T) {
 	if kinds[NodeFork] != 1 {
 		t.Errorf("reduced forks = %d, want 1", kinds[NodeFork])
 	}
-	var fork *Node
-	for _, n := range rg.Nodes {
-		if n.Kind == NodeFork {
+	fork := NodeID(-1)
+	for n := NodeID(0); n < NodeID(rg.NumNodes()); n++ {
+		if rg.Kind(n) == NodeFork {
 			fork = n
 		}
 	}
-	if fork.Members != 2 {
-		t.Errorf("merged fork members = %d, want 2", fork.Members)
+	if rg.Members(fork) != 2 {
+		t.Errorf("merged fork members = %d, want 2", rg.Members(fork))
 	}
 	creations := 0
-	for _, ei := range rg.Out(fork.ID) {
-		if rg.Edges[ei].Kind == EdgeCreation {
+	for _, ei := range rg.Out(fork) {
+		if rg.EdgeKindAt(int(ei)) == EdgeCreation {
 			creations++
 		}
 	}
@@ -306,9 +306,8 @@ func TestReduceBookkeeping(t *testing.T) {
 		t.Errorf("chunks must survive reduction, got %d", kinds[NodeChunk])
 	}
 	// Chunks no longer point at bookkeeping nodes: they are siblings.
-	for i := range rg.Edges {
-		e := &rg.Edges[i]
-		if rg.Nodes[e.From].Kind == NodeChunk && rg.Nodes[e.To].Kind == NodeBookkeep {
+	for i := 0; i < rg.NumEdges(); i++ {
+		if rg.Kind(rg.EdgeFrom(i)) == NodeChunk && rg.Kind(rg.EdgeTo(i)) == NodeBookkeep {
 			t.Errorf("chunk → bookkeep edge survived reduction")
 		}
 	}
@@ -320,12 +319,13 @@ func TestReductionPreservesGrainCount(t *testing.T) {
 	rg := ReduceAll(g)
 	// Every grain keeps exactly one representative node.
 	grains := map[profile.GrainID]bool{}
-	for _, n := range rg.Nodes {
-		if n.Kind == NodeFragment || n.Kind == NodeChunk {
-			if grains[n.Grain] {
-				t.Errorf("grain %s has multiple nodes after reduction", n.Grain)
+	for n := NodeID(0); n < NodeID(rg.NumNodes()); n++ {
+		if k := rg.Kind(n); k == NodeFragment || k == NodeChunk {
+			id := rg.Grain(n)
+			if grains[id] {
+				t.Errorf("grain %s has multiple nodes after reduction", id)
 			}
-			grains[n.Grain] = true
+			grains[id] = true
 		}
 	}
 	if len(grains) != 3 {
@@ -341,7 +341,8 @@ func TestLayoutProperties(t *testing.T) {
 	// by execution time.
 	type pos struct{ x, y float64 }
 	seen := map[pos]bool{}
-	for _, n := range g.Nodes {
+	for id := NodeID(0); id < NodeID(g.NumNodes()); id++ {
+		n := g.NodeAt(id)
 		if n.W == 0 || n.H == 0 {
 			t.Errorf("node %d (%v) not sized", n.ID, n.Kind)
 		}
@@ -352,8 +353,8 @@ func TestLayoutProperties(t *testing.T) {
 		seen[p] = true
 	}
 	// bar computed 4000, baz 3000: bar's node must be at least as tall.
-	bar := g.Nodes[g.FirstNode["R.0"]]
-	baz := g.Nodes[g.FirstNode["R.1"]]
+	bar := g.NodeAt(g.FirstNode["R.0"])
+	baz := g.NodeAt(g.FirstNode["R.1"])
 	if bar.H < baz.H {
 		t.Errorf("bar height %f < baz height %f despite more work", bar.H, baz.H)
 	}
@@ -364,18 +365,17 @@ func TestLayoutChildrenLocalToParent(t *testing.T) {
 	g := Build(tr)
 	Layout(g)
 	// Children columns are to the right of the parent's column.
-	rootX := g.Nodes[g.FirstNode[profile.RootID]].X
+	rootX := g.NodeAt(g.FirstNode[profile.RootID]).X
 	for _, id := range []profile.GrainID{"R.0", "R.1"} {
-		if g.Nodes[g.FirstNode[id]].X <= rootX {
+		if g.NodeAt(g.FirstNode[id]).X <= rootX {
 			t.Errorf("child %s not to the right of parent", id)
 		}
 	}
 	// Children appear below their creating fork.
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		if e.Kind == EdgeCreation {
-			if g.Nodes[e.To].Y <= g.Nodes[e.From].Y {
-				t.Errorf("child node %d not below its fork", e.To)
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.EdgeKindAt(i) == EdgeCreation {
+			if g.NodeAt(g.EdgeTo(i)).Y <= g.NodeAt(g.EdgeFrom(i)).Y {
+				t.Errorf("child node %d not below its fork", g.EdgeTo(i))
 			}
 		}
 	}
@@ -398,9 +398,10 @@ func TestLayoutDeepRecursion(t *testing.T) {
 	Layout(g)
 	// Depth must show as monotonically increasing X along the spine.
 	maxX := 0.0
-	for _, n := range g.Nodes {
-		if n.X > maxX {
-			maxX = n.X
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		x, _, _, _ := g.Geometry(n)
+		if x > maxX {
+			maxX = x
 		}
 	}
 	if maxX < 29*colWidth {
@@ -412,17 +413,17 @@ func TestTopologicalOrder(t *testing.T) {
 	tr := fig3aTrace(t, 2)
 	g := Build(tr)
 	order := g.Topological()
-	if len(order) != len(g.Nodes) {
-		t.Fatalf("topological order covers %d of %d nodes", len(order), len(g.Nodes))
+	if len(order) != g.NumNodes() {
+		t.Fatalf("topological order covers %d of %d nodes", len(order), g.NumNodes())
 	}
-	posOf := make([]int, len(g.Nodes))
+	posOf := make([]int, g.NumNodes())
 	for i, n := range order {
 		posOf[n] = i
 	}
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		if posOf[e.From] >= posOf[e.To] {
-			t.Errorf("edge %d→%d violates topological order", e.From, e.To)
+	for i := 0; i < g.NumEdges(); i++ {
+		from, to := g.EdgeFrom(i), g.EdgeTo(i)
+		if posOf[from] >= posOf[to] {
+			t.Errorf("edge %d→%d violates topological order", from, to)
 		}
 	}
 }
@@ -431,8 +432,8 @@ func TestValidateCatchesCycle(t *testing.T) {
 	tr := fig3aTrace(t, 2)
 	g := Build(tr)
 	// Inject a back edge.
-	g.addEdge(NodeID(len(g.Nodes)-1), 0, EdgeContinuation)
-	g.addEdge(0, NodeID(len(g.Nodes)-1), EdgeContinuation)
+	g.appendEdge(NodeID(g.NumNodes()-1), 0, EdgeContinuation)
+	g.appendEdge(0, NodeID(g.NumNodes()-1), EdgeContinuation)
 	if err := g.Validate(); err == nil {
 		t.Error("Validate accepted a cyclic graph")
 	}

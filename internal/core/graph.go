@@ -9,6 +9,11 @@
 // are placed in close proximity via creation edges, without timing as a
 // placement constraint, so structural anomalies (broken cutoffs, runaway
 // recursion) are immediately visible.
+//
+// Storage is columnar: node and edge attributes live in the parallel
+// slices of the embedded GraphStore (see store.go), accessed through
+// per-column methods; Node and Edge remain as materialized row views for
+// construction and cold paths.
 package core
 
 import (
@@ -57,9 +62,10 @@ func (k NodeKind) String() string {
 	}
 }
 
-// Node is one grain-graph vertex. Fragment, book-keeping and chunk nodes
-// are weighted with metrics measured during execution; fork and join nodes
-// carry the parallelization overheads paid at them.
+// Node is the materialized row view of one grain-graph vertex: the input
+// to AddNode and the output of NodeAt. Fragment, book-keeping and chunk
+// nodes are weighted with metrics measured during execution; fork and join
+// nodes carry the parallelization overheads paid at them.
 type Node struct {
 	ID   NodeID
 	Kind NodeKind
@@ -124,26 +130,23 @@ func (k EdgeKind) String() string {
 	}
 }
 
-// Edge is one directed grain-graph edge.
+// Edge is the materialized row view of one directed grain-graph edge.
 type Edge struct {
 	From, To NodeID
 	Kind     EdgeKind
 	Critical bool
 }
 
-// Graph is the grain graph: a DAG over Nodes connected by Edges, plus an
-// index from grain IDs to their node spans.
+// Graph is the grain graph: a DAG stored columnarly in the embedded
+// GraphStore, plus an index from grain IDs to their node spans.
 type Graph struct {
 	Trace *profile.Trace
-	Nodes []*Node
-	Edges []Edge
+	GraphStore
 
 	// FirstNode / LastNode map a grain to its entry and exit nodes (first
 	// and last fragment for tasks; the chunk node itself for chunks).
 	FirstNode map[profile.GrainID]NodeID
 	LastNode  map[profile.GrainID]NodeID
-
-	out, in [][]int // adjacency into Edges, built lazily
 
 	// lastLoopJoin carries the most recent loop's join node between
 	// expandLoop and the builder (construction is single-goroutine).
@@ -164,73 +167,20 @@ func newGraph(tr *profile.Trace) *Graph {
 // than through Build.
 func NewGraph(tr *profile.Trace) *Graph { return newGraph(tr) }
 
-// AddNode appends a node (its ID field is assigned) and returns its ID.
-// FirstNode/LastNode bookkeeping is the caller's responsibility.
-func (g *Graph) AddNode(n Node) NodeID { return g.addNode(n).ID }
+// AddNode appends a node (its ID field is ignored and assigned fresh) and
+// returns its ID. FirstNode/LastNode bookkeeping is the caller's
+// responsibility.
+func (g *Graph) AddNode(n Node) NodeID { return g.appendNode(n) }
 
 // AddEdge appends an edge.
-func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind) { g.addEdge(from, to, kind) }
-
-// Weights returns a copy of the node weight vector, indexed by NodeID —
-// the starting point for what-if weight transformations.
-func (g *Graph) Weights() []profile.Time {
-	w := make([]profile.Time, len(g.Nodes))
-	for i, n := range g.Nodes {
-		w[i] = n.Weight
-	}
-	return w
-}
-
-// addNode appends a node and returns it.
-func (g *Graph) addNode(n Node) *Node {
-	n.ID = NodeID(len(g.Nodes))
-	if n.Members == 0 {
-		n.Members = 1
-	}
-	g.Nodes = append(g.Nodes, &n)
-	g.out, g.in = nil, nil
-	return g.Nodes[n.ID]
-}
-
-// addEdge appends an edge.
-func (g *Graph) addEdge(from, to NodeID, kind EdgeKind) {
-	g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind})
-	g.out, g.in = nil, nil
-}
-
-// buildAdjacency (re)builds the adjacency indexes.
-func (g *Graph) buildAdjacency() {
-	g.out = make([][]int, len(g.Nodes))
-	g.in = make([][]int, len(g.Nodes))
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		g.out[e.From] = append(g.out[e.From], i)
-		g.in[e.To] = append(g.in[e.To], i)
-	}
-}
-
-// Out returns the indexes (into Edges) of n's outgoing edges.
-func (g *Graph) Out(n NodeID) []int {
-	if g.out == nil {
-		g.buildAdjacency()
-	}
-	return g.out[n]
-}
-
-// In returns the indexes (into Edges) of n's incoming edges.
-func (g *Graph) In(n NodeID) []int {
-	if g.in == nil {
-		g.buildAdjacency()
-	}
-	return g.in[n]
-}
+func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind) { g.appendEdge(from, to, kind) }
 
 // NumGrainNodes counts fragment and chunk nodes (the "grains" rendered as
 // rectangles).
 func (g *Graph) NumGrainNodes() int {
 	n := 0
-	for _, nd := range g.Nodes {
-		if nd.Kind == NodeFragment || nd.Kind == NodeChunk {
+	for _, k := range g.kind {
+		if NodeKind(k) == NodeFragment || NodeKind(k) == NodeChunk {
 			n++
 		}
 	}
@@ -243,40 +193,40 @@ func (g *Graph) NumGrainNodes() int {
 // continuation edges stay within a context). It returns the first violation.
 func (g *Graph) Validate() error {
 	// Connection constraints.
-	for _, n := range g.Nodes {
-		switch n.Kind {
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		switch g.Kind(n) {
 		case NodeFork:
 			creations := 0
-			for _, ei := range g.Out(n.ID) {
-				if g.Edges[ei].Kind == EdgeCreation {
+			for _, ei := range g.Out(n) {
+				if g.EdgeKindAt(int(ei)) == EdgeCreation {
 					creations++
 				}
 			}
-			if n.Members == 1 && creations != 1 {
-				return fmt.Errorf("fork node %d has %d creation edges, want 1", n.ID, creations)
+			if g.Members(n) == 1 && creations != 1 {
+				return fmt.Errorf("fork node %d has %d creation edges, want 1", n, creations)
 			}
-			if n.Members > 1 && creations < 1 {
-				return fmt.Errorf("grouped fork node %d has no creation edges", n.ID)
+			if g.Members(n) > 1 && creations < 1 {
+				return fmt.Errorf("grouped fork node %d has no creation edges", n)
 			}
 		case NodeJoin:
 			joins := 0
-			for _, ei := range g.In(n.ID) {
-				if g.Edges[ei].Kind == EdgeJoin {
+			for _, ei := range g.In(n) {
+				if g.EdgeKindAt(int(ei)) == EdgeJoin {
 					joins++
 				}
 			}
 			if joins == 0 {
-				return fmt.Errorf("join node %d has no incoming join edges", n.ID)
+				return fmt.Errorf("join node %d has no incoming join edges", n)
 			}
 		}
 	}
 	// Acyclicity via Kahn's algorithm.
-	indeg := make([]int, len(g.Nodes))
-	for i := range g.Edges {
-		indeg[g.Edges[i].To]++
+	indeg := make([]int, g.NumNodes())
+	for i := 0; i < g.NumEdges(); i++ {
+		indeg[g.EdgeTo(i)]++
 	}
-	queue := make([]NodeID, 0, len(g.Nodes))
-	for i := range g.Nodes {
+	queue := make([]NodeID, 0, g.NumNodes())
+	for i := range indeg {
 		if indeg[i] == 0 {
 			queue = append(queue, NodeID(i))
 		}
@@ -287,29 +237,31 @@ func (g *Graph) Validate() error {
 		queue = queue[:len(queue)-1]
 		visited++
 		for _, ei := range g.Out(n) {
-			to := g.Edges[ei].To
+			to := g.EdgeTo(int(ei))
 			indeg[to]--
 			if indeg[to] == 0 {
 				queue = append(queue, to)
 			}
 		}
 	}
-	if visited != len(g.Nodes) {
-		return fmt.Errorf("grain graph has a cycle: visited %d of %d nodes", visited, len(g.Nodes))
+	if visited != g.NumNodes() {
+		return fmt.Errorf("grain graph has a cycle: visited %d of %d nodes", visited, g.NumNodes())
 	}
 	return nil
 }
 
 // Topological returns the nodes in a topological order. It panics if the
-// graph has a cycle (Validate would have reported it).
+// graph has a cycle (Validate would have reported it). As a side effect it
+// forces the adjacency index, making the graph safe for concurrent
+// read-only traversal afterwards.
 func (g *Graph) Topological() []NodeID {
-	indeg := make([]int, len(g.Nodes))
-	for i := range g.Edges {
-		indeg[g.Edges[i].To]++
+	indeg := make([]int, g.NumNodes())
+	for i := 0; i < g.NumEdges(); i++ {
+		indeg[g.EdgeTo(i)]++
 	}
 	var order []NodeID
 	var queue []NodeID
-	for i := range g.Nodes {
+	for i := range indeg {
 		if indeg[i] == 0 {
 			queue = append(queue, NodeID(i))
 		}
@@ -319,14 +271,14 @@ func (g *Graph) Topological() []NodeID {
 		queue = queue[1:]
 		order = append(order, n)
 		for _, ei := range g.Out(n) {
-			to := g.Edges[ei].To
+			to := g.EdgeTo(int(ei))
 			indeg[to]--
 			if indeg[to] == 0 {
 				queue = append(queue, to)
 			}
 		}
 	}
-	if len(order) != len(g.Nodes) {
+	if len(order) != g.NumNodes() {
 		panic("core: Topological called on cyclic graph")
 	}
 	return order
@@ -338,9 +290,9 @@ func (g *Graph) Topological() []NodeID {
 // and the result is empty.
 func (g *Graph) CriticalGrains() map[profile.GrainID]bool {
 	crit := make(map[profile.GrainID]bool)
-	for _, n := range g.Nodes {
-		if n.Critical && (n.Kind == NodeFragment || n.Kind == NodeChunk) {
-			crit[n.Grain] = true
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		if g.Critical(n) && (g.Kind(n) == NodeFragment || g.Kind(n) == NodeChunk) {
+			crit[g.Grain(n)] = true
 		}
 	}
 	return crit

@@ -18,41 +18,42 @@ const (
 // creation. Placement uses creation edges only; timing is deliberately not
 // a constraint (paper §3.1).
 func Layout(g *Graph) {
-	if len(g.Nodes) == 0 {
+	if g.NumNodes() == 0 {
 		return
 	}
 	scale := g.heightScale()
+	s := &g.GraphStore
 
 	// Node sizes first.
-	for _, n := range g.Nodes {
-		switch n.Kind {
+	for n := 0; n < g.NumNodes(); n++ {
+		switch NodeKind(s.kind[n]) {
 		case NodeFragment, NodeChunk:
-			h := float64(n.Weight) / scale
+			h := float64(s.weight[n]) / scale
 			if h < minGrainH {
 				h = minGrainH
 			}
 			if h > maxGrainH {
 				h = maxGrainH
 			}
-			n.W, n.H = grainWidth, h
+			s.geoW[n], s.geoH[n] = grainWidth, h
 		default:
-			n.W, n.H = ctrlSize, ctrlSize
+			s.geoW[n], s.geoH[n] = ctrlSize, ctrlSize
 		}
 	}
 
 	// continuation successor(s) and creation children per node.
 	contOut := make(map[NodeID][]NodeID)
 	createOut := make(map[NodeID][]NodeID)
-	hasIn := make([]bool, len(g.Nodes))
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		switch e.Kind {
+	hasIn := make([]bool, g.NumNodes())
+	for i := 0; i < g.NumEdges(); i++ {
+		from, to := g.EdgeFrom(i), g.EdgeTo(i)
+		switch g.EdgeKindAt(i) {
 		case EdgeContinuation:
-			contOut[e.From] = append(contOut[e.From], e.To)
-			hasIn[e.To] = true
+			contOut[from] = append(contOut[from], to)
+			hasIn[to] = true
 		case EdgeCreation:
-			createOut[e.From] = append(createOut[e.From], e.To)
-			hasIn[e.To] = true
+			createOut[from] = append(createOut[from], to)
+			hasIn[to] = true
 		case EdgeJoin:
 			// join edges do not affect placement
 		}
@@ -60,13 +61,13 @@ func Layout(g *Graph) {
 	// Deterministic child ordering: by target node ID (creation order).
 	for _, m := range []map[NodeID][]NodeID{contOut, createOut} {
 		for k := range m {
-			s := m[k]
-			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			kids := m[k]
+			sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
 		}
 	}
 
 	nextCol := 0
-	visited := make([]bool, len(g.Nodes))
+	visited := make([]bool, g.NumNodes())
 
 	// layoutChain places the continuation chain rooted at n into a fresh
 	// column starting at y, recursing into children to the right.
@@ -76,15 +77,14 @@ func Layout(g *Graph) {
 		nextCol++
 		x := float64(col) * colWidth
 		for {
-			node := g.Nodes[n]
 			if visited[n] {
 				return
 			}
 			visited[n] = true
-			node.X, node.Y = x, y
-			y += node.H + rowGap
+			s.geoX[n], s.geoY[n] = x, y
+			y += s.geoH[n] + rowGap
 
-			childY := node.Y + node.H + rowGap
+			childY := s.geoY[n] + s.geoH[n] + rowGap
 			for _, child := range createOut[n] {
 				if !visited[child] {
 					layoutChain(child, childY)
@@ -106,13 +106,13 @@ func Layout(g *Graph) {
 	}
 
 	// Roots: nodes without incoming placement edges, in ID order.
-	for i := range g.Nodes {
+	for i := range visited {
 		if !hasIn[i] && !visited[i] {
 			layoutChain(NodeID(i), 0)
 		}
 	}
 	// Any leftovers (shouldn't happen in well-formed graphs).
-	for i := range g.Nodes {
+	for i := range visited {
 		if !visited[i] {
 			layoutChain(NodeID(i), 0)
 		}
@@ -123,9 +123,10 @@ func Layout(g *Graph) {
 // a readable height.
 func (g *Graph) heightScale() float64 {
 	var weights []float64
-	for _, n := range g.Nodes {
-		if (n.Kind == NodeFragment || n.Kind == NodeChunk) && n.Weight > 0 {
-			weights = append(weights, float64(n.Weight))
+	for n := 0; n < g.NumNodes(); n++ {
+		k := NodeKind(g.kind[n])
+		if (k == NodeFragment || k == NodeChunk) && g.weight[n] > 0 {
+			weights = append(weights, float64(g.weight[n]))
 		}
 	}
 	if len(weights) == 0 {

@@ -24,18 +24,19 @@ func ReduceAll(g *Graph) *Graph {
 // same task are dropped, exactly as in the paper's drawings.
 func ReduceFragments(g *Graph) *Graph {
 	return g.reduceBy(
-		func(n *Node) (string, bool) {
-			if n.Kind == NodeFragment {
-				return "f:" + string(n.Grain), true
+		func(g *Graph, n NodeID) (string, bool) {
+			if g.Kind(n) == NodeFragment {
+				return "f:" + string(g.Grain(n)), true
 			}
 			return "", false
 		},
-		func(from, to *Node, kind EdgeKind) bool {
+		func(g *Graph, from, to NodeID, kind EdgeKind) bool {
 			// Drop boundary → own-task-fragment continuations (back-edges
 			// into the merged node).
+			fk := g.Kind(from)
 			return kind == EdgeContinuation &&
-				(from.Kind == NodeFork || from.Kind == NodeJoin) &&
-				to.Kind == NodeFragment && from.Grain == to.Grain
+				(fk == NodeFork || fk == NodeJoin) &&
+				g.Kind(to) == NodeFragment && g.Grain(from) == g.Grain(to)
 		},
 	)
 }
@@ -59,15 +60,15 @@ func ReduceForks(g *Graph) *Graph {
 		nextJoin[task.ID] = idx
 	}
 	return g.reduceBy(
-		func(n *Node) (string, bool) {
-			if n.Kind != NodeFork {
+		func(g *Graph, n NodeID) (string, bool) {
+			if g.Kind(n) != NodeFork {
 				return "", false
 			}
-			idx := nextJoin[n.Grain]
-			if n.Seq >= len(idx) {
+			idx := nextJoin[g.Grain(n)]
+			if g.Seq(n) >= len(idx) {
 				return "", false
 			}
-			return fmt.Sprintf("k:%s:%d", n.Grain, idx[n.Seq]), true
+			return fmt.Sprintf("k:%s:%d", g.Grain(n), idx[g.Seq(n)]), true
 		},
 		nil,
 	)
@@ -80,16 +81,16 @@ func ReduceForks(g *Graph) *Graph {
 // definition.
 func ReduceBookkeeping(g *Graph) *Graph {
 	return g.reduceBy(
-		func(n *Node) (string, bool) {
-			if n.Kind == NodeBookkeep {
-				return fmt.Sprintf("b:%d:%d", n.Loop, n.Core), true
+		func(g *Graph, n NodeID) (string, bool) {
+			if g.Kind(n) == NodeBookkeep {
+				return fmt.Sprintf("b:%d:%d", g.Loop(n), g.Core(n)), true
 			}
 			return "", false
 		},
-		func(from, to *Node, kind EdgeKind) bool {
+		func(g *Graph, from, to NodeID, kind EdgeKind) bool {
 			// Drop chunk → merged bookkeeping back-edges.
-			return from.Kind == NodeChunk && to.Kind == NodeBookkeep &&
-				from.Loop == to.Loop && from.Core == to.Core
+			return g.Kind(from) == NodeChunk && g.Kind(to) == NodeBookkeep &&
+				g.Loop(from) == g.Loop(to) && g.Core(from) == g.Core(to)
 		},
 	)
 }
@@ -97,43 +98,49 @@ func ReduceBookkeeping(g *Graph) *Graph {
 // reduceBy builds a new graph where nodes sharing a group key merge into
 // one node. dropEdge (optional) filters remapped edges; self-loops and
 // duplicate edges are always removed.
-func (g *Graph) reduceBy(groupKey func(*Node) (string, bool), dropEdge func(from, to *Node, kind EdgeKind) bool) *Graph {
+func (g *Graph) reduceBy(groupKey func(*Graph, NodeID) (string, bool),
+	dropEdge func(g *Graph, from, to NodeID, kind EdgeKind) bool) *Graph {
+
 	ng := newGraph(g.Trace)
-	newID := make([]NodeID, len(g.Nodes))
+	newID := make([]NodeID, g.NumNodes())
 	groups := make(map[string]NodeID)
 
-	for _, n := range g.Nodes {
-		key, grouped := groupKey(n)
+	for n := NodeID(0); n < NodeID(g.NumNodes()); n++ {
+		key, grouped := groupKey(g, n)
 		if grouped {
 			if rep, ok := groups[key]; ok {
-				// Merge into the existing representative.
-				r := ng.Nodes[rep]
-				r.Weight += n.Weight
-				r.Counters.Add(n.Counters)
-				r.Members += n.Members
-				if n.Start < r.Start || r.Start == 0 {
-					if n.Start != 0 || n.End != 0 {
-						if r.Start == 0 && r.End == 0 {
-							r.Start, r.End = n.Start, n.End
-						} else if n.Start < r.Start {
-							r.Start = n.Start
+				// Merge into the existing representative: accumulate the
+				// aggregate columns and widen the time span.
+				s := &ng.GraphStore
+				s.weight[rep] += g.weight[n]
+				s.counters[rep].Add(g.counters[n])
+				s.members[rep] += g.members[n]
+				nStart, nEnd := g.start[n], g.end[n]
+				if nStart < s.start[rep] || s.start[rep] == 0 {
+					if nStart != 0 || nEnd != 0 {
+						if s.start[rep] == 0 && s.end[rep] == 0 {
+							s.start[rep], s.end[rep] = nStart, nEnd
+						} else if nStart < s.start[rep] {
+							s.start[rep] = nStart
 						}
 					}
 				}
-				if n.End > r.End {
-					r.End = n.End
+				if nEnd > s.end[rep] {
+					s.end[rep] = nEnd
 				}
-				newID[n.ID] = rep
+				newID[n] = rep
 				continue
 			}
 		}
-		cp := *n
+		cp := g.NodeAt(n)
 		cp.X, cp.Y, cp.W, cp.H = 0, 0, 0, 0
-		nn := ng.addNode(cp)
-		newID[n.ID] = nn.ID
 		if grouped {
-			groups[key] = nn.ID
-			nn.Label = nn.Label + "*"
+			cp.Label += "*"
+		}
+		nn := ng.appendNode(cp)
+		newID[n] = nn
+		if grouped {
+			groups[key] = nn
 		}
 	}
 
@@ -142,21 +149,21 @@ func (g *Graph) reduceBy(groupKey func(*Node) (string, bool), dropEdge func(from
 		kind     EdgeKind
 	}
 	seen := make(map[edgeKey]bool)
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		from, to := newID[e.From], newID[e.To]
+	for i := 0; i < g.NumEdges(); i++ {
+		oldFrom, oldTo, kind := g.EdgeFrom(i), g.EdgeTo(i), g.EdgeKindAt(i)
+		from, to := newID[oldFrom], newID[oldTo]
 		if from == to {
 			continue
 		}
-		if dropEdge != nil && dropEdge(g.Nodes[e.From], g.Nodes[e.To], e.Kind) {
+		if dropEdge != nil && dropEdge(g, oldFrom, oldTo, kind) {
 			continue
 		}
-		k := edgeKey{from, to, e.Kind}
+		k := edgeKey{from, to, kind}
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
-		ng.addEdge(from, to, e.Kind)
+		ng.appendEdge(from, to, kind)
 	}
 
 	for id, nid := range g.FirstNode {

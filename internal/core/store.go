@@ -1,0 +1,258 @@
+package core
+
+import (
+	"graingraph/internal/cache"
+	"graingraph/internal/profile"
+)
+
+// GraphStore is the columnar (struct-of-arrays) node and edge storage
+// behind Graph. Every node attribute lives in its own parallel slice
+// indexed by NodeID, and every edge attribute in a slice indexed by edge
+// index; adjacency is a CSR-style pair of flat arrays (offsets + edge
+// indices) built lazily. Compared to the previous pointer-per-node
+// []*Node layout this removes one heap object and one pointer chase per
+// node on the hot critical-path and reduction loops, keeps same-typed
+// attributes densely packed for scans that touch only a column or two
+// (weights, kinds), and makes a finished graph cheaply shareable across
+// concurrent analyses — readers touch disjoint immutable slices.
+//
+// All mutation happens through appendNode/appendEdge plus the narrow
+// setters (critical flags, labels, geometry); consumers outside this
+// package read through the accessor methods, which are trivially
+// inlinable single-slice loads.
+type GraphStore struct {
+	// Node columns, indexed by NodeID.
+	kind     []uint8
+	grain    []profile.GrainID
+	loop     []int32
+	seq      []int32
+	label    []string
+	start    []profile.Time
+	end      []profile.Time
+	weight   []profile.Time
+	core     []int32
+	counters []cache.Counters
+	members  []int32
+	critical []bool
+	// Layout geometry columns (set by Layout, read by the exporters).
+	geoX, geoY, geoW, geoH []float64
+
+	// Edge columns, indexed by edge index.
+	edgeFrom     []int32
+	edgeTo       []int32
+	edgeKind     []uint8
+	edgeCritical []bool
+
+	// CSR adjacency: node n's outgoing edge indices are
+	// outIdx[outOff[n]:outOff[n+1]] (likewise inOff/inIdx for incoming).
+	// Built lazily by Out/In; nil when stale.
+	outOff, outIdx []int32
+	inOff, inIdx   []int32
+}
+
+// NumNodes returns the node count.
+func (s *GraphStore) NumNodes() int { return len(s.kind) }
+
+// NumEdges returns the edge count.
+func (s *GraphStore) NumEdges() int { return len(s.edgeFrom) }
+
+// Kind returns node n's kind.
+func (s *GraphStore) Kind(n NodeID) NodeKind { return NodeKind(s.kind[n]) }
+
+// Grain returns node n's owning grain ID.
+func (s *GraphStore) Grain(n NodeID) profile.GrainID { return s.grain[n] }
+
+// Loop returns node n's loop ID (meaningful for bookkeep/chunk nodes and
+// loop-expanded fork/join nodes).
+func (s *GraphStore) Loop(n NodeID) profile.LoopID { return profile.LoopID(s.loop[n]) }
+
+// Seq returns node n's sibling sequence number.
+func (s *GraphStore) Seq(n NodeID) int { return int(s.seq[n]) }
+
+// Label returns node n's display label.
+func (s *GraphStore) Label(n NodeID) string { return s.label[n] }
+
+// Start returns node n's start time.
+func (s *GraphStore) Start(n NodeID) profile.Time { return s.start[n] }
+
+// End returns node n's end time.
+func (s *GraphStore) End(n NodeID) profile.Time { return s.end[n] }
+
+// Weight returns node n's time contribution.
+func (s *GraphStore) Weight(n NodeID) profile.Time { return s.weight[n] }
+
+// Core returns the core that executed node n.
+func (s *GraphStore) Core(n NodeID) int { return int(s.core[n]) }
+
+// CountersAt returns node n's hardware-counter readings.
+func (s *GraphStore) CountersAt(n NodeID) cache.Counters { return s.counters[n] }
+
+// Members returns how many original nodes a grouped node represents.
+func (s *GraphStore) Members(n NodeID) int { return int(s.members[n]) }
+
+// Critical reports whether node n lies on the marked critical path.
+func (s *GraphStore) Critical(n NodeID) bool { return s.critical[n] }
+
+// SetCritical marks (or clears) node n's critical-path membership.
+func (s *GraphStore) SetCritical(n NodeID, v bool) { s.critical[n] = v }
+
+// Geometry returns node n's layout rectangle.
+func (s *GraphStore) Geometry(n NodeID) (x, y, w, h float64) {
+	return s.geoX[n], s.geoY[n], s.geoW[n], s.geoH[n]
+}
+
+// SetGeometry assigns node n's layout rectangle.
+func (s *GraphStore) SetGeometry(n NodeID, x, y, w, h float64) {
+	s.geoX[n], s.geoY[n], s.geoW[n], s.geoH[n] = x, y, w, h
+}
+
+// NodeAt materializes node n as a Node value — the convenient row view
+// for cold paths (export, tests). Hot loops should read the individual
+// columns instead.
+func (s *GraphStore) NodeAt(n NodeID) Node {
+	return Node{
+		ID:       n,
+		Kind:     s.Kind(n),
+		Grain:    s.grain[n],
+		Loop:     s.Loop(n),
+		Seq:      s.Seq(n),
+		Label:    s.label[n],
+		Start:    s.start[n],
+		End:      s.end[n],
+		Weight:   s.weight[n],
+		Core:     s.Core(n),
+		Counters: s.counters[n],
+		Members:  s.Members(n),
+		Critical: s.critical[n],
+		X:        s.geoX[n],
+		Y:        s.geoY[n],
+		W:        s.geoW[n],
+		H:        s.geoH[n],
+	}
+}
+
+// EdgeAt materializes edge i as an Edge value.
+func (s *GraphStore) EdgeAt(i int) Edge {
+	return Edge{
+		From:     NodeID(s.edgeFrom[i]),
+		To:       NodeID(s.edgeTo[i]),
+		Kind:     EdgeKind(s.edgeKind[i]),
+		Critical: s.edgeCritical[i],
+	}
+}
+
+// EdgeFrom returns edge i's source node.
+func (s *GraphStore) EdgeFrom(i int) NodeID { return NodeID(s.edgeFrom[i]) }
+
+// EdgeTo returns edge i's target node.
+func (s *GraphStore) EdgeTo(i int) NodeID { return NodeID(s.edgeTo[i]) }
+
+// EdgeKindAt returns edge i's kind.
+func (s *GraphStore) EdgeKindAt(i int) EdgeKind { return EdgeKind(s.edgeKind[i]) }
+
+// EdgeCritical reports whether edge i lies on the marked critical path.
+func (s *GraphStore) EdgeCritical(i int) bool { return s.edgeCritical[i] }
+
+// SetEdgeCritical marks (or clears) edge i's critical-path membership.
+func (s *GraphStore) SetEdgeCritical(i int, v bool) { s.edgeCritical[i] = v }
+
+// Weights returns a copy of the node weight column, indexed by NodeID —
+// the starting point for what-if weight transformations.
+func (s *GraphStore) Weights() []profile.Time {
+	w := make([]profile.Time, len(s.weight))
+	copy(w, s.weight)
+	return w
+}
+
+// appendNode appends a node row and returns its ID. A zero Members is
+// normalized to 1 (an unreduced node represents itself).
+func (s *GraphStore) appendNode(n Node) NodeID {
+	id := NodeID(len(s.kind))
+	if n.Members == 0 {
+		n.Members = 1
+	}
+	s.kind = append(s.kind, uint8(n.Kind))
+	s.grain = append(s.grain, n.Grain)
+	s.loop = append(s.loop, int32(n.Loop))
+	s.seq = append(s.seq, int32(n.Seq))
+	s.label = append(s.label, n.Label)
+	s.start = append(s.start, n.Start)
+	s.end = append(s.end, n.End)
+	s.weight = append(s.weight, n.Weight)
+	s.core = append(s.core, int32(n.Core))
+	s.counters = append(s.counters, n.Counters)
+	s.members = append(s.members, int32(n.Members))
+	s.critical = append(s.critical, n.Critical)
+	s.geoX = append(s.geoX, n.X)
+	s.geoY = append(s.geoY, n.Y)
+	s.geoW = append(s.geoW, n.W)
+	s.geoH = append(s.geoH, n.H)
+	s.invalidateCSR()
+	return id
+}
+
+// appendEdge appends an edge row.
+func (s *GraphStore) appendEdge(from, to NodeID, kind EdgeKind) {
+	s.edgeFrom = append(s.edgeFrom, int32(from))
+	s.edgeTo = append(s.edgeTo, int32(to))
+	s.edgeKind = append(s.edgeKind, uint8(kind))
+	s.edgeCritical = append(s.edgeCritical, false)
+	s.invalidateCSR()
+}
+
+// invalidateCSR drops the adjacency arrays; they rebuild on next use.
+func (s *GraphStore) invalidateCSR() {
+	s.outOff, s.outIdx = nil, nil
+	s.inOff, s.inIdx = nil, nil
+}
+
+// buildCSR (re)builds both adjacency indexes as flat offset/index arrays:
+// two passes over the edge columns, four allocations total, independent of
+// node degree distribution.
+func (s *GraphStore) buildCSR() {
+	n, e := len(s.kind), len(s.edgeFrom)
+	outOff := make([]int32, n+1)
+	inOff := make([]int32, n+1)
+	for i := 0; i < e; i++ {
+		outOff[s.edgeFrom[i]+1]++
+		inOff[s.edgeTo[i]+1]++
+	}
+	for i := 0; i < n; i++ {
+		outOff[i+1] += outOff[i]
+		inOff[i+1] += inOff[i]
+	}
+	outIdx := make([]int32, e)
+	inIdx := make([]int32, e)
+	outCur := make([]int32, n)
+	inCur := make([]int32, n)
+	for i := 0; i < e; i++ {
+		f, t := s.edgeFrom[i], s.edgeTo[i]
+		outIdx[outOff[f]+outCur[f]] = int32(i)
+		outCur[f]++
+		inIdx[inOff[t]+inCur[t]] = int32(i)
+		inCur[t]++
+	}
+	s.outOff, s.outIdx = outOff, outIdx
+	s.inOff, s.inIdx = inOff, inIdx
+}
+
+// Out returns the indexes of n's outgoing edges (pass them to EdgeTo /
+// EdgeKindAt / EdgeAt). The returned slice aliases the CSR arrays: read,
+// don't mutate. Building the index is not goroutine-safe; concurrent
+// readers must force it first (call Out once, or Topological) exactly as
+// the what-if engine does.
+func (s *GraphStore) Out(n NodeID) []int32 {
+	if s.outOff == nil {
+		s.buildCSR()
+	}
+	return s.outIdx[s.outOff[n]:s.outOff[n+1]]
+}
+
+// In returns the indexes of n's incoming edges, with the same aliasing and
+// concurrency contract as Out.
+func (s *GraphStore) In(n NodeID) []int32 {
+	if s.inOff == nil {
+		s.buildCSR()
+	}
+	return s.inIdx[s.inOff[n]:s.inOff[n+1]]
+}

@@ -20,7 +20,8 @@ func DOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
 	fmt.Fprintf(bw, "  label=%q; labelloc=t;\n", fmt.Sprintf("%s — %s view", g.Trace.Program, v))
 	fmt.Fprintf(bw, "  rankdir=TB; node [style=filled, fontsize=8];\n")
 
-	for _, n := range g.Nodes {
+	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
+		n := g.NodeAt(id)
 		color := NodeColor(g, n, a, v, defColors)
 		shape := "box"
 		switch n.Kind {
@@ -41,8 +42,8 @@ func DOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
 		}
 		fmt.Fprintf(bw, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
 	}
-	for i := range g.Edges {
-		e := &g.Edges[i]
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
 		color := edgeColor(e.Kind)
 		width := 1.0
 		if e.Critical {

@@ -105,7 +105,7 @@ var definitionPalette = []string{
 
 // NodeColor resolves the fill colour of a node under the given view.
 // The assessment may be nil for pure structure rendering.
-func NodeColor(g *core.Graph, n *core.Node, a *highlight.Assessment, v View,
+func NodeColor(g *core.Graph, n core.Node, a *highlight.Assessment, v View,
 	defColors map[string]string) string {
 
 	switch n.Kind {
@@ -142,7 +142,7 @@ func NodeColor(g *core.Graph, n *core.Node, a *highlight.Assessment, v View,
 }
 
 // defKeyOf returns the source-definition key of a grain node.
-func defKeyOf(g *core.Graph, n *core.Node) string {
+func defKeyOf(g *core.Graph, n core.Node) string {
 	if n.Kind == core.NodeChunk {
 		if l := g.Trace.Loop(n.Loop); l != nil {
 			return l.Loc.String()
@@ -160,11 +160,11 @@ func defKeyOf(g *core.Graph, n *core.Node) string {
 func DefinitionColors(g *core.Graph) map[string]string {
 	colors := make(map[string]string)
 	i := 0
-	for _, n := range g.Nodes {
-		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
+	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
+		if k := g.Kind(id); k != core.NodeFragment && k != core.NodeChunk {
 			continue
 		}
-		key := defKeyOf(g, n)
+		key := defKeyOf(g, g.NodeAt(id))
 		if _, ok := colors[key]; !ok {
 			colors[key] = definitionPalette[i%len(definitionPalette)]
 			i++

@@ -54,11 +54,11 @@ func TestGraphMLWellFormed(t *testing.T) {
 			}
 		}
 	}
-	if nodes != len(g.Nodes) {
-		t.Errorf("GraphML has %d nodes, graph has %d", nodes, len(g.Nodes))
+	if nodes != g.NumNodes() {
+		t.Errorf("GraphML has %d nodes, graph has %d", nodes, g.NumNodes())
 	}
-	if edges != len(g.Edges) {
-		t.Errorf("GraphML has %d edges, graph has %d", edges, len(g.Edges))
+	if edges != g.NumEdges() {
+		t.Errorf("GraphML has %d edges, graph has %d", edges, g.NumEdges())
 	}
 	s := buf.String()
 	for _, want := range []string{"y:ShapeNode", "y:Geometry", "y:Fill", "yworks.com"} {
@@ -131,8 +131,8 @@ func TestDOTOutput(t *testing.T) {
 	if !strings.HasPrefix(s, "digraph grains {") || !strings.HasSuffix(strings.TrimSpace(s), "}") {
 		t.Error("DOT output not a digraph block")
 	}
-	if strings.Count(s, "->") != len(g.Edges) {
-		t.Errorf("DOT edge count = %d, want %d", strings.Count(s, "->"), len(g.Edges))
+	if strings.Count(s, "->") != g.NumEdges() {
+		t.Errorf("DOT edge count = %d, want %d", strings.Count(s, "->"), g.NumEdges())
 	}
 }
 
@@ -160,9 +160,9 @@ func TestJSONRoundTrips(t *testing.T) {
 	if out.Program != "exp" || out.Cores != 2 {
 		t.Errorf("JSON header = %+v", out)
 	}
-	if len(out.Nodes) != len(g.Nodes) || len(out.Edges) != len(g.Edges) {
+	if len(out.Nodes) != g.NumNodes() || len(out.Edges) != g.NumEdges() {
 		t.Errorf("JSON sizes: %d/%d nodes, %d/%d edges",
-			len(out.Nodes), len(g.Nodes), len(out.Edges), len(g.Edges))
+			len(out.Nodes), g.NumNodes(), len(out.Edges), g.NumEdges())
 	}
 }
 
@@ -184,7 +184,8 @@ func TestStructuralNodeColors(t *testing.T) {
 	g, a := testGraph(t)
 	defc := DefinitionColors(g)
 	sawFork, sawJoin, sawBk := false, false, false
-	for _, n := range g.Nodes {
+	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
+		n := g.NodeAt(id)
 		c := NodeColor(g, n, a, ViewStructure, defc)
 		switch n.Kind {
 		case core.NodeFork:
@@ -216,7 +217,8 @@ func TestCriticalView(t *testing.T) {
 	// Critical flags were set by Analyze (via CriticalPath).
 	defc := DefinitionColors(g)
 	crit, dim := 0, 0
-	for _, n := range g.Nodes {
+	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
+		n := g.NodeAt(id)
 		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
 			continue
 		}

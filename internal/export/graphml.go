@@ -39,7 +39,8 @@ func GraphML(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error 
 	fmt.Fprintln(bw, ` <key for="node" id="mhu" attr.name="mem_hierarchy_util" attr.type="double"/>`)
 	fmt.Fprintf(bw, ` <graph id="%s" edgedefault="directed">%s`, escape(v.String()), "\n")
 
-	for _, n := range g.Nodes {
+	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
+		n := g.NodeAt(id)
 		color := NodeColor(g, n, a, v, defColors)
 		border := "#333333"
 		borderW := 1.0
@@ -86,8 +87,8 @@ func GraphML(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error 
 		fmt.Fprintln(bw, `  </node>`)
 	}
 
-	for i := range g.Edges {
-		e := &g.Edges[i]
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
 		color := edgeColor(e.Kind)
 		width := 1.0
 		if e.Critical {

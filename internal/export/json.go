@@ -58,7 +58,8 @@ func jsonDump(w io.Writer, g *core.Graph, a *highlight.Assessment, anns []jsonWh
 		Makespan: g.Trace.Makespan(),
 		WhatIf:   anns,
 	}
-	for _, n := range g.Nodes {
+	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
+		n := g.NodeAt(id)
 		jn := jsonNode{
 			ID: int(n.ID), Kind: n.Kind.String(), Grain: string(n.Grain),
 			Label: n.Label, Source: defKeyOf(g, n),
@@ -78,8 +79,8 @@ func jsonDump(w io.Writer, g *core.Graph, a *highlight.Assessment, anns []jsonWh
 		}
 		out.Nodes = append(out.Nodes, jn)
 	}
-	for i := range g.Edges {
-		e := &g.Edges[i]
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
 		out.Edges = append(out.Edges, jsonEdge{
 			From: int(e.From), To: int(e.To), Kind: e.Kind.String(), Critical: e.Critical,
 		})

@@ -191,6 +191,28 @@ func Run(inst workloads.Instance, cfg Config) (*Result, error) {
 	return res, err
 }
 
+// AnalyzeTrace derives the full metric set from an already-recorded trace
+// (typically a grain-profile artifact loaded with ggp.ReadFile) without
+// executing the simulator. baseline may be nil, in which case work
+// deviation is unavailable, exactly as with Config.Baseline off. The
+// pipeline is runOne's analysis half verbatim — graph build, metrics,
+// highlighting — so a saved artifact analyzes byte-identically to the live
+// run it recorded. cfg.Cores <= 0 takes the core count from the trace.
+func AnalyzeTrace(tr, baseline *profile.Trace, cfg Config) *Result {
+	g := core.Build(tr)
+	rep := metrics.Analyze(tr, g, baseline, metrics.Options{})
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = tr.Cores
+	}
+	th := highlight.Defaults(cores, 12)
+	if cfg.WorkDeviationMax > 0 {
+		th.WorkDeviationMax = cfg.WorkDeviationMax
+	}
+	a := highlight.Evaluate(rep, th)
+	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}
+}
+
 // makespanOne is Makespan without the instrumentation recording.
 func makespanOne(inst workloads.Instance, cfg Config) (uint64, []*InstrumentedRun, error) {
 	rcfg := rtsConfig(inst, cfg)

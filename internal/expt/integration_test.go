@@ -57,18 +57,18 @@ func TestPipelineInvariantsOnRandomTrees(t *testing.T) {
 			t.Fatalf("seed %d reduced: %v", seed, err)
 		}
 		var w1, w2 uint64
-		for _, n := range g.Nodes {
-			w1 += n.Weight
+		for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+			w1 += g.Weight(n)
 		}
-		for _, n := range rg.Nodes {
-			w2 += n.Weight
+		for n := core.NodeID(0); n < core.NodeID(rg.NumNodes()); n++ {
+			w2 += rg.Weight(n)
 		}
 		if w1 != w2 {
 			t.Fatalf("seed %d: reduction changed total weight %d -> %d", seed, w1, w2)
 		}
-		if len(rg.Nodes) >= len(g.Nodes) {
+		if rg.NumNodes() >= g.NumNodes() {
 			t.Fatalf("seed %d: reduction did not shrink the graph (%d -> %d)",
-				seed, len(g.Nodes), len(rg.Nodes))
+				seed, g.NumNodes(), rg.NumNodes())
 		}
 
 		// Critical path: at least the heaviest grain, at most the makespan.
@@ -92,8 +92,9 @@ func TestPipelineInvariantsOnRandomTrees(t *testing.T) {
 		core.Layout(rg)
 		type pos struct{ x, y float64 }
 		seen := map[pos]bool{}
-		for _, n := range rg.Nodes {
-			p := pos{n.X, n.Y}
+		for n := core.NodeID(0); n < core.NodeID(rg.NumNodes()); n++ {
+			x, y, _, _ := rg.Geometry(n)
+			p := pos{x, y}
 			if seen[p] {
 				t.Fatalf("seed %d: layout collision at %+v", seed, p)
 			}

@@ -1,0 +1,219 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graingraph/internal/core"
+	"graingraph/internal/export"
+	"graingraph/internal/ggp"
+	"graingraph/internal/rts"
+	"graingraph/internal/runpool"
+	"graingraph/internal/workloads"
+)
+
+// resetArtifactDirs restores the record/replay globals and caches after a
+// test that touched them.
+func resetArtifactDirs() {
+	SetRecordDir("")
+	SetReplayDir("")
+	ResetMemo()
+	ResetArtifactMemo()
+}
+
+// regenerateUninstrumented renders every figure at the given parallelism
+// with a cold memo cache and no instrumentation (record/replay only engage
+// for uninstrumented runs), returning the bytes produced and the number of
+// simulations that actually executed.
+func regenerateUninstrumented(t *testing.T, jobs int) ([]byte, uint64) {
+	t.Helper()
+	ResetMemo()
+	SetParallelism(jobs)
+	simBefore, _ := MemoStats()
+	var buf bytes.Buffer
+	if err := allFigures(&buf); err != nil {
+		t.Fatalf("-j %d: %v", jobs, err)
+	}
+	sim, _ := MemoStats()
+	return buf.Bytes(), sim - simBefore
+}
+
+// TestRecordReplayRoundTrip is the record/analyze split's headline
+// guarantee: a full figure pass recorded to grain-profile artifacts, then
+// replayed from those artifacts with a cold memo, produces byte-identical
+// output — at both the serial fallback and pooled parallelism — while
+// executing no keyed simulation a second time.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure three times; skipped in -short")
+	}
+	prev := Parallelism()
+	defer func() { SetParallelism(prev); resetArtifactDirs() }()
+
+	dir := t.TempDir()
+
+	SetRecordDir(dir)
+	live, liveSims := regenerateUninstrumented(t, 8)
+	SetRecordDir("")
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("record pass produced no artifacts")
+	}
+	t.Logf("recorded %d artifacts from %d simulations", len(ents), liveSims)
+
+	SetReplayDir(dir)
+	replaySerial, serialSims := regenerateUninstrumented(t, 1)
+	replayParallel, parallelSims := regenerateUninstrumented(t, 8)
+	SetReplayDir("")
+
+	if !bytes.Equal(live, replaySerial) {
+		d := diffLine(live, replaySerial)
+		t.Fatalf("live and -j 1 replay outputs differ (first differing line %d):\nlive:   %q\nreplay: %q",
+			d, lineAt(live, d), lineAt(replaySerial, d))
+	}
+	if !bytes.Equal(live, replayParallel) {
+		d := diffLine(live, replayParallel)
+		t.Fatalf("live and -j 8 replay outputs differ (first differing line %d):\nlive:   %q\nreplay: %q",
+			d, lineAt(live, d), lineAt(replayParallel, d))
+	}
+	// Every keyed run was recorded during the live pass, so both replay
+	// passes serve every keyed request from an artifact and execute no
+	// keyed simulation at all (MemoStats counts only keyed executions).
+	if serialSims != 0 || parallelSims != 0 {
+		t.Errorf("replay executed keyed simulations: %d at -j 1, %d at -j 8; want 0 (live pass executed %d)",
+			serialSims, parallelSims, liveSims)
+	}
+}
+
+// TestArtifactAnalysisMatchesLive checks the single-artifact path grainview
+// uses: a run recorded to a .ggp artifact, read back with ggp.ReadFile and
+// analyzed with AnalyzeTrace, exports byte-identically to the live Result.
+func TestArtifactAnalysisMatchesLive(t *testing.T) {
+	defer resetArtifactDirs()
+	dir := t.TempDir()
+
+	ResetMemo()
+	SetRecordDir(dir)
+	inst, err := workloads.Get("fib", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cores: 8, Seed: 1}
+	live, err := Run(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetRecordDir("")
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("expected 1 recorded artifact, found %d", len(ents))
+	}
+	tr, err := ggp.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := AnalyzeTrace(tr, nil, Config{})
+
+	if got, want := replayed.Trace.Cores, live.Trace.Cores; got != want {
+		t.Fatalf("replayed trace has %d cores, live %d", got, want)
+	}
+	core.Layout(live.Graph)
+	core.Layout(replayed.Graph)
+	var a, b bytes.Buffer
+	if err := export.GraphML(&a, live.Graph, live.Assessment, export.ViewStructure); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.GraphML(&b, replayed.Graph, replayed.Assessment, export.ViewStructure); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		d := diffLine(a.Bytes(), b.Bytes())
+		t.Fatalf("GraphML exports differ (first differing line %d):\nlive:   %q\nreplay: %q",
+			d, lineAt(a.Bytes(), d), lineAt(b.Bytes(), d))
+	}
+}
+
+// TestArtifactDecodeMemo pins the content-hash memoization of artifact
+// decodes: loading identical bytes twice decodes once and shares the
+// trace; rewriting the file with different content misses the cache; a
+// corrupted file misses the cache and fails its CRC check instead of
+// returning a stale decode.
+func TestArtifactDecodeMemo(t *testing.T) {
+	defer resetArtifactDirs()
+	dir := t.TempDir()
+	key := runpool.KeyOf("artifact-memo-test")
+
+	tr := rts.Run(rts.Config{Program: "memo-a", Cores: 2}, func(c rts.Ctx) { c.Compute(500) })
+	if err := recordArtifact(dir, key, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetArtifactMemo()
+	first, found, err := loadArtifact(dir, key)
+	if err != nil || !found {
+		t.Fatalf("first load: found=%v err=%v", found, err)
+	}
+	second, found, err := loadArtifact(dir, key)
+	if err != nil || !found {
+		t.Fatalf("second load: found=%v err=%v", found, err)
+	}
+	if first != second {
+		t.Error("identical bytes decoded twice; expected the memoized trace to be shared")
+	}
+	if decodes, hits := ArtifactStats(); decodes != 1 || hits != 1 {
+		t.Errorf("after two identical loads: decodes=%d hits=%d, want 1/1", decodes, hits)
+	}
+
+	// Different content at the same path is a cache miss that decodes fresh.
+	tr2 := rts.Run(rts.Config{Program: "memo-b", Cores: 2}, func(c rts.Ctx) { c.Compute(500) })
+	if err := recordArtifact(dir, key, tr2); err != nil {
+		t.Fatal(err)
+	}
+	third, found, err := loadArtifact(dir, key)
+	if err != nil || !found {
+		t.Fatalf("post-rewrite load: found=%v err=%v", found, err)
+	}
+	if third == first {
+		t.Error("rewritten artifact returned the stale decode")
+	}
+	if third.Program != "memo-b" {
+		t.Errorf("rewritten artifact decoded program %q, want memo-b", third.Program)
+	}
+	if decodes, _ := ArtifactStats(); decodes != 2 {
+		t.Errorf("after rewrite: decodes=%d, want 2", decodes)
+	}
+
+	// A mutated payload byte is also a miss — and the fresh decode fails
+	// the CRC check rather than serving anything.
+	path := artifactPath(dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadArtifact(dir, key); err == nil {
+		t.Error("corrupted artifact loaded without error")
+	}
+	if decodes, _ := ArtifactStats(); decodes != 3 {
+		t.Errorf("after corruption: decodes=%d, want 3", decodes)
+	}
+
+	// A missing artifact is not an error: the engine falls back to live
+	// simulation.
+	if _, found, err := loadArtifact(dir, runpool.KeyOf("absent")); found || err != nil {
+		t.Errorf("missing artifact: found=%v err=%v, want false/nil", found, err)
+	}
+}

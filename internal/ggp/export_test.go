@@ -1,0 +1,18 @@
+package ggp
+
+// Test hooks for the external test package. The ggp tests live in
+// ggp_test (not in-package) because their sample traces come from
+// internal/rts, and rts imports ggp for the Config.Profile sink.
+
+const (
+	SecTask    = secTask
+	SecTrailer = secTrailer
+	MaxSection = maxSection
+)
+
+// RawSection emits an arbitrary section; the forward-compatibility tests
+// use it to splice unknown section IDs into otherwise valid artifacts.
+func (w *Writer) RawSection(id byte, payload []byte) error {
+	w.buf = append(w.buf[:0], payload...)
+	return w.section(id)
+}

@@ -1,0 +1,67 @@
+// Package ggp implements the grain-graph profile (GGP) artifact: a
+// versioned, streaming on-disk encoding of a profile.Trace that splits
+// recording from analysis. A runtime (simulated or native) emits records
+// into a Writer as one artifact per run; grainview and the experiment
+// engine read artifacts back with Reader and obtain a trace that analyzes
+// byte-identically to the live-simulated path.
+//
+// # Layout
+//
+//	header  := magic "GGPF" | version byte
+//	section := id byte | uvarint payload length | payload
+//	trailer := section id 0xFF with a 4-byte little-endian CRC-32 (IEEE)
+//	           of every preceding byte (header + all sections)
+//
+// Record sections (task, loop, chunk, book-keeping) hold exactly one
+// record each and repeat, so a Writer streams with bounded memory and a
+// Reader reconstructs slices in emission order — which the graph builder
+// relies on: NodeIDs are assigned in record order, so preserving it is
+// what makes replayed analysis byte-identical.
+//
+// # Versioning and forward compatibility
+//
+// The version byte gates the record encodings: a Reader rejects versions
+// newer than it understands. Within a version, unknown section IDs are
+// skipped (they are length-prefixed), so a future minor producer may add
+// new section kinds without breaking old readers; changing an existing
+// record encoding requires a version bump.
+package ggp
+
+import "errors"
+
+const (
+	// Magic opens every GGP artifact.
+	Magic = "GGPF"
+	// Version is the current format version. Readers accept artifacts with
+	// version <= Version and reject newer ones.
+	Version = 1
+)
+
+// Section IDs. The trailer ID is deliberately far from the record IDs so
+// a truncated or bit-flipped stream is unlikely to alias it.
+const (
+	secMeta     = 0x01 // program identification and trace span
+	secTask     = 0x02 // one TaskRecord
+	secLoop     = 0x03 // one LoopRecord
+	secChunk    = 0x04 // one ChunkRecord
+	secBookkeep = 0x05 // one BookkeepRecord
+	secWorkers  = 0x06 // per-worker time split
+	secTrailer  = 0xFF // CRC-32 of everything before it
+)
+
+// maxSection caps a single section's payload. Record sections hold one
+// record and stay tiny; the cap exists so a corrupted length prefix cannot
+// drive the Reader into a multi-gigabyte allocation.
+const maxSection = 1 << 26
+
+// Errors distinguishing the artifact failure modes.
+var (
+	// ErrMagic reports a stream that does not start with the GGP magic.
+	ErrMagic = errors.New("ggp: bad magic (not a grain-profile artifact)")
+	// ErrVersion reports an artifact written by a newer format version.
+	ErrVersion = errors.New("ggp: unsupported format version")
+	// ErrCRC reports trailer checksum mismatch (artifact corrupted).
+	ErrCRC = errors.New("ggp: CRC mismatch, artifact corrupted")
+	// ErrTruncated reports a stream that ends before its trailer.
+	ErrTruncated = errors.New("ggp: truncated artifact")
+)

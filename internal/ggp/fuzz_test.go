@@ -1,0 +1,64 @@
+package ggp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"graingraph/internal/ggp"
+	"graingraph/internal/profile"
+)
+
+// FuzzGGPReader throws arbitrary bytes at the artifact reader. The
+// invariant is purely defensive: ggp.ReadTrace must return a trace or an
+// error, never panic or OOM, for any input. The seed corpus covers the
+// interesting corruption classes — a valid artifact, truncations, a
+// flipped version byte, a corrupted CRC, and oversized section lengths.
+func FuzzGGPReader(f *testing.F) {
+	tr := &profile.Trace{
+		Program: "fuzz-seed", Cores: 2, Start: 0, End: 100,
+		Tasks: []*profile.TaskRecord{
+			{ID: profile.RootID, Fragments: []profile.Fragment{{Start: 0, End: 40}, {Start: 60, End: 100}},
+				Boundaries: []profile.Boundary{{Kind: profile.BoundaryLoop, At: 40, Loop: 0}}},
+		},
+		Loops:     []*profile.LoopRecord{{ID: 0, Lo: 0, Hi: 8, Start: 40, End: 60, Threads: []int{0, 1}}},
+		Chunks:    []*profile.ChunkRecord{{Loop: 0, Lo: 0, Hi: 8, Start: 45, End: 58, Bookkeep: 5}},
+		Bookkeeps: []*profile.BookkeepRecord{{Loop: 0, Grabs: 1, Total: 5}},
+		Workers:   []profile.WorkerStat{{Busy: 90, Overhead: 10}, {Busy: 13, Overhead: 0}},
+	}
+	var buf bytes.Buffer
+	if err := ggp.WriteTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])   // truncated mid-stream
+	f.Add(valid[:len(ggp.Magic)]) // header cut before version
+	f.Add([]byte{})               // empty input
+	f.Add([]byte("GGPX\x01"))     // wrong magic
+	flipped := bytes.Clone(valid)
+	flipped[len(ggp.Magic)] = 0xEE // future version
+	f.Add(flipped)
+	badCRC := bytes.Clone(valid)
+	badCRC[len(badCRC)-2] ^= 0xFF // corrupted trailer checksum
+	f.Add(badCRC)
+	oversized := append(bytes.Clone(valid[:len(ggp.Magic)+1]), ggp.SecTask,
+		0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // section claims ~34 GB
+	f.Add(oversized)
+	zeroLen := append(bytes.Clone(valid[:len(ggp.Magic)+1]), ggp.SecTrailer, 0x00)
+	f.Add(zeroLen) // trailer with empty payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ggp.ReadTrace(bytes.NewReader(data))
+		if err == nil && tr == nil {
+			t.Fatal("ggp.ReadTrace returned nil trace and nil error")
+		}
+		if err == nil {
+			// An accepted artifact must satisfy the profile invariants —
+			// that is what the validation wiring guarantees.
+			if verr := tr.Validate(); verr != nil {
+				t.Fatalf("ggp.ReadTrace accepted an invalid trace: %v", verr)
+			}
+		}
+	})
+}

@@ -7,45 +7,47 @@ import (
 
 // CriticalPathOver computes the heaviest path through the grain graph under
 // a hypothetical weight vector, without touching the graph's Critical flags.
-// weights[i] substitutes g.Nodes[i].Weight; pass nil to use the recorded
-// weights. The what-if engine calls this with modified vectors to project
-// the effect of optimizations without re-running the simulation, so it must
-// be safe for concurrent use on a shared graph whose adjacency has already
-// been built (force it with g.Out(0) or a prior Topological call).
+// weights[i] substitutes the graph's recorded weight for node i; pass nil to
+// use the recorded weight column. The what-if engine calls this with
+// modified vectors to project the effect of optimizations without re-running
+// the simulation, so it must be safe for concurrent use on a shared graph
+// whose adjacency has already been built (force it with g.Out(0) or a prior
+// Topological call).
+//
+// The pass iterates the columnar store directly — the weight column and the
+// CSR adjacency arrays are flat slices, so the longest-path relaxation does
+// no per-node pointer chasing and allocates only its own dist/pred arrays.
 //
 // Tie-breaking is explicit so output is deterministic regardless of edge
 // insertion order: among sink nodes tied for the longest path the lowest
 // NodeID wins, and among equal-length predecessor paths the lowest
 // predecessor NodeID wins.
 func CriticalPathOver(g *core.Graph, weights []profile.Time) (profile.Time, []core.NodeID) {
-	if len(g.Nodes) == 0 {
+	if g.NumNodes() == 0 {
 		return 0, nil
 	}
-	weightOf := func(n core.NodeID) profile.Time {
-		if weights != nil {
-			return weights[n]
-		}
-		return g.Nodes[n].Weight
+	if weights == nil {
+		weights = g.Weights()
 	}
 	order := g.Topological()
-	dist := make([]profile.Time, len(g.Nodes))
-	pred := make([]core.NodeID, len(g.Nodes))
+	dist := make([]profile.Time, g.NumNodes())
+	pred := make([]core.NodeID, g.NumNodes())
 	for i := range pred {
 		pred[i] = -1
 	}
 	bestEnd := core.NodeID(-1)
 	var best profile.Time
 	for _, n := range order {
-		d := dist[n] + weightOf(n)
+		d := dist[n] + weights[n]
 		if d > best || (d == best && (bestEnd < 0 || n < bestEnd)) {
 			best = d
 			bestEnd = n
 		}
 		for _, ei := range g.Out(n) {
-			e := &g.Edges[ei]
-			if d > dist[e.To] || (d == dist[e.To] && (pred[e.To] < 0 || n < pred[e.To])) {
-				dist[e.To] = d
-				pred[e.To] = n
+			to := g.EdgeTo(int(ei))
+			if d > dist[to] || (d == dist[to] && (pred[to] < 0 || n < pred[to])) {
+				dist[to] = d
+				pred[to] = n
 			}
 		}
 	}
@@ -76,7 +78,7 @@ func CriticalPathOver(g *core.Graph, weights []profile.Time) (profile.Time, []co
 func CriticalPath(g *core.Graph) (profile.Time, []core.NodeID) {
 	best, path := CriticalPathOver(g, nil)
 	for _, n := range path {
-		g.Nodes[n].Critical = true
+		g.SetCritical(n, true)
 	}
 	// Mark edges between consecutive path nodes.
 	onPath := make(map[[2]core.NodeID]bool, len(path))
@@ -84,10 +86,9 @@ func CriticalPath(g *core.Graph) (profile.Time, []core.NodeID) {
 		onPath[[2]core.NodeID{path[i-1], path[i]}] = true
 	}
 	if len(onPath) > 0 {
-		for i := range g.Edges {
-			e := &g.Edges[i]
-			if onPath[[2]core.NodeID{e.From, e.To}] {
-				e.Critical = true
+		for i := 0; i < g.NumEdges(); i++ {
+			if onPath[[2]core.NodeID{g.EdgeFrom(i), g.EdgeTo(i)}] {
+				g.SetEdgeCritical(i, true)
 			}
 		}
 	}

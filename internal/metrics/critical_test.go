@@ -59,8 +59,8 @@ func TestCriticalPathTieBreakDeterministic(t *testing.T) {
 		}
 	}
 	// Both graphs mark the same critical node set.
-	for i := range gA.Nodes {
-		if gA.Nodes[i].Critical != gB.Nodes[i].Critical {
+	for i := core.NodeID(0); i < core.NodeID(gA.NumNodes()); i++ {
+		if gA.Critical(i) != gB.Critical(i) {
 			t.Errorf("node %d critical flag differs between orderings", i)
 		}
 	}
@@ -95,13 +95,13 @@ func TestCriticalPathAllZeroWeights(t *testing.T) {
 	if length != 0 || path != nil {
 		t.Fatalf("zero-weight graph: length %d path %v, want 0 and nil", length, path)
 	}
-	for _, n := range g.Nodes {
-		if n.Critical {
-			t.Errorf("node %d marked critical in an all-zero-weight graph", n.ID)
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+		if g.Critical(n) {
+			t.Errorf("node %d marked critical in an all-zero-weight graph", n)
 		}
 	}
-	for i := range g.Edges {
-		if g.Edges[i].Critical {
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.EdgeCritical(i) {
 			t.Errorf("edge %d marked critical in an all-zero-weight graph", i)
 		}
 	}
@@ -127,11 +127,11 @@ func TestCriticalPathOverWeightVector(t *testing.T) {
 	if len(path) != 3 || path[1] != 2 {
 		t.Fatalf("projected path = %v, want through node 2", path)
 	}
-	for _, n := range g.Nodes {
-		if n.Critical {
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+		if g.Critical(n) {
 			t.Fatal("CriticalPathOver mutated Critical flags")
 		}
-		if n.ID == 1 && n.Weight != 10 {
+		if n == 1 && g.Weight(n) != 10 {
 			t.Fatal("CriticalPathOver mutated recorded weights")
 		}
 	}

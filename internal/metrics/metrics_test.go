@@ -65,15 +65,15 @@ func TestCriticalPathDominantChain(t *testing.T) {
 	// The deepest chain grain must be marked critical.
 	critical := map[profile.GrainID]bool{}
 	for _, nid := range rep.CriticalNodes {
-		critical[g.Nodes[nid].Grain] = true
+		critical[g.Grain(nid)] = true
 	}
 	if !critical["R.0.0.0"] {
 		t.Errorf("chain leaf not on critical path; critical grains: %v", critical)
 	}
 	// Critical flags set on graph nodes.
 	marked := 0
-	for _, n := range g.Nodes {
-		if n.Critical {
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+		if g.Critical(n) {
 			marked++
 		}
 	}

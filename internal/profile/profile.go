@@ -11,6 +11,7 @@ package profile
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"graingraph/internal/cache"
@@ -29,11 +30,21 @@ type SrcLoc struct {
 }
 
 // String renders the location like the paper: file:line(func).
+//
+// Exporters call this once per node per figure, so it is built with a
+// sized append chain rather than fmt — Sprintf's interface boxing showed
+// up in rendering profiles.
 func (l SrcLoc) String() string {
-	if l.Func == "" {
-		return fmt.Sprintf("%s:%d", l.File, l.Line)
+	b := make([]byte, 0, len(l.File)+len(l.Func)+8)
+	b = append(b, l.File...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(l.Line), 10)
+	if l.Func != "" {
+		b = append(b, '(')
+		b = append(b, l.Func...)
+		b = append(b, ')')
 	}
-	return fmt.Sprintf("%s:%d(%s)", l.File, l.Line, l.Func)
+	return string(b)
 }
 
 // Loc is a convenience constructor for SrcLoc.
@@ -55,8 +66,52 @@ type GrainID string
 const RootID GrainID = "R"
 
 // ChildID returns the path-enumeration ID of the index-th child of parent.
+// It sits on the spawn hot path of both runtimes (every task creation mints
+// an ID), so it appends with strconv instead of fmt.
 func ChildID(parent GrainID, index int) GrainID {
-	return GrainID(fmt.Sprintf("%s.%d", parent, index))
+	b := make([]byte, 0, len(parent)+4)
+	b = append(b, parent...)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, int64(index), 10)
+	return GrainID(b)
+}
+
+// ParsePath decodes a task grain's path enumeration: "R.0.3" yields
+// [0, 3]; the root "R" yields an empty slice. It is the inverse of
+// repeated ChildID application starting from RootID. Chunk IDs and other
+// malformed strings return an error.
+func ParsePath(id GrainID) ([]int, error) {
+	s := string(id)
+	if s == string(RootID) {
+		return nil, nil
+	}
+	if len(s) < 2 || s[0] != RootID[0] || s[1] != '.' {
+		return nil, fmt.Errorf("profile: %q is not a task path enumeration", id)
+	}
+	s = s[2:]
+	if s == "" {
+		return nil, fmt.Errorf("profile: trailing separator in %q", id)
+	}
+	path := make([]int, 0, 4)
+	for len(s) > 0 {
+		j := 0
+		for j < len(s) && s[j] != '.' {
+			j++
+		}
+		n, err := strconv.Atoi(s[:j])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("profile: bad path component %q in %q", s[:j], id)
+		}
+		path = append(path, n)
+		if j == len(s) {
+			break
+		}
+		s = s[j+1:]
+		if s == "" {
+			return nil, fmt.Errorf("profile: trailing separator in %q", id)
+		}
+	}
+	return path, nil
 }
 
 // Kind distinguishes the two grain varieties.
@@ -226,7 +281,19 @@ type ChunkRecord struct {
 // is prepended by the Trace accessor; the record alone identifies by loop,
 // sequence and range.
 func (c *ChunkRecord) ID(startThread int) GrainID {
-	return GrainID(fmt.Sprintf("L%d@t%d#%d[%d,%d)", c.Loop, startThread, c.Seq, c.Lo, c.Hi))
+	b := make([]byte, 0, 24)
+	b = append(b, 'L')
+	b = strconv.AppendInt(b, int64(c.Loop), 10)
+	b = append(b, '@', 't')
+	b = strconv.AppendInt(b, int64(startThread), 10)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(c.Seq), 10)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(c.Lo), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(c.Hi), 10)
+	b = append(b, ')')
+	return GrainID(b)
 }
 
 // Duration returns the chunk's execution time.

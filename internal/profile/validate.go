@@ -1,0 +1,90 @@
+package profile
+
+import "fmt"
+
+// Validate checks the structural invariants a trace must satisfy before the
+// graph builder may consume it: every fragment and chunk interval is
+// well-formed (End >= Start), a task's fragments are ordered and
+// non-overlapping, boundary counts match fragment counts, and every
+// boundary/chunk refers to a loop the trace records. The live runtimes
+// construct traces that hold these by design; the check matters for traces
+// read back from disk, where corruption or a buggy producer would otherwise
+// surface far away as negative-weight graph nodes or builder panics.
+//
+// It returns the first violation found, or nil for a well-formed trace.
+func (tr *Trace) Validate() error {
+	if tr.End < tr.Start {
+		return fmt.Errorf("profile: trace span [%d,%d) is negative", tr.Start, tr.End)
+	}
+	if tr.Cores < 0 {
+		return fmt.Errorf("profile: negative core count %d", tr.Cores)
+	}
+	loops := make(map[LoopID]bool, len(tr.Loops))
+	for _, l := range tr.Loops {
+		if l.End < l.Start {
+			return fmt.Errorf("profile: loop %d span [%d,%d) is negative", l.ID, l.Start, l.End)
+		}
+		if l.Hi < l.Lo {
+			return fmt.Errorf("profile: loop %d iteration space [%d,%d) is negative", l.ID, l.Lo, l.Hi)
+		}
+		if loops[l.ID] {
+			return fmt.Errorf("profile: duplicate loop record %d", l.ID)
+		}
+		loops[l.ID] = true
+	}
+	seen := make(map[GrainID]bool, len(tr.Tasks))
+	for _, t := range tr.Tasks {
+		if t.ID == "" {
+			return fmt.Errorf("profile: task with empty grain ID")
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("profile: duplicate task record %q", t.ID)
+		}
+		seen[t.ID] = true
+		if len(t.Boundaries) > len(t.Fragments) {
+			return fmt.Errorf("profile: task %q has %d boundaries for %d fragments",
+				t.ID, len(t.Boundaries), len(t.Fragments))
+		}
+		var prevEnd Time
+		for i := range t.Fragments {
+			f := &t.Fragments[i]
+			if f.End < f.Start {
+				return fmt.Errorf("profile: task %q fragment %d runs backwards [%d,%d)",
+					t.ID, i, f.Start, f.End)
+			}
+			if i > 0 && f.Start < prevEnd {
+				return fmt.Errorf("profile: task %q fragments %d and %d overlap (%d < %d)",
+					t.ID, i-1, i, f.Start, prevEnd)
+			}
+			prevEnd = f.End
+		}
+		for i := range t.Boundaries {
+			b := &t.Boundaries[i]
+			if b.Kind == BoundaryLoop && !loops[b.Loop] {
+				return fmt.Errorf("profile: task %q boundary %d references unknown loop %d",
+					t.ID, i, b.Loop)
+			}
+		}
+	}
+	for i, c := range tr.Chunks {
+		if c.End < c.Start {
+			return fmt.Errorf("profile: chunk %d runs backwards [%d,%d)", i, c.Start, c.End)
+		}
+		if c.Bookkeep > c.Start {
+			return fmt.Errorf("profile: chunk %d book-keeping %d precedes time zero (start %d)",
+				i, c.Bookkeep, c.Start)
+		}
+		if c.Hi < c.Lo {
+			return fmt.Errorf("profile: chunk %d iteration range [%d,%d) is negative", i, c.Lo, c.Hi)
+		}
+		if !loops[c.Loop] {
+			return fmt.Errorf("profile: chunk %d references unknown loop %d", i, c.Loop)
+		}
+	}
+	for i, bk := range tr.Bookkeeps {
+		if !loops[bk.Loop] {
+			return fmt.Errorf("profile: book-keeping record %d references unknown loop %d", i, bk.Loop)
+		}
+	}
+	return nil
+}

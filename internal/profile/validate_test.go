@@ -1,0 +1,95 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+func validTrace() *Trace {
+	return &Trace{
+		Program: "t", Cores: 2, Start: 0, End: 100,
+		Tasks: []*TaskRecord{
+			{ID: RootID, Fragments: []Fragment{{Start: 0, End: 40}, {Start: 60, End: 100}},
+				Boundaries: []Boundary{{Kind: BoundaryLoop, At: 40, Loop: 0}}},
+		},
+		Loops: []*LoopRecord{{ID: 0, Lo: 0, Hi: 8, Start: 40, End: 60, Threads: []int{0, 1}}},
+		Chunks: []*ChunkRecord{
+			{Loop: 0, Seq: 0, Lo: 0, Hi: 8, Start: 45, End: 58, Bookkeep: 5},
+		},
+		Bookkeeps: []*BookkeepRecord{{Loop: 0, Thread: 0, Grabs: 1, Total: 5}},
+	}
+}
+
+func TestValidateAcceptsWellFormedTrace(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("Validate rejected a well-formed trace: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Trace)
+		errPart string
+	}{
+		{"negative trace span", func(tr *Trace) { tr.Start, tr.End = 10, 5 }, "negative"},
+		{"backwards fragment", func(tr *Trace) { tr.Tasks[0].Fragments[0] = Fragment{Start: 50, End: 40} }, "runs backwards"},
+		{"overlapping fragments", func(tr *Trace) { tr.Tasks[0].Fragments[1].Start = 30 }, "overlap"},
+		{"duplicate task", func(tr *Trace) { tr.Tasks = append(tr.Tasks, &TaskRecord{ID: RootID}) }, "duplicate task"},
+		{"empty grain ID", func(tr *Trace) { tr.Tasks[0].ID = "" }, "empty grain"},
+		{"excess boundaries", func(tr *Trace) {
+			tr.Tasks[0].Boundaries = append(tr.Tasks[0].Boundaries,
+				Boundary{Kind: BoundaryJoin}, Boundary{Kind: BoundaryJoin})
+		}, "boundaries"},
+		{"backwards chunk", func(tr *Trace) { tr.Chunks[0].Start, tr.Chunks[0].End = 58, 45 }, "runs backwards"},
+		{"chunk bookkeep underflow", func(tr *Trace) { tr.Chunks[0].Bookkeep = 500 }, "precedes time zero"},
+		{"chunk unknown loop", func(tr *Trace) { tr.Chunks[0].Loop = 9 }, "unknown loop"},
+		{"boundary unknown loop", func(tr *Trace) { tr.Tasks[0].Boundaries[0].Loop = 9 }, "unknown loop"},
+		{"bookkeep unknown loop", func(tr *Trace) { tr.Bookkeeps[0].Loop = 9 }, "unknown loop"},
+		{"duplicate loop", func(tr *Trace) { tr.Loops = append(tr.Loops, &LoopRecord{ID: 0}) }, "duplicate loop"},
+		{"negative loop span", func(tr *Trace) { tr.Loops[0].Start, tr.Loops[0].End = 60, 40 }, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := validTrace()
+			tc.mutate(tr)
+			err := tr.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a trace with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+func TestParsePathRoundTrip(t *testing.T) {
+	paths := [][]int{nil, {0}, {3}, {0, 0}, {1, 2, 3}, {17, 0, 42, 9}}
+	for _, want := range paths {
+		id := RootID
+		for _, i := range want {
+			id = ChildID(id, i)
+		}
+		got, err := ParsePath(id)
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", id, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ParsePath(%q) = %v, want %v", id, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ParsePath(%q) = %v, want %v", id, got, want)
+			}
+		}
+	}
+}
+
+func TestParsePathRejectsMalformed(t *testing.T) {
+	for _, bad := range []GrainID{"", "X", "R.", "R..1", "R.1.", "R.-1", "R.a", "L0@t1#0[0,4)"} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) accepted a malformed ID", bad)
+		}
+	}
+}

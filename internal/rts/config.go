@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"graingraph/internal/cache"
+	"graingraph/internal/ggp"
 	"graingraph/internal/machine"
 	"graingraph/internal/profile"
 	"graingraph/internal/trace"
@@ -138,6 +139,11 @@ type Config struct {
 	// scheduler and cache/NUMA counter registry (per worker and per
 	// grain definition). Nil disables collection.
 	Metrics *trace.Metrics
+	// Profile, when non-nil, receives the finished run's records as a GGP
+	// artifact stream at finalization (record order is spawn order, which
+	// replayed analysis depends on). The caller owns the writer: closing it
+	// seals the artifact and surfaces any emission error.
+	Profile *ggp.Writer
 }
 
 // withDefaults validates and fills zero fields.

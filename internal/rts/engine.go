@@ -139,6 +139,11 @@ func Run(cfg Config, program func(Ctx)) *profile.Trace {
 
 	rt.loop()
 	rt.finalize()
+	if cfg.Profile != nil {
+		// Emission errors are sticky in the writer and surface from the
+		// caller's Close, so the engine does not alter its return for them.
+		_ = cfg.Profile.Emit(rt.trace)
+	}
 	return rt.trace
 }
 

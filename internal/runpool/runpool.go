@@ -16,6 +16,7 @@ package runpool
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,29 @@ func KeyOf(parts ...string) Key {
 	h.Sum(k[:0])
 	return k
 }
+
+// KeyOfBytes hashes raw byte blobs (length-prefixed like KeyOf) into a
+// content address. The experiment engine uses it to memoize grain-profile
+// artifact decodes by file content: two reads of the same .ggp bytes share
+// one decode, while any mutation produces a different address.
+func KeyOfBytes(parts ...[]byte) Key {
+	h := sha256.New()
+	var lenbuf [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := 0; i < 8; i++ {
+			lenbuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenbuf[:])
+		h.Write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Hex returns the key as lowercase hex, usable as a filename.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 
 // Cache memoizes computations by content address with single-flight
 // semantics: concurrent Do calls for the same key run compute exactly once

@@ -110,6 +110,46 @@ func TestKeyOfIsLengthPrefixed(t *testing.T) {
 	}
 }
 
+func TestKeyOfBytesMatchesContent(t *testing.T) {
+	blob := []byte("grain profile artifact bytes")
+	if KeyOfBytes(blob) != KeyOfBytes(append([]byte(nil), blob...)) {
+		t.Error("identical bytes produce different keys")
+	}
+	mutated := append([]byte(nil), blob...)
+	mutated[4] ^= 0x01
+	if KeyOfBytes(blob) == KeyOfBytes(mutated) {
+		t.Error("single-byte mutation did not change the key")
+	}
+	if KeyOfBytes([]byte("ab"), []byte("c")) == KeyOfBytes([]byte("a"), []byte("bc")) {
+		t.Error("KeyOfBytes not length-prefixed")
+	}
+	// KeyOfBytes and KeyOf agree on equivalent content, so either spelling
+	// addresses the same cache entry.
+	if KeyOfBytes(blob) != KeyOf(string(blob)) {
+		t.Error("KeyOfBytes disagrees with KeyOf on identical content")
+	}
+}
+
+func TestKeyHexIsFilenameSafe(t *testing.T) {
+	h := KeyOf("x").Hex()
+	if len(h) != 2*len(Key{}) {
+		t.Fatalf("Hex length %d, want %d", len(h), 2*len(Key{}))
+	}
+	for _, c := range h {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("Hex contains non-hex character %q in %q", c, h)
+		}
+	}
+	// Two identical cache lookups through byte-content keys hit once.
+	c := NewCache[int]()
+	if _, _, hit := c.Do(KeyOfBytes([]byte("b")), func() (int, error) { return 1, nil }); hit {
+		t.Error("first Do reported a hit")
+	}
+	if _, _, hit := c.Do(KeyOfBytes([]byte("b")), func() (int, error) { return 2, nil }); !hit {
+		t.Error("second Do with identical bytes missed the cache")
+	}
+}
+
 func TestCacheSingleFlight(t *testing.T) {
 	c := NewCache[int]()
 	key := KeyOf("shared")

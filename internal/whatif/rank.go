@@ -3,6 +3,7 @@ package whatif
 import (
 	"sort"
 
+	"graingraph/internal/core"
 	"graingraph/internal/highlight"
 	"graingraph/internal/profile"
 	"graingraph/internal/runpool"
@@ -53,8 +54,8 @@ func (e *Engine) Candidates(a *highlight.Assessment, opt RankOptions) []Hypothes
 
 	// Perfect cutoffs: one per depth that still has tasks below it.
 	maxDepth := 0
-	for _, n := range e.G.Nodes {
-		if d, ok := taskDepth(n.Grain); ok && d > maxDepth {
+	for n := 0; n < e.G.NumNodes(); n++ {
+		if d, ok := taskDepth(e.G.Grain(core.NodeID(n))); ok && d > maxDepth {
 			maxDepth = d
 		}
 	}

@@ -99,7 +99,7 @@ func New(g *core.Graph, rep *metrics.Report) *Engine {
 		}
 		e.BaseMakespan = g.Trace.Makespan()
 	}
-	if len(g.Nodes) > 0 {
+	if g.NumNodes() > 0 {
 		g.Out(0) // force the adjacency index before concurrent evaluation
 	}
 	for _, w := range g.Weights() {
@@ -114,9 +114,9 @@ func New(g *core.Graph, rep *metrics.Report) *Engine {
 		}
 	}
 	e.loopOwner = make(map[profile.LoopID]profile.GrainID)
-	for _, n := range g.Nodes {
-		if n.Kind == core.NodeBookkeep {
-			e.loopOwner[n.Loop] = n.Grain
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+		if g.Kind(n) == core.NodeBookkeep {
+			e.loopOwner[g.Loop(n)] = g.Grain(n)
 		}
 	}
 	return e
@@ -212,9 +212,9 @@ func (e *Engine) entryNode(id profile.GrainID) (core.NodeID, bool) {
 	if n, ok := e.G.FirstNode[id]; ok {
 		return n, true
 	}
-	for _, n := range e.G.Nodes {
-		if n.Grain == id && n.Kind == core.NodeFragment {
-			return n.ID, true
+	for n := core.NodeID(0); n < core.NodeID(e.G.NumNodes()); n++ {
+		if e.G.Grain(n) == id && e.G.Kind(n) == core.NodeFragment {
+			return n, true
 		}
 	}
 	return 0, false
@@ -241,12 +241,13 @@ func (h ScaleGrain) Label() string {
 func (h ScaleGrain) Approximate() bool { return false }
 
 func (h ScaleGrain) apply(e *Engine, w []profile.Time) bool {
-	for _, n := range e.G.Nodes {
-		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
+	g := e.G
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+		if k := g.Kind(n); k != core.NodeFragment && k != core.NodeChunk {
 			continue
 		}
-		if n.Grain == h.Grain || (h.Subtree && inSubtree(n.Grain, h.Grain)) {
-			w[n.ID] = profile.Time(float64(w[n.ID])*h.Factor + 0.5)
+		if id := g.Grain(n); id == h.Grain || (h.Subtree && inSubtree(id, h.Grain)) {
+			w[n] = profile.Time(float64(w[n])*h.Factor + 0.5)
 		}
 	}
 	return false
@@ -292,15 +293,16 @@ func (h ZeroInflation) apply(e *Engine, w []profile.Time) bool {
 		}
 		return 1
 	}
-	for _, n := range e.G.Nodes {
-		if n.Kind != core.NodeFragment && n.Kind != core.NodeChunk {
+	g := e.G
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
+		if k := g.Kind(n); k != core.NodeFragment && k != core.NodeChunk {
 			continue
 		}
-		if !h.All && n.Grain != h.Grain {
+		if !h.All && g.Grain(n) != h.Grain {
 			continue
 		}
-		if wd := deflate(n.Grain); wd > 1 {
-			w[n.ID] = profile.Time(float64(w[n.ID])/wd + 0.5)
+		if wd := deflate(g.Grain(n)); wd > 1 {
+			w[n] = profile.Time(float64(w[n])/wd + 0.5)
 		}
 	}
 	return false
@@ -393,30 +395,32 @@ func collapseRoots(e *Engine, w []profile.Time,
 		return c
 	}
 
-	for _, n := range e.G.Nodes {
+	g := e.G
+	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
 		// Resolve the task grain that owns this node: chunks go through
 		// their loop's executing task, everything else carries it directly.
-		owner := n.Grain
-		if n.Kind == core.NodeChunk {
-			owner = e.loopOwner[n.Loop]
+		kind := g.Kind(n)
+		owner := g.Grain(n)
+		if kind == core.NodeChunk {
+			owner = e.loopOwner[g.Loop(n)]
 		}
 		root, ok := rootOf(owner)
 		if !ok {
 			continue
 		}
 		c := get(root)
-		switch n.Kind {
+		switch kind {
 		case core.NodeFork, core.NodeJoin, core.NodeBookkeep:
 			// Parallelization overhead inside the collapsed region vanishes.
-			c.zero = append(c.zero, n.ID)
+			c.zero = append(c.zero, n)
 		case core.NodeFragment:
-			if n.Grain != root {
-				c.zero = append(c.zero, n.ID)
-				c.moved += w[n.ID]
+			if g.Grain(n) != root {
+				c.zero = append(c.zero, n)
+				c.moved += w[n]
 			}
 		case core.NodeChunk:
-			c.zero = append(c.zero, n.ID)
-			c.moved += w[n.ID]
+			c.zero = append(c.zero, n)
+			c.moved += w[n]
 		}
 	}
 

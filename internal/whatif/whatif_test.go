@@ -77,7 +77,7 @@ func TestScaleGrainProjection(t *testing.T) {
 		t.Errorf("halving a grain projects slowdown: %.2f", p.Speedup)
 	}
 	// The recorded graph must be untouched.
-	if g.Nodes[3].Weight != 10 {
+	if g.Weight(3) != 10 {
 		t.Error("Eval mutated recorded weights")
 	}
 }
