@@ -110,12 +110,14 @@ func main() {
 		}
 		ran = true
 		simBefore, memoBefore := expt.MemoStats()
+		analyzeBefore := expt.AnalyzeStats()
 		figStart := time.Now()
 		err := s.run()
 		fr := benchFigure{
-			ID:     s.id,
-			OK:     err == nil,
-			WallMS: float64(time.Since(figStart)) / float64(time.Millisecond),
+			ID:        s.id,
+			OK:        err == nil,
+			WallMS:    float64(time.Since(figStart)) / float64(time.Millisecond),
+			AnalyzeMS: float64(expt.AnalyzeStats()-analyzeBefore) / float64(time.Millisecond),
 		}
 		sim, memo := expt.MemoStats()
 		fr.Simulated = sim - simBefore
@@ -137,6 +139,7 @@ func main() {
 		report.Parallelism = expt.Parallelism()
 		report.Cores = *cores
 		report.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		report.AnalyzeMS = float64(expt.AnalyzeStats()) / float64(time.Millisecond)
 		report.Simulated, report.Memoized = expt.MemoStats()
 		if err := writeBenchJSON(*benchOut, &report); err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
@@ -161,6 +164,10 @@ type benchFigure struct {
 	ID     string  `json:"id"`
 	OK     bool    `json:"ok"`
 	WallMS float64 `json:"wall_ms"`
+	// AnalyzeMS is the analysis-phase wall time (graph build, metrics,
+	// highlighting) this figure spent, summed across concurrent runs — it
+	// can exceed WallMS at -j > 1.
+	AnalyzeMS float64 `json:"analyze_ms"`
 	// Simulated counts the rts.Run executions this figure triggered;
 	// Memoized counts the run requests it satisfied from the cache.
 	Simulated uint64 `json:"simulated_runs"`
@@ -173,6 +180,7 @@ type benchReport struct {
 	Parallelism int           `json:"parallelism"`
 	Cores       int           `json:"cores"`
 	WallMS      float64       `json:"wall_ms"`
+	AnalyzeMS   float64       `json:"analyze_ms"`
 	Simulated   uint64        `json:"simulated_runs"`
 	Memoized    uint64        `json:"memoized_runs"`
 	Figures     []benchFigure `json:"figures"`

@@ -58,8 +58,11 @@ func main() {
 		whatIf   = flag.String("whatif", "", "what-if analysis: \"rank\" for the auto-ranked opportunity table, or a spec list like \"cutoff:4,scale:R.0:0.5,infcores\" (see internal/whatif); projections are printed and attached to DOT/JSON exports")
 		traceOut = flag.String("trace", "", "write a Perfetto/Chrome trace of the run to this file")
 		stats    = flag.Bool("stats", false, "print the runtime scheduler/cache metrics registry")
+		jobs     = flag.Int("j", 1, "worker parallelism for analysis and export (1 = serial, 0 = all cores); output is byte-identical at every -j")
 	)
 	flag.Parse()
+
+	expt.SetParallelism(*jobs)
 
 	if *traceOut != "" || *stats {
 		expt.Instr = &expt.Instrumentation{CaptureEvents: *traceOut != ""}
@@ -145,11 +148,11 @@ func main() {
 	if *whatIf != "" {
 		eng := whatif.New(res.Graph, res.Report)
 		if *whatIf == "rank" {
-			projections = eng.Rank(res.Assessment, nil, whatif.RankOptions{TopN: 10})
+			projections = eng.Rank(res.Assessment, expt.Pool(), whatif.RankOptions{TopN: 10})
 		} else {
 			hs, err := whatif.ParseSpecs(*whatIf)
 			die(err)
-			projections = eng.EvalAll(nil, hs)
+			projections = eng.EvalAll(expt.Pool(), hs)
 		}
 		tableW := os.Stdout
 		if !*summary && *out == "" {
@@ -207,9 +210,9 @@ func main() {
 	case "graphml":
 		die(export.GraphML(w, g, res.Assessment, v))
 	case "dot":
-		die(export.DOTWithWhatIf(w, g, res.Assessment, v, projections))
+		die(export.DOTWithWhatIfPool(w, g, res.Assessment, v, projections, expt.Pool()))
 	case "json":
-		die(export.JSONWithWhatIf(w, g, res.Assessment, projections))
+		die(export.JSONWithWhatIfPool(w, g, res.Assessment, projections, expt.Pool()))
 	default:
 		die(fmt.Errorf("unknown format %q", *format))
 	}

@@ -256,7 +256,8 @@ func (h *Hierarchy) Access(core int, addr int64, write bool, now uint64, c *Coun
 // access adds the streamed flag: lines fetched in the body of a detected
 // sequential scan have their latency hidden by the prefetcher — they pay
 // only the bandwidth cost (queueing + channel occupancy), not the full
-// memory round trip. Strided and random accesses are never streamed.
+// memory round trip. Scans with sub-line strides stream too (see
+// AccessStrided); wider strides and random accesses never do.
 func (h *Hierarchy) access(core int, addr int64, write bool, now uint64, streamed bool, c *Counters) uint64 {
 	line := addr / h.cfg.LineSize
 	var ver uint32
@@ -416,11 +417,19 @@ func (h *Hierarchy) streamedCost(wentToMemory bool, lat uint64) uint64 {
 }
 
 // AccessStrided simulates count accesses starting at addr with the given
-// byte stride at virtual time now and returns the total cycles.
+// byte stride at virtual time now and returns the total cycles. A forward
+// stride within one cache line is a sequential scan from the prefetcher's
+// point of view — hardware stream detectors key on line-address monotonicity,
+// not element width — so those accesses go through the streamed path exactly
+// like AccessRange: the first access pays full latency, the rest are
+// prefetch-covered. Wider (or backward) strides defeat the stream detector
+// and pay full latency per access.
 func (h *Hierarchy) AccessStrided(core int, addr int64, count int, stride int64, write bool, now uint64, c *Counters) uint64 {
+	sequential := stride > 0 && stride <= h.cfg.LineSize
 	var total uint64
 	for i := 0; i < count; i++ {
-		total += h.Access(core, addr+int64(i)*stride, write, now+total, c)
+		streamed := sequential && i != 0
+		total += h.access(core, addr+int64(i)*stride, write, now+total, streamed, c)
 	}
 	return total
 }

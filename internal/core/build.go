@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"graingraph/internal/profile"
 )
@@ -16,6 +17,7 @@ import (
 // last fragment → join node) across contexts.
 func Build(tr *profile.Trace) *Graph {
 	g := newGraph(tr)
+	g.Reserve(estimateSize(tr))
 
 	// boundaryNodes[taskIdx][boundaryIdx] is the fork/join node created for
 	// that boundary (loops record their fork node here).
@@ -44,7 +46,7 @@ func Build(tr *profile.Trace) *Graph {
 				Kind:     NodeFragment,
 				Grain:    task.ID,
 				Seq:      fi,
-				Label:    fmt.Sprintf("%s/%d", task.ID, fi),
+				Label:    string(task.ID) + "/" + strconv.Itoa(fi),
 				Start:    f.Start,
 				End:      f.End,
 				Weight:   f.Duration(),
@@ -128,6 +130,41 @@ func Build(tr *profile.Trace) *Graph {
 		}
 	}
 	return g
+}
+
+// estimateSize predicts Build's node and edge counts from the trace so the
+// columnar store can be reserved in one shot. The node count is exact for
+// the construction below (fragments, one fork/join per non-loop boundary,
+// and per loop: fork + join + a book-keeping node per chunk and per
+// participating thread + a chunk node per chunk); the edge estimate errs a
+// few percent high (joins with absent children), which only costs slack
+// capacity, never a mid-build reallocation.
+func estimateSize(tr *profile.Trace) (nodes, edges int) {
+	for _, task := range tr.Tasks {
+		nodes += len(task.Fragments)
+		for i := range task.Boundaries {
+			if task.Boundaries[i].Kind != profile.BoundaryLoop {
+				nodes++
+				// continuation in, plus creation out (fork) or joined-children
+				// edges in (join).
+				edges += 2 + len(task.Boundaries[i].Joined)
+			}
+		}
+		if len(task.Fragments) > 1 {
+			edges += len(task.Fragments) - 1
+		}
+	}
+	for _, l := range tr.Loops {
+		// fork + join + final book-keeping node per thread; each thread chain
+		// contributes one creation edge, per-node continuation edges and one
+		// join edge.
+		nodes += 2 + len(l.Threads)
+		edges += 1 + 2*len(l.Threads)
+	}
+	// Each chunk adds a book-keeping + chunk node pair and two chain edges.
+	nodes += 2 * len(tr.Chunks)
+	edges += 2 * len(tr.Chunks)
+	return nodes, edges
 }
 
 // expandLoop creates the loop's fork node, per-thread

@@ -153,12 +153,15 @@ type Graph struct {
 	lastLoopJoin NodeID
 }
 
-// newGraph allocates an empty graph bound to tr.
+// newGraph allocates an empty graph bound to tr. The entry/exit maps hold
+// one entry per task and chunk grain; sizing them upfront avoids ~20
+// incremental rehashes on million-grain traces.
 func newGraph(tr *profile.Trace) *Graph {
+	grains := len(tr.Tasks) + len(tr.Chunks)
 	return &Graph{
 		Trace:     tr,
-		FirstNode: make(map[profile.GrainID]NodeID),
-		LastNode:  make(map[profile.GrainID]NodeID),
+		FirstNode: make(map[profile.GrainID]NodeID, grains),
+		LastNode:  make(map[profile.GrainID]NodeID, grains),
 	}
 }
 

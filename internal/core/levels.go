@@ -1,0 +1,100 @@
+package core
+
+// Topological levels over the columnar store: level(n) is n's longest-path
+// depth — 0 for sources, otherwise 1 + the maximum level among its
+// predecessors. Every edge crosses from a strictly lower level to a higher
+// one, so a level-synchronous pass (process level 0, then 1, …) may relax
+// all nodes of one level concurrently: each node reads only state settled
+// by earlier levels and writes only its own slot. The parallel
+// critical-path DP in internal/metrics is built on exactly this guarantee.
+//
+// The index is stored CSR-style (levelOff offsets into levelNodes) and
+// built lazily like the adjacency arrays; within a level, nodes appear in
+// ascending NodeID order, so the slices returned by LevelNodes — and any
+// fixed chunking over them — are deterministic regardless of edge insertion
+// order. Building is not goroutine-safe; concurrent readers must force the
+// index first (call NumLevels once), exactly as with Out/In.
+
+// buildLevels computes the level of every node and the level index. It
+// panics on a cyclic graph, mirroring Topological.
+func (s *GraphStore) buildLevels() {
+	n, e := len(s.kind), len(s.edgeFrom)
+	level := make([]int32, n)
+	indeg := make([]int32, n)
+	for i := 0; i < e; i++ {
+		indeg[s.edgeTo[i]]++
+	}
+	if s.outOff == nil {
+		s.buildCSR()
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	visited := 0
+	maxLevel := int32(-1)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		if level[v] > maxLevel {
+			maxLevel = level[v]
+		}
+		for _, ei := range s.outIdx[s.outOff[v]:s.outOff[v+1]] {
+			to := s.edgeTo[ei]
+			if l := level[v] + 1; l > level[to] {
+				level[to] = l
+			}
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if visited != n {
+		panic("core: level index requested on cyclic graph")
+	}
+
+	// Counting sort by level: stable over ascending NodeID, so each level's
+	// node list comes out sorted by ID.
+	numLevels := int(maxLevel) + 1
+	off := make([]int32, numLevels+1)
+	for _, l := range level {
+		off[l+1]++
+	}
+	for i := 0; i < numLevels; i++ {
+		off[i+1] += off[i]
+	}
+	nodes := make([]int32, n)
+	cur := make([]int32, numLevels)
+	for i := 0; i < n; i++ {
+		l := level[i]
+		nodes[off[l]+cur[l]] = int32(i)
+		cur[l]++
+	}
+	s.levelOff, s.levelNodes = off, nodes
+}
+
+// NumLevels returns the number of topological levels (0 for an empty
+// graph), building the level index if needed. Like Out/In, building is not
+// goroutine-safe: force the index before concurrent reads.
+func (s *GraphStore) NumLevels() int {
+	if len(s.kind) == 0 {
+		return 0
+	}
+	if s.levelOff == nil {
+		s.buildLevels()
+	}
+	return len(s.levelOff) - 1
+}
+
+// LevelNodes returns the NodeIDs at level l in ascending order. The slice
+// aliases the level index: read, don't mutate.
+func (s *GraphStore) LevelNodes(l int) []int32 {
+	if s.levelOff == nil {
+		s.buildLevels()
+	}
+	return s.levelNodes[s.levelOff[l]:s.levelOff[l+1]]
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graingraph/internal/profile"
+)
+
+// diamond builds the 4-node diamond 0 -> {1,2} -> 3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(&profile.Trace{})
+	for i := 0; i < 4; i++ {
+		g.AddNode(Node{Kind: NodeFragment, Weight: 1})
+	}
+	g.AddEdge(0, 1, EdgeContinuation)
+	g.AddEdge(0, 2, EdgeContinuation)
+	g.AddEdge(1, 3, EdgeContinuation)
+	g.AddEdge(2, 3, EdgeContinuation)
+	return g
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g := diamond(t)
+	if got := g.NumLevels(); got != 3 {
+		t.Fatalf("NumLevels = %d, want 3", got)
+	}
+	want := [][]int32{{0}, {1, 2}, {3}}
+	for l, w := range want {
+		nodes := g.LevelNodes(l)
+		if len(nodes) != len(w) {
+			t.Fatalf("level %d has %d nodes, want %d", l, len(nodes), len(w))
+		}
+		for i := range w {
+			if nodes[i] != w[i] {
+				t.Errorf("level %d node %d = %d, want %d", l, i, nodes[i], w[i])
+			}
+		}
+	}
+}
+
+// TestLevelsLongestPathDepth checks level(n) is the longest-path depth, not
+// the BFS depth: a node reachable both directly and via a chain sits at the
+// chain's level.
+func TestLevelsLongestPathDepth(t *testing.T) {
+	g := NewGraph(&profile.Trace{})
+	for i := 0; i < 4; i++ {
+		g.AddNode(Node{Kind: NodeFragment, Weight: 1})
+	}
+	// 0 -> 3 directly, and 0 -> 1 -> 2 -> 3.
+	g.AddEdge(0, 3, EdgeContinuation)
+	g.AddEdge(0, 1, EdgeContinuation)
+	g.AddEdge(1, 2, EdgeContinuation)
+	g.AddEdge(2, 3, EdgeContinuation)
+	if got := g.NumLevels(); got != 4 {
+		t.Fatalf("NumLevels = %d, want 4", got)
+	}
+	if nodes := g.LevelNodes(3); len(nodes) != 1 || nodes[0] != 3 {
+		t.Errorf("level 3 = %v, want [3]", nodes)
+	}
+}
+
+// TestLevelsInvariants checks, on a random DAG, that every node appears
+// exactly once, every edge crosses to a strictly higher level, and levels
+// list nodes in ascending NodeID order — the guarantees the parallel DP
+// relies on. Edge insertion order must not matter.
+func TestLevelsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	n := 300
+	type edge struct{ from, to NodeID }
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.IntN(40) == 0 {
+				edges = append(edges, edge{NodeID(i), NodeID(j)})
+			}
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	g := NewGraph(&profile.Trace{})
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Kind: NodeFragment, Weight: profile.Time(i + 1)})
+	}
+	for _, e := range edges {
+		g.AddEdge(e.from, e.to, EdgeContinuation)
+	}
+
+	levelOf := make([]int, n)
+	seen := make([]bool, n)
+	for l := 0; l < g.NumLevels(); l++ {
+		nodes := g.LevelNodes(l)
+		for i, id := range nodes {
+			if seen[id] {
+				t.Fatalf("node %d appears in two levels", id)
+			}
+			seen[id] = true
+			levelOf[id] = l
+			if i > 0 && nodes[i-1] >= id {
+				t.Fatalf("level %d not in ascending NodeID order", l)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("node %d missing from level index", i)
+		}
+	}
+	for _, e := range edges {
+		if levelOf[e.from] >= levelOf[e.to] {
+			t.Fatalf("edge %d->%d does not cross levels (%d >= %d)",
+				e.from, e.to, levelOf[e.from], levelOf[e.to])
+		}
+	}
+}
+
+// TestLevelsInvalidation checks the index rebuilds after mutation.
+func TestLevelsInvalidation(t *testing.T) {
+	g := diamond(t)
+	if g.NumLevels() != 3 {
+		t.Fatal("unexpected initial levels")
+	}
+	id := g.AddNode(Node{Kind: NodeFragment, Weight: 1})
+	g.AddEdge(3, id, EdgeContinuation)
+	if got := g.NumLevels(); got != 4 {
+		t.Fatalf("NumLevels after append = %d, want 4", got)
+	}
+}

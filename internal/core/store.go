@@ -48,6 +48,11 @@ type GraphStore struct {
 	// Built lazily by Out/In; nil when stale.
 	outOff, outIdx []int32
 	inOff, inIdx   []int32
+
+	// Topological level index: level l's nodes (ascending NodeID) are
+	// levelNodes[levelOff[l]:levelOff[l+1]]. Built lazily by NumLevels /
+	// LevelNodes (see levels.go); nil when stale.
+	levelOff, levelNodes []int32
 }
 
 // NumNodes returns the node count.
@@ -166,6 +171,38 @@ func (s *GraphStore) Weights() []profile.Time {
 
 // appendNode appends a node row and returns its ID. A zero Members is
 // normalized to 1 (an unreduced node represents itself).
+// Reserve grows the node and edge columns to hold at least nodes and edges
+// entries without reallocating. Build calls it with its node/edge estimate
+// so million-node assembly grows each column once instead of ~20 doublings
+// per column (slice memmove and the GC scans of half-dead backing arrays
+// dominated large builds).
+func (s *GraphStore) Reserve(nodes, edges int) {
+	if n := nodes - cap(s.kind); n > 0 {
+		s.kind = append(make([]uint8, 0, nodes), s.kind...)
+		s.grain = append(make([]profile.GrainID, 0, nodes), s.grain...)
+		s.loop = append(make([]int32, 0, nodes), s.loop...)
+		s.seq = append(make([]int32, 0, nodes), s.seq...)
+		s.label = append(make([]string, 0, nodes), s.label...)
+		s.start = append(make([]profile.Time, 0, nodes), s.start...)
+		s.end = append(make([]profile.Time, 0, nodes), s.end...)
+		s.weight = append(make([]profile.Time, 0, nodes), s.weight...)
+		s.core = append(make([]int32, 0, nodes), s.core...)
+		s.counters = append(make([]cache.Counters, 0, nodes), s.counters...)
+		s.members = append(make([]int32, 0, nodes), s.members...)
+		s.critical = append(make([]bool, 0, nodes), s.critical...)
+		s.geoX = append(make([]float64, 0, nodes), s.geoX...)
+		s.geoY = append(make([]float64, 0, nodes), s.geoY...)
+		s.geoW = append(make([]float64, 0, nodes), s.geoW...)
+		s.geoH = append(make([]float64, 0, nodes), s.geoH...)
+	}
+	if n := edges - cap(s.edgeFrom); n > 0 {
+		s.edgeFrom = append(make([]int32, 0, edges), s.edgeFrom...)
+		s.edgeTo = append(make([]int32, 0, edges), s.edgeTo...)
+		s.edgeKind = append(make([]uint8, 0, edges), s.edgeKind...)
+		s.edgeCritical = append(make([]bool, 0, edges), s.edgeCritical...)
+	}
+}
+
 func (s *GraphStore) appendNode(n Node) NodeID {
 	id := NodeID(len(s.kind))
 	if n.Members == 0 {
@@ -200,10 +237,12 @@ func (s *GraphStore) appendEdge(from, to NodeID, kind EdgeKind) {
 	s.invalidateCSR()
 }
 
-// invalidateCSR drops the adjacency arrays; they rebuild on next use.
+// invalidateCSR drops the adjacency and level arrays; they rebuild on next
+// use.
 func (s *GraphStore) invalidateCSR() {
 	s.outOff, s.outIdx = nil, nil
 	s.inOff, s.inIdx = nil, nil
+	s.levelOff, s.levelNodes = nil, nil
 }
 
 // buildCSR (re)builds both adjacency indexes as flat offset/index arrays:

@@ -2,17 +2,28 @@ package export
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
 
 	"graingraph/internal/core"
 	"graingraph/internal/highlight"
+	"graingraph/internal/runpool"
 )
 
 // DOT writes the graph in Graphviz format with the same colour encoding as
 // GraphML — handy for quick `dot -Tsvg` rendering without yEd.
 func DOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
+	return DOTPool(w, g, a, v, nil)
+}
+
+// DOTPool is DOT with node and edge emission sharded across the pool: every
+// line of the body depends only on its own node or edge row, so fixed
+// chunks render into per-worker buffers concurrently and are assembled in
+// chunk order — byte-identical output at every worker count, including the
+// nil (serial) pool.
+func DOTPool(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, pool *runpool.Runner) error {
 	bw := bufio.NewWriter(w)
 	defColors := DefinitionColors(g)
 
@@ -20,37 +31,45 @@ func DOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
 	fmt.Fprintf(bw, "  label=%q; labelloc=t;\n", fmt.Sprintf("%s — %s view", g.Trace.Program, v))
 	fmt.Fprintf(bw, "  rankdir=TB; node [style=filled, fontsize=8];\n")
 
-	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
-		n := g.NodeAt(id)
-		color := NodeColor(g, n, a, v, defColors)
-		shape := "box"
-		switch n.Kind {
-		case core.NodeFork:
-			shape = "diamond"
-		case core.NodeJoin:
-			shape = "ellipse"
-		case core.NodeBookkeep:
-			shape = "circle"
+	if err := emitSharded(bw, g.NumNodes(), exportGrain, pool, func(lo, hi int, buf *bytes.Buffer) {
+		for id := core.NodeID(lo); id < core.NodeID(hi); id++ {
+			n := g.NodeAt(id)
+			color := NodeColor(g, n, a, v, defColors)
+			shape := "box"
+			switch n.Kind {
+			case core.NodeFork:
+				shape = "diamond"
+			case core.NodeJoin:
+				shape = "ellipse"
+			case core.NodeBookkeep:
+				shape = "circle"
+			}
+			attrs := []string{
+				fmt.Sprintf("label=%q", n.Label),
+				fmt.Sprintf("shape=%s", shape),
+				fmt.Sprintf("fillcolor=%q", color),
+			}
+			if n.Critical {
+				attrs = append(attrs, `color="red"`, "penwidth=2.5")
+			}
+			fmt.Fprintf(buf, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
 		}
-		attrs := []string{
-			fmt.Sprintf("label=%q", n.Label),
-			fmt.Sprintf("shape=%s", shape),
-			fmt.Sprintf("fillcolor=%q", color),
-		}
-		if n.Critical {
-			attrs = append(attrs, `color="red"`, "penwidth=2.5")
-		}
-		fmt.Fprintf(bw, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}); err != nil {
+		return err
 	}
-	for i := 0; i < g.NumEdges(); i++ {
-		e := g.EdgeAt(i)
-		color := edgeColor(e.Kind)
-		width := 1.0
-		if e.Critical {
-			color = criticalColor
-			width = 2.5
+	if err := emitSharded(bw, g.NumEdges(), exportGrain, pool, func(lo, hi int, buf *bytes.Buffer) {
+		for i := lo; i < hi; i++ {
+			e := g.EdgeAt(i)
+			color := edgeColor(e.Kind)
+			width := 1.0
+			if e.Critical {
+				color = criticalColor
+				width = 2.5
+			}
+			fmt.Fprintf(buf, "  n%d -> n%d [color=%q, penwidth=%.1f];\n", e.From, e.To, color, width)
 		}
-		fmt.Fprintf(bw, "  n%d -> n%d [color=%q, penwidth=%.1f];\n", e.From, e.To, color, width)
+	}); err != nil {
+		return err
 	}
 	fmt.Fprintf(bw, "}\n")
 	return bw.Flush()

@@ -1,14 +1,21 @@
 package export
 
 import (
+	"bytes"
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"graingraph/internal/core"
 	"graingraph/internal/highlight"
+	"graingraph/internal/runpool"
 )
 
-// jsonGraph is the machine-readable dump schema.
+// jsonGraph is the machine-readable dump schema. The emitter below writes
+// it field by field (header serially, the nodes/edges arrays sharded), but
+// the bytes are exactly what a json.Encoder with SetIndent("", " ") would
+// produce for this struct — the round-trip tests decode into it.
 type jsonGraph struct {
 	Program  string       `json:"program"`
 	Cores    int          `json:"cores"`
@@ -48,44 +55,128 @@ type jsonEdge struct {
 // JSON writes the graph (with per-grain metrics and problem flags when an
 // assessment is supplied) as indented JSON.
 func JSON(w io.Writer, g *core.Graph, a *highlight.Assessment) error {
-	return jsonDump(w, g, a, nil)
+	return JSONPool(w, g, a, nil)
 }
 
-func jsonDump(w io.Writer, g *core.Graph, a *highlight.Assessment, anns []jsonWhatIf) error {
-	out := jsonGraph{
-		Program:  g.Trace.Program,
-		Cores:    g.Trace.Cores,
-		Makespan: g.Trace.Makespan(),
-		WhatIf:   anns,
+// JSONPool is JSON with the node and edge arrays sharded across the pool.
+// Reflection-based marshalling of millions of rows is by far the most
+// expensive step of the whole artifact-serving path, and every row depends
+// only on its own graph columns, so fixed chunks marshal concurrently into
+// per-worker buffers and assemble in chunk order — byte-identical at every
+// worker count.
+func JSONPool(w io.Writer, g *core.Graph, a *highlight.Assessment, pool *runpool.Runner) error {
+	return jsonDump(w, g, a, nil, pool)
+}
+
+// jsonElem renders one array element exactly as the document encoder
+// would: the element object of an array nested one level deep, indented by
+// one space per level.
+func jsonElem(buf *bytes.Buffer, v any) error {
+	b, err := json.MarshalIndent(v, "  ", " ")
+	if err != nil {
+		return err
 	}
-	for id := core.NodeID(0); id < core.NodeID(g.NumNodes()); id++ {
-		n := g.NodeAt(id)
-		jn := jsonNode{
-			ID: int(n.ID), Kind: n.Kind.String(), Grain: string(n.Grain),
-			Label: n.Label, Source: defKeyOf(g, n),
-			Start: n.Start, End: n.End, Weight: n.Weight,
-			Core: n.Core, Members: n.Members, Critical: n.Critical,
-		}
-		if a != nil && (n.Kind == core.NodeFragment || n.Kind == core.NodeChunk) {
-			if ga := a.Get(n.Grain); ga != nil {
-				m := ga.Metrics
-				jn.Problems = ga.Mask.String()
-				jn.PB = finiteOr(m.ParallelBenefit, 1e9)
-				jn.WD = m.WorkDeviation
-				jn.IP = m.InstParallelism
-				jn.Scatter = m.Scatter
-				jn.MHU = finiteOr(m.Utilization, 1e9)
+	buf.WriteString("  ")
+	buf.Write(b)
+	return nil
+}
+
+// jsonArray writes a full array field ("null" for nil-equivalent empty
+// arrays, matching encoding/json), sharding element rendering across pool.
+// render fills buf with element i's object (no separators); separators and
+// brackets are placed here so each chunk stays position-independent.
+func jsonArray(bw *bufio.Writer, n int, pool *runpool.Runner,
+	render func(i int, buf *bytes.Buffer) error) error {
+
+	if n == 0 {
+		_, err := bw.WriteString("null")
+		return err
+	}
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	var renderErr error
+	if err := emitSharded(bw, n, exportGrain, pool, func(lo, hi int, buf *bytes.Buffer) {
+		for i := lo; i < hi; i++ {
+			if err := render(i, buf); err != nil {
+				renderErr = err
+				return
+			}
+			if i != n-1 {
+				buf.WriteString(",\n")
+			} else {
+				buf.WriteString("\n")
 			}
 		}
-		out.Nodes = append(out.Nodes, jn)
+	}); err != nil {
+		return err
 	}
-	for i := 0; i < g.NumEdges(); i++ {
+	if renderErr != nil {
+		return renderErr
+	}
+	_, err := bw.WriteString(" ]")
+	return err
+}
+
+func jsonDump(w io.Writer, g *core.Graph, a *highlight.Assessment, anns []jsonWhatIf, pool *runpool.Runner) error {
+	bw := bufio.NewWriter(w)
+
+	program, err := json.Marshal(g.Trace.Program)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "{\n \"program\": %s,\n \"cores\": %d,\n \"makespan\": %d,\n \"nodes\": ",
+		program, g.Trace.Cores, g.Trace.Makespan())
+
+	if err := jsonArray(bw, g.NumNodes(), pool, func(i int, buf *bytes.Buffer) error {
+		return jsonElem(buf, jsonNodeRow(g, core.NodeID(i), a))
+	}); err != nil {
+		return err
+	}
+
+	bw.WriteString(",\n \"edges\": ")
+	if err := jsonArray(bw, g.NumEdges(), pool, func(i int, buf *bytes.Buffer) error {
 		e := g.EdgeAt(i)
-		out.Edges = append(out.Edges, jsonEdge{
+		return jsonElem(buf, jsonEdge{
 			From: int(e.From), To: int(e.To), Kind: e.Kind.String(), Critical: e.Critical,
 		})
+	}); err != nil {
+		return err
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+
+	// The what-if section is tiny (top-N projections): serial emission.
+	if len(anns) > 0 {
+		bw.WriteString(",\n \"whatif\": ")
+		if err := jsonArray(bw, len(anns), nil, func(i int, buf *bytes.Buffer) error {
+			return jsonElem(buf, anns[i])
+		}); err != nil {
+			return err
+		}
+	}
+	bw.WriteString("\n}\n")
+	return bw.Flush()
+}
+
+// jsonNodeRow materializes node n's dump row from the graph columns and the
+// (read-only) assessment.
+func jsonNodeRow(g *core.Graph, id core.NodeID, a *highlight.Assessment) jsonNode {
+	n := g.NodeAt(id)
+	jn := jsonNode{
+		ID: int(n.ID), Kind: n.Kind.String(), Grain: string(n.Grain),
+		Label: n.Label, Source: defKeyOf(g, n),
+		Start: n.Start, End: n.End, Weight: n.Weight,
+		Core: n.Core, Members: n.Members, Critical: n.Critical,
+	}
+	if a != nil && (n.Kind == core.NodeFragment || n.Kind == core.NodeChunk) {
+		if ga := a.Get(n.Grain); ga != nil {
+			m := ga.Metrics
+			jn.Problems = ga.Mask.String()
+			jn.PB = finiteOr(m.ParallelBenefit, 1e9)
+			jn.WD = m.WorkDeviation
+			jn.IP = m.InstParallelism
+			jn.Scatter = m.Scatter
+			jn.MHU = finiteOr(m.Utilization, 1e9)
+		}
+	}
+	return jn
 }

@@ -1,0 +1,87 @@
+package export
+
+import (
+	"bytes"
+	"io"
+
+	"graingraph/internal/runpool"
+)
+
+// exportGrain is the fixed chunk size (in nodes or edges) for sharded
+// emission. Chunk boundaries depend only on the element count, so the
+// concatenated output is byte-identical at every worker count.
+const exportGrain = 4096
+
+// emitSharded renders [0, n) in fixed chunks of size grain across the pool
+// and writes the chunk buffers to w strictly in ascending chunk order.
+// render must write chunk [lo, hi)'s bytes into buf and nothing else —
+// rendering a chunk may only read shared state, so chunks are
+// order-independent and the assembly order alone fixes the output.
+//
+// Memory stays bounded on huge graphs: chunks proceed in batches of one
+// buffer per worker, reused across batches, so at most workers×chunk-size
+// rendered bytes are alive at once — never the whole serialized graph.
+func emitSharded(w io.Writer, n, grain int, pool *runpool.Runner,
+	render func(lo, hi int, buf *bytes.Buffer)) error {
+
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := runpool.Chunks(n, grain)
+	bounds := func(c int) (lo, hi int) {
+		lo = c * grain
+		hi = lo + grain
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+
+	workers := 1
+	if pool != nil {
+		workers = pool.Workers()
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		var buf bytes.Buffer
+		for c := 0; c < chunks; c++ {
+			lo, hi := bounds(c)
+			buf.Reset()
+			render(lo, hi, &buf)
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	bufs := make([]*bytes.Buffer, workers)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+	}
+	for base := 0; base < chunks; base += workers {
+		batch := chunks - base
+		if batch > workers {
+			batch = workers
+		}
+		// Map's results are unused; it serves as the fan-out that runs each
+		// batch slot on its own worker and waits for all of them.
+		runpool.Map(pool, batch, func(i int) (struct{}, error) {
+			lo, hi := bounds(base + i)
+			bufs[i].Reset()
+			render(lo, hi, bufs[i])
+			return struct{}{}, nil
+		})
+		for i := 0; i < batch; i++ {
+			if _, err := w.Write(bufs[i].Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

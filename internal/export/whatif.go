@@ -7,6 +7,7 @@ import (
 
 	"graingraph/internal/core"
 	"graingraph/internal/highlight"
+	"graingraph/internal/runpool"
 	"graingraph/internal/whatif"
 )
 
@@ -25,13 +26,25 @@ type jsonWhatIf struct {
 // JSONWithWhatIf writes the JSON dump with a ranked what-if section
 // appended. ps may be nil, which yields the plain dump.
 func JSONWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, ps []whatif.Projection) error {
-	return jsonDump(w, g, a, whatIfAnnotations(ps))
+	return JSONWithWhatIfPool(w, g, a, ps, nil)
+}
+
+// JSONWithWhatIfPool is JSONWithWhatIf with node/edge emission sharded
+// across the pool (see JSONPool).
+func JSONWithWhatIfPool(w io.Writer, g *core.Graph, a *highlight.Assessment, ps []whatif.Projection, pool *runpool.Runner) error {
+	return jsonDump(w, g, a, whatIfAnnotations(ps), pool)
 }
 
 // DOTWithWhatIf writes the DOT rendering with the ranked what-if
 // projections as leading comment lines, so a `dot`-rendered file still
 // carries the analysis that motivated it. ps may be nil.
 func DOTWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, ps []whatif.Projection) error {
+	return DOTWithWhatIfPool(w, g, a, v, ps, nil)
+}
+
+// DOTWithWhatIfPool is DOTWithWhatIf with body emission sharded across the
+// pool (see DOTPool).
+func DOTWithWhatIfPool(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, ps []whatif.Projection, pool *runpool.Runner) error {
 	bw := bufio.NewWriter(w)
 	for _, ann := range whatIfAnnotations(ps) {
 		fmt.Fprintf(bw, "// what-if #%d: %s -> makespan %d (%.2fx", ann.Rank, ann.Hypothesis, ann.Makespan, ann.Speedup)
@@ -43,7 +56,7 @@ func DOTWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, 
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return DOT(w, g, a, v)
+	return DOTPool(w, g, a, v, pool)
 }
 
 func whatIfAnnotations(ps []whatif.Projection) []jsonWhatIf {

@@ -68,6 +68,11 @@ func currentPool() *runpool.Runner {
 	return pool
 }
 
+// Pool returns the experiment worker pool itself, for callers that drive
+// pool-aware stages outside this package (what-if evaluation, sharded
+// export) at the same -j the analyses ran with.
+func Pool() *runpool.Runner { return currentPool() }
+
 // ResetMemo drops every cached simulation. Benchmarks use it so that
 // repeated regenerations measure real work, and the determinism tests use
 // it so both sides of a -j comparison execute their runs for real.

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
 	"graingraph/internal/core"
 	"graingraph/internal/highlight"
@@ -23,6 +25,35 @@ import (
 	"graingraph/internal/trace"
 	"graingraph/internal/workloads"
 )
+
+// analyzeNS accumulates wall time spent in the analysis phase (graph build,
+// metric derivation, highlighting) across all runs since process start or
+// the last ResetAnalyzeStats. grainbench reports it per figure so analysis
+// cost is visible separately from simulation cost.
+var analyzeNS atomic.Int64
+
+// AnalyzeStats returns the accumulated analysis-phase wall time.
+func AnalyzeStats() time.Duration { return time.Duration(analyzeNS.Load()) }
+
+// ResetAnalyzeStats zeroes the analysis-phase wall-time counter.
+func ResetAnalyzeStats() { analyzeNS.Store(0) }
+
+// analyze is the shared analysis half of runOne and AnalyzeTrace: graph
+// build, metric derivation and highlighting, with the per-grain kernels
+// running on the experiment pool. It feeds the analyze-phase timer.
+func analyze(tr, baseline *profile.Trace, cores int, wdMax float64) *Result {
+	start := time.Now()
+	defer func() { analyzeNS.Add(int64(time.Since(start))) }()
+
+	g := core.Build(tr)
+	rep := metrics.Analyze(tr, g, baseline, metrics.Options{Pool: currentPool()})
+	th := highlight.Defaults(cores, 12)
+	if wdMax > 0 {
+		th.WorkDeviationMax = wdMax
+	}
+	a := highlight.EvaluateWith(rep, th, currentPool())
+	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}
+}
 
 // InstrumentedRun captures one simulated run's observability artifacts:
 // its profile, counter registry, captured event stream (when enabled)
@@ -170,17 +201,11 @@ func runOne(inst workloads.Instance, cfg Config) (*Result, []*InstrumentedRun, e
 	if err != nil {
 		return nil, iruns, fmt.Errorf("parallel run: %w", err)
 	}
-	g := core.Build(tr)
-	rep := metrics.Analyze(tr, g, baseline, metrics.Options{})
+	res := analyze(tr, baseline, cfg.Cores, cfg.WorkDeviationMax)
 	if irun != nil {
-		irun.Critical = g.CriticalGrains()
+		irun.Critical = res.Graph.CriticalGrains()
 	}
-	th := highlight.Defaults(cfg.Cores, 12)
-	if cfg.WorkDeviationMax > 0 {
-		th.WorkDeviationMax = cfg.WorkDeviationMax
-	}
-	a := highlight.Evaluate(rep, th)
-	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}, iruns, nil
+	return res, iruns, nil
 }
 
 // Run executes inst under cfg, verifies its computational result, and
@@ -199,18 +224,11 @@ func Run(inst workloads.Instance, cfg Config) (*Result, error) {
 // highlighting — so a saved artifact analyzes byte-identically to the live
 // run it recorded. cfg.Cores <= 0 takes the core count from the trace.
 func AnalyzeTrace(tr, baseline *profile.Trace, cfg Config) *Result {
-	g := core.Build(tr)
-	rep := metrics.Analyze(tr, g, baseline, metrics.Options{})
 	cores := cfg.Cores
 	if cores <= 0 {
 		cores = tr.Cores
 	}
-	th := highlight.Defaults(cores, 12)
-	if cfg.WorkDeviationMax > 0 {
-		th.WorkDeviationMax = cfg.WorkDeviationMax
-	}
-	a := highlight.Evaluate(rep, th)
-	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}
+	return analyze(tr, baseline, cores, cfg.WorkDeviationMax)
 }
 
 // makespanOne is Makespan without the instrumentation recording.

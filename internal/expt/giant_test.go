@@ -1,0 +1,165 @@
+package expt
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"graingraph/internal/export"
+	"graingraph/internal/ggp"
+	"graingraph/internal/profile"
+	"graingraph/internal/whatif"
+	"graingraph/internal/workloads"
+)
+
+// smokeGiantTrace simulates the reduced-size giant workload once per test
+// process (≈16k grains; the full giant is benchmark-only) and shares the
+// immutable trace between tests.
+var smokeGiantTrace = sync.OnceValues(func() (*profile.Trace, error) {
+	inst, err := workloads.Get("giant", workloads.VariantSmoke)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(inst, Config{Cores: 48, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+})
+
+// TestGiantSmoke is the CI smoke check for the stress workload: the reduced
+// giant simulates, verifies, and analyzes end to end on the pool, and its
+// size lands in the expected band (full 4-ary trunk to depth 6 = 5461 forced
+// nodes plus subcritical tails — far below the ~1M of the default variant,
+// far above trivial).
+func TestGiantSmoke(t *testing.T) {
+	tr, err := smokeGiantTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(8)
+
+	res := AnalyzeTrace(tr, nil, Config{})
+	grains := res.Graph.NumGrainNodes()
+	if grains < 5_000 || grains > 100_000 {
+		t.Errorf("smoke giant produced %d grain nodes, want 5k..100k", grains)
+	}
+	if res.Report == nil || res.Assessment == nil {
+		t.Fatal("analysis did not produce a report and assessment")
+	}
+}
+
+// artifactAnalysis renders the complete grainview artifact-serving output —
+// what-if table, DOT and JSON with attached projections — at the given
+// parallelism, from a saved .ggp artifact.
+func artifactAnalysis(t *testing.T, path string, jobs int) []byte {
+	t.Helper()
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(jobs)
+
+	tr, err := ggp.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := AnalyzeTrace(tr, nil, Config{})
+	eng := whatif.New(res.Graph, res.Report)
+	projections := eng.Rank(res.Assessment, Pool(), whatif.RankOptions{TopN: 10})
+
+	var buf bytes.Buffer
+	if err := whatif.WriteTable(&buf, "what-if", projections); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.DOTWithWhatIfPool(&buf, res.Graph, res.Assessment, export.ViewParallelBenefit, projections, Pool()); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.JSONWithWhatIfPool(&buf, res.Graph, res.Assessment, projections, Pool()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestArtifactAnalysisDeterministicAcrossParallelism is the tentpole's
+// end-to-end guarantee on the artifact path: record a run to a .ggp file,
+// then analyze it at -j 1 and -j 8 — graph build, metric kernels,
+// level-synchronous critical path, highlighting, what-if ranking and both
+// sharded exports must produce byte-identical output.
+func TestArtifactAnalysisDeterministicAcrossParallelism(t *testing.T) {
+	tr, err := smokeGiantTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "giant-smoke.ggp")
+	if err := ggp.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := artifactAnalysis(t, path, 1)
+	parallel := artifactAnalysis(t, path, 8)
+	if !bytes.Equal(serial, parallel) {
+		d := diffLine(serial, parallel)
+		t.Fatalf("artifact analysis differs between -j 1 and -j 8 (first differing line %d):\nserial:   %q\nparallel: %q",
+			d, lineAt(serial, d), lineAt(parallel, d))
+	}
+}
+
+// giantTrace simulates the full ~1M-grain giant workload once per process,
+// for the analysis benchmark only.
+var giantTrace = sync.OnceValues(func() (*profile.Trace, error) {
+	inst, err := workloads.Get("giant", workloads.VariantDefault)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(inst, Config{Cores: 48, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+})
+
+// analyzeGiantOnce runs the full artifact-serving analysis path — graph
+// build, metric kernels, critical path, highlighting, what-if ranking, DOT
+// and JSON export — over the giant trace at the current parallelism.
+func analyzeGiantOnce(b *testing.B, tr *profile.Trace) {
+	res := AnalyzeTrace(tr, nil, Config{})
+	eng := whatif.New(res.Graph, res.Report)
+	projections := eng.Rank(res.Assessment, Pool(), whatif.RankOptions{TopN: 10})
+	if err := export.DOTWithWhatIfPool(io.Discard, res.Graph, res.Assessment, export.ViewParallelBenefit, projections, Pool()); err != nil {
+		b.Fatal(err)
+	}
+	if err := export.JSONWithWhatIfPool(io.Discard, res.Graph, res.Assessment, projections, Pool()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAnalyzeGiant measures the end-to-end analysis path over the
+// ~1M-grain giant workload, serial versus pooled. The simulation itself runs
+// once outside the timed region; the numbers are recorded in EXPERIMENTS.md.
+func BenchmarkAnalyzeGiant(b *testing.B) {
+	tr, err := giantTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	for _, bench := range []struct {
+		name string
+		jobs int
+	}{
+		{"Serial", 1},
+		{"Parallel8", 8},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			SetParallelism(bench.jobs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				analyzeGiantOnce(b, tr)
+			}
+		})
+	}
+}

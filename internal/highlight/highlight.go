@@ -12,6 +12,7 @@ import (
 
 	"graingraph/internal/metrics"
 	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
 )
 
 // Problem is a bitmask of per-grain problem conditions.
@@ -111,36 +112,54 @@ type Assessment struct {
 	byID map[profile.GrainID]*GrainAssessment
 }
 
+// evaluateGrain is the fixed chunk size for the threshold scan.
+const evaluateGrain = 1024
+
 // Evaluate flags every grain in rep against th.
 func Evaluate(rep *metrics.Report, th Thresholds) *Assessment {
+	return EvaluateWith(rep, th, nil)
+}
+
+// EvaluateWith is Evaluate with the threshold scan sharded across pool:
+// each assessment row depends only on its own metric row, so the rows fill
+// pre-sized slots in parallel (fixed chunk boundaries, byte-identical at
+// every worker count) and only the ID index is built serially. A nil pool
+// is the strict serial schedule.
+func EvaluateWith(rep *metrics.Report, th Thresholds, pool *runpool.Runner) *Assessment {
 	a := &Assessment{
 		Thresholds: th,
 		Report:     rep,
+		Grains:     make([]*GrainAssessment, len(rep.Grains)),
 		byID:       make(map[profile.GrainID]*GrainAssessment, len(rep.Grains)),
 	}
-	for _, gm := range rep.Grains {
-		ga := &GrainAssessment{Metrics: gm}
-		if gm.ParallelBenefit < th.ParallelBenefitMin {
-			ga.Mask |= LowParallelBenefit
+	runpool.ParallelFor(pool, len(rep.Grains), evaluateGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gm := rep.Grains[i]
+			ga := &GrainAssessment{Metrics: gm}
+			if gm.ParallelBenefit < th.ParallelBenefitMin {
+				ga.Mask |= LowParallelBenefit
+			}
+			if gm.WorkDeviation > th.WorkDeviationMax {
+				ga.Mask |= WorkInflation
+			}
+			if gm.InstParallelism < th.ParallelismMin {
+				ga.Mask |= LowParallelism
+			}
+			// Unknown scatter (unrecorded cores) is not evidence of a problem:
+			// skip the sentinel rather than treating it as "packed" or flagged.
+			if gm.Scatter != metrics.ScatterUnknown && gm.Scatter > th.ScatterMax {
+				ga.Mask |= HighScatter
+			}
+			// Grains that never stall are fine regardless of the ratio; grains
+			// with no memory activity are not memory problems either.
+			if gm.Grain.Counters.Stall > 0 && gm.Utilization < th.UtilizationMin {
+				ga.Mask |= PoorUtilization
+			}
+			a.Grains[i] = ga
 		}
-		if gm.WorkDeviation > th.WorkDeviationMax {
-			ga.Mask |= WorkInflation
-		}
-		if gm.InstParallelism < th.ParallelismMin {
-			ga.Mask |= LowParallelism
-		}
-		// Unknown scatter (unrecorded cores) is not evidence of a problem:
-		// skip the sentinel rather than treating it as "packed" or flagged.
-		if gm.Scatter != metrics.ScatterUnknown && gm.Scatter > th.ScatterMax {
-			ga.Mask |= HighScatter
-		}
-		// Grains that never stall are fine regardless of the ratio; grains
-		// with no memory activity are not memory problems either.
-		if gm.Grain.Counters.Stall > 0 && gm.Utilization < th.UtilizationMin {
-			ga.Mask |= PoorUtilization
-		}
-		a.Grains = append(a.Grains, ga)
-		a.byID[gm.Grain.ID] = ga
+	})
+	for _, ga := range a.Grains {
+		a.byID[ga.Metrics.Grain.ID] = ga
 	}
 	return a
 }

@@ -10,7 +10,13 @@ import (
 
 	"graingraph/internal/core"
 	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
 )
+
+// metricGrain is the fixed chunk size for the per-grain metric kernels.
+// Chunk boundaries depend only on the grain count, never the worker count,
+// so every kernel below is byte-identical at every parallelism level.
+const metricGrain = 1024
 
 // GrainMetrics bundles the derived metrics of one grain.
 type GrainMetrics struct {
@@ -70,6 +76,11 @@ type Options struct {
 	// ScatterSample caps the sibling-set size used for pairwise distances
 	// (default 2048; larger sets are subsampled deterministically).
 	ScatterSample int
+	// Pool, when non-nil with more than one worker, runs the per-grain
+	// metric kernels (rows, work deviation, scatter) and the critical-path
+	// DP data-parallel across its workers. Output is byte-identical at
+	// every worker count — nil is simply the serial schedule.
+	Pool *runpool.Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -123,32 +134,45 @@ func Analyze(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, opts Opt
 		byID:            make(map[profile.GrainID]*GrainMetrics, len(grains)),
 	}
 
-	// Per-grain local metrics.
-	for _, gr := range grains {
-		gm := &GrainMetrics{
-			Grain:           gr,
-			ParallelBenefit: parallelBenefit(gr),
-			Utilization:     gr.Counters.Utilization(),
-		}
-		rep.Grains = append(rep.Grains, gm)
-		rep.byID[gr.ID] = gm
-	}
-
-	// Work deviation against the single-core baseline.
-	if baseline != nil {
-		base := make(map[profile.GrainID]profile.Time)
-		for _, bg := range baseline.Grains() {
-			base[bg.ID] = bg.Exec
-		}
-		for _, gm := range rep.Grains {
-			if b, ok := base[gm.Grain.ID]; ok && b > 0 {
-				gm.WorkDeviation = float64(gm.Grain.Exec) / float64(b)
+	// Per-grain local metrics (parallel benefit, memory-hierarchy
+	// utilization): every row is independent, so the rows fill their
+	// pre-sized slots across the pool; the ID index is built serially after
+	// (map writes don't shard).
+	rep.Grains = make([]*GrainMetrics, len(grains))
+	runpool.ParallelFor(opts.Pool, len(grains), metricGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gr := grains[i]
+			rep.Grains[i] = &GrainMetrics{
+				Grain:           gr,
+				ParallelBenefit: parallelBenefit(gr),
+				Utilization:     gr.Counters.Utilization(),
 			}
 		}
+	})
+	for _, gm := range rep.Grains {
+		rep.byID[gm.Grain.ID] = gm
 	}
 
-	// Critical path on the grain graph.
-	rep.CriticalPathLength, rep.CriticalNodes = CriticalPath(g)
+	// Work deviation against the single-core baseline: the baseline index
+	// is built once, then read-only while the division shards.
+	if baseline != nil {
+		bgrains := baseline.Grains()
+		base := make(map[profile.GrainID]profile.Time, len(bgrains))
+		for _, bg := range bgrains {
+			base[bg.ID] = bg.Exec
+		}
+		runpool.ParallelFor(opts.Pool, len(rep.Grains), metricGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gm := rep.Grains[i]
+				if b, ok := base[gm.Grain.ID]; ok && b > 0 {
+					gm.WorkDeviation = float64(gm.Grain.Exec) / float64(b)
+				}
+			}
+		})
+	}
+
+	// Critical path on the grain graph: level-synchronous parallel DP.
+	rep.CriticalPathLength, rep.CriticalNodes = CriticalPathPool(g, opts.Pool)
 
 	// Instantaneous parallelism.
 	interval := opts.Interval

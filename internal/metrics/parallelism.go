@@ -53,14 +53,19 @@ func instParallelism(tr *profile.Trace, grains []*profile.Grain,
 	spans := executionSpans(tr)
 	// A grain counts once per interval even if several of its fragments
 	// overlap the same interval: count per (grain, interval) via sweeping
-	// grain spans, deduping with a last-marked stamp per grain.
-	type mark struct {
-		gm       *GrainMetrics
-		lastSeen int
+	// grain spans, deduping with a last-marked stamp per grain. The stamps
+	// live in a flat slice indexed by the grain's position in the (sorted)
+	// grains slice — on million-grain traces the map of per-grain mark
+	// allocations this replaces dominated the pass.
+	idx := make(map[profile.GrainID]int32, len(grains))
+	gms := make([]*GrainMetrics, len(grains))
+	for i, g := range grains {
+		idx[g.ID] = int32(i)
+		gms[i] = byID[g.ID]
 	}
-	marks := make(map[profile.GrainID]*mark, len(byID))
-	for id, gm := range byID {
-		marks[id] = &mark{gm: gm, lastSeen: -1}
+	lastSeen := make([]int32, len(grains))
+	for i := range lastSeen {
+		lastSeen[i] = -1
 	}
 
 	// For the conservative flavour, a grain counts only in intervals its
@@ -81,14 +86,14 @@ func instParallelism(tr *profile.Trace, grains []*profile.Grain,
 		if last >= nIntervals {
 			last = nIntervals - 1
 		}
-		m := marks[sp.id]
+		gi, known := idx[sp.id]
 		for i := first; i <= last; i++ {
-			if m != nil && m.lastSeen == i {
+			if known && lastSeen[gi] == int32(i) {
 				continue // already counted this grain in this interval
 			}
 			counts[i]++
-			if m != nil {
-				m.lastSeen = i
+			if known {
+				lastSeen[gi] = int32(i)
 			}
 		}
 	}
@@ -96,14 +101,17 @@ func instParallelism(tr *profile.Trace, grains []*profile.Grain,
 	// Per-grain minimum over the intervals its *execution* overlaps (its
 	// fragments — a task suspended in taskwait is not executing, so thin
 	// intervals during its suspension do not count against it).
-	for _, gm := range byID {
-		gm.InstParallelism = -1
+	for _, gm := range gms {
+		if gm != nil {
+			gm.InstParallelism = -1
+		}
 	}
 	for _, sp := range spans {
-		gm := byID[sp.id]
-		if gm == nil {
+		gi, known := idx[sp.id]
+		if !known || gms[gi] == nil {
 			continue
 		}
+		gm := gms[gi]
 		first := int(sp.start / interval)
 		last := int((sp.end - 1) / interval)
 		if last >= nIntervals {
@@ -115,8 +123,8 @@ func instParallelism(tr *profile.Trace, grains []*profile.Grain,
 			}
 		}
 	}
-	for _, gm := range byID {
-		if gm.InstParallelism == -1 {
+	for _, gm := range gms {
+		if gm != nil && gm.InstParallelism == -1 {
 			gm.InstParallelism = 0
 		}
 	}

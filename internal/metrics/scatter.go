@@ -4,12 +4,24 @@ import (
 	"sort"
 
 	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
 )
+
+// scatterSetGrain is the fixed number of sibling sets per chunk: sets are
+// independent, so they shard across the pool in chunks whose boundaries
+// depend only on the set count.
+const scatterSetGrain = 32
 
 // scatter assigns each grain the median pairwise core distance of its
 // sibling set (paper §3.2). Sets larger than opts.ScatterSample are
 // deterministically subsampled (every k-th sibling) to bound the quadratic
 // pairwise computation.
+//
+// Sibling sets partition the grains, so every set's computation is
+// independent and writes disjoint metric rows: the sets run data-parallel
+// across opts.Pool, ordered by parent grain ID so the chunking is
+// deterministic, with per-worker scratch reusing the core and distance
+// buffers across the sets a worker processes.
 //
 // Grains whose executing core was not recorded (Core < 0) cannot
 // participate in the distance computation and receive ScatterUnknown, as
@@ -20,40 +32,58 @@ import (
 func scatter(grains []*profile.Grain, byID map[profile.GrainID]*GrainMetrics,
 	tr *profile.Trace, opts Options) {
 
+	bySet := profile.GrainsByParent(grains)
+	parents := make([]profile.GrainID, 0, len(bySet))
+	for p := range bySet {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+
 	// Distances follow the paper's core-identifier convention
 	// (machine.Topology.CoreDistance): |core_i - core_j|.
-	bySet := profile.GrainsByParent(grains)
-	for _, siblings := range bySet {
-		if len(siblings) < 2 {
-			for _, g := range siblings {
-				if gm := byID[g.ID]; gm != nil {
-					gm.Scatter = 0
+	type scratch struct {
+		cores []int
+		dists []int
+	}
+	runpool.ParallelForScratch(opts.Pool, len(parents), scatterSetGrain,
+		func() *scratch { return &scratch{} },
+		func(_, lo, hi int, s *scratch) {
+			for si := lo; si < hi; si++ {
+				siblings := bySet[parents[si]]
+				if len(siblings) < 2 {
+					for _, g := range siblings {
+						if gm := byID[g.ID]; gm != nil {
+							gm.Scatter = 0
+						}
+					}
+					continue
+				}
+				s.cores = s.cores[:0]
+				for _, g := range siblings {
+					if g.Core >= 0 {
+						s.cores = append(s.cores, g.Core)
+					}
+				}
+				val := ScatterUnknown
+				if len(s.cores) >= 2 {
+					var med int
+					med, s.dists = medianPairwiseDistanceBuf(
+						subsampleCores(s.cores, opts.ScatterSample), s.dists)
+					val = med
+				}
+				for _, g := range siblings {
+					gm := byID[g.ID]
+					if gm == nil {
+						continue
+					}
+					if g.Core < 0 {
+						gm.Scatter = ScatterUnknown
+						continue
+					}
+					gm.Scatter = val
 				}
 			}
-			continue
-		}
-		cores := make([]int, 0, len(siblings))
-		for _, g := range siblings {
-			if g.Core >= 0 {
-				cores = append(cores, g.Core)
-			}
-		}
-		val := ScatterUnknown
-		if len(cores) >= 2 {
-			val = medianPairwiseDistance(subsampleCores(cores, opts.ScatterSample))
-		}
-		for _, g := range siblings {
-			gm := byID[g.ID]
-			if gm == nil {
-				continue
-			}
-			if g.Core < 0 {
-				gm.Scatter = ScatterUnknown
-				continue
-			}
-			gm.Scatter = val
-		}
-	}
+		})
 }
 
 // subsampleCores bounds the sibling set to at most limit cores by taking
@@ -61,12 +91,13 @@ func scatter(grains []*profile.Grain, byID map[profile.GrainID]*GrainMetrics,
 // would produce step 1 for sets just under 2×limit (e.g. 4095 cores with
 // limit 2048), returning the whole set and voiding the quadratic bound the
 // cap promises. The result always satisfies len <= limit for limit >= 1.
+// The returned slice may alias cores.
 func subsampleCores(cores []int, limit int) []int {
 	if limit <= 0 || len(cores) <= limit {
 		return cores
 	}
 	step := (len(cores) + limit - 1) / limit
-	sampled := make([]int, 0, limit)
+	sampled := cores[:0]
 	for i := 0; i < len(cores); i += step {
 		sampled = append(sampled, cores[i])
 	}
@@ -78,11 +109,19 @@ func subsampleCores(cores []int, limit int) []int {
 // sorted distances) — the same convention MedianGrainLength and medianTimes
 // use, biasing ties toward reporting scatter rather than hiding it.
 func medianPairwiseDistance(cores []int) int {
+	med, _ := medianPairwiseDistanceBuf(cores, nil)
+	return med
+}
+
+// medianPairwiseDistanceBuf is medianPairwiseDistance reusing buf for the
+// distance accumulation; it returns the (possibly grown) buffer so callers
+// in the scatter kernel amortize the allocation across sibling sets.
+func medianPairwiseDistanceBuf(cores []int, buf []int) (int, []int) {
 	n := len(cores)
 	if n < 2 {
-		return 0
+		return 0, buf
 	}
-	dists := make([]int, 0, n*(n-1)/2)
+	dists := buf[:0]
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			d := cores[i] - cores[j]
@@ -93,5 +132,5 @@ func medianPairwiseDistance(cores []int) int {
 		}
 	}
 	sort.Ints(dists)
-	return dists[len(dists)/2]
+	return dists[len(dists)/2], dists
 }

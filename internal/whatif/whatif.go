@@ -100,7 +100,13 @@ func New(g *core.Graph, rep *metrics.Report) *Engine {
 		e.BaseMakespan = g.Trace.Makespan()
 	}
 	if g.NumNodes() > 0 {
-		g.Out(0) // force the adjacency index before concurrent evaluation
+		// Force every lazy index Eval touches (out/in adjacency and the
+		// topological level index used by the critical-path DP) before
+		// EvalAll fans evaluations across the pool: building them is not
+		// goroutine-safe, reading them is.
+		g.Out(0)
+		g.In(0)
+		g.NumLevels()
 	}
 	for _, w := range g.Weights() {
 		e.BaseWork += w

@@ -1,0 +1,31 @@
+package workloads
+
+// The giant stress workload: a UTS-shaped tree sized to produce on the
+// order of a million grains, the scale the parallel analysis kernels are
+// built for. The classic UTS geometric process only reaches that size at
+// the critical point q·m → 1, where the variance explodes and tree size is
+// a lottery on the seed; instead, giant forces fertility down to FullDepth
+// (a complete m-ary trunk of known size) and lets the usual subcritical
+// geometric tails hang below it, so the node count concentrates tightly
+// around trunk·(1 + tail) and is exactly reproducible per seed.
+//
+// With m=4, q=18% (tail mean 0.72, expected tail size 1/(1−0.72) ≈ 3.6)
+// and FullDepth 9 (trunk (4^10−1)/3 = 349 525 nodes, 262 144 leaves), the
+// expected total is ≈ 349 525 + 262 144·2.57 ≈ 1.02 M grains. The smoke
+// variant keeps the exact shape three levels shallower for CI.
+
+// GiantUTSParams sizes the default ~1M-grain stress tree.
+func GiantUTSParams() UTSParams {
+	return UTSParams{BranchFactor: 4, ProbPercent: 18, MaxDepth: 200, FullDepth: 9, Seed: 46}
+}
+
+// SmokeGiantParams is the reduced-size giant for CI smoke runs: identical
+// shape, FullDepth 6 (trunk 5 461 nodes), landing in the tens of thousands
+// of grains — big enough to exercise every parallel kernel's multi-chunk
+// path, small enough for a pull-request gate.
+func SmokeGiantParams() UTSParams {
+	return UTSParams{BranchFactor: 4, ProbPercent: 18, MaxDepth: 200, FullDepth: 6, Seed: 46}
+}
+
+// NewGiant creates the giant stress instance.
+func NewGiant(p UTSParams) *UTSInstance { return NewUTS(p) }

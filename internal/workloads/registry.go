@@ -15,6 +15,8 @@ const (
 	VariantDefault Variant = ""
 	VariantBefore  Variant = "before"
 	VariantAfter   Variant = "after"
+	// VariantSmoke is a reduced-size configuration for CI smoke runs.
+	VariantSmoke Variant = "smoke"
 )
 
 // Spec describes a registered workload.
@@ -108,6 +110,17 @@ var registry = []Spec{
 		Variants:    []Variant{VariantDefault},
 		Make: func(v Variant) (Instance, error) {
 			return NewUTS(DefaultUTSParams()), nil
+		},
+	},
+	{
+		Name:        "giant",
+		Description: "Giant stress tree: UTS-shaped, ~1M grains (smoke = reduced size for CI); exercises the parallel analysis kernels",
+		Variants:    []Variant{VariantDefault, VariantSmoke},
+		Make: func(v Variant) (Instance, error) {
+			if v == VariantSmoke {
+				return NewGiant(SmokeGiantParams()), nil
+			}
+			return NewGiant(GiantUTSParams()), nil
 		},
 	},
 	{

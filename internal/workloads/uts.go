@@ -22,7 +22,13 @@ type UTSParams struct {
 	// Cutoff stops task creation below this depth (0 = a task per node,
 	// the troubled original).
 	Cutoff int
-	Seed   uint64
+	// FullDepth forces fertility for every node shallower than it, so the
+	// tree is a complete m-ary tree down to FullDepth with geometric
+	// subcritical tails below — the knob the giant stress workload uses to
+	// dial tree size deterministically without riding the critical point of
+	// the pure geometric process. 0 (the default) is the classic UTS shape.
+	FullDepth int
+	Seed      uint64
 }
 
 // DefaultUTSParams is the troubled original: a task per tree node.
@@ -41,6 +47,10 @@ func NewUTS(p UTSParams) *UTSInstance { return &UTSInstance{P: p} }
 
 // Name implements Instance.
 func (u *UTSInstance) Name() string {
+	if u.P.FullDepth > 0 {
+		return fmt.Sprintf("uts-m%d-q%d-full%d-cut%d",
+			u.P.BranchFactor, u.P.ProbPercent, u.P.FullDepth, u.P.Cutoff)
+	}
 	return fmt.Sprintf("uts-m%d-q%d-cut%d", u.P.BranchFactor, u.P.ProbPercent, u.P.Cutoff)
 }
 
@@ -57,16 +67,18 @@ func mix(h uint64) uint64 {
 	return h
 }
 
-// hasChildren decides a node's fertility from its hash.
-func (u *UTSInstance) hasChildren(h uint64) bool {
-	return int(h%100) < u.P.ProbPercent
+// hasChildren decides a node's fertility from its hash and depth: nodes
+// above FullDepth are unconditionally fertile, the rest follow the
+// geometric distribution.
+func (u *UTSInstance) hasChildren(h uint64, depth int) bool {
+	return depth < u.P.FullDepth || int(h%100) < u.P.ProbPercent
 }
 
 // countSeqTree counts the subtree rooted at h serially, returning node
 // count and hash evaluations.
 func (u *UTSInstance) countSeqTree(h uint64, depth int) (uint64, uint64) {
 	nodes, hashes := uint64(1), uint64(1)
-	if depth >= u.P.MaxDepth || !u.hasChildren(h) {
+	if depth >= u.P.MaxDepth || !u.hasChildren(h, depth) {
 		return nodes, hashes
 	}
 	for i := 0; i < u.P.BranchFactor; i++ {
@@ -93,7 +105,7 @@ func (u *UTSInstance) Program() func(rts.Ctx) {
 			}
 			total++
 			c.Compute(costHash * 8)
-			if depth >= u.P.MaxDepth || !u.hasChildren(h) {
+			if depth >= u.P.MaxDepth || !u.hasChildren(h, depth) {
 				return
 			}
 			for i := 0; i < u.P.BranchFactor; i++ {
@@ -108,7 +120,7 @@ func (u *UTSInstance) Program() func(rts.Ctx) {
 		// The root hash: ensure a non-trivial tree by forcing fertility at
 		// the root (retry seeds deterministically).
 		h := mix(u.P.Seed)
-		for !u.hasChildren(h) {
+		for !u.hasChildren(h, 0) {
 			h = mix(h)
 		}
 		c.Spawn(profile.Loc("uts.go", 70, "parTreeSearch"), func(c rts.Ctx) {
@@ -123,7 +135,7 @@ func (u *UTSInstance) Program() func(rts.Ctx) {
 // sequential traversal.
 func (u *UTSInstance) Verify() error {
 	h := mix(u.P.Seed)
-	for !u.hasChildren(h) {
+	for !u.hasChildren(h, 0) {
 		h = mix(h)
 	}
 	want, _ := u.countSeqTree(h, 0)

@@ -289,8 +289,8 @@ func TestInstanceNames(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 12 {
-		t.Fatalf("registry has %d workloads, want 12: %v", len(names), names)
+	if len(names) != 13 {
+		t.Fatalf("registry has %d workloads, want 13: %v", len(names), names)
 	}
 	for _, name := range names {
 		inst, err := Get(name, VariantDefault)
