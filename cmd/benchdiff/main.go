@@ -1,0 +1,82 @@
+// Command benchdiff compares two grainbench -benchjson reports and fails
+// when the new one regressed.
+//
+// Usage:
+//
+//	benchdiff [-threshold 25] [-min-ms 50] [-warn] BASELINE.json NEW.json
+//
+// Figures are matched by ID, phases by span name; entries present in only
+// one report are ignored, so a CI smoke run covering a single figure can
+// be diffed against the full committed baseline (BENCH_<date>.json at the
+// repo root). Totals are compared only when both reports cover the same
+// figure set at the same parallelism.
+//
+// Exit status: 0 when no metric regressed beyond the threshold, 1 when at
+// least one did (0 with -warn, which prints regressions without failing —
+// for CI lanes where the hardware is too noisy to gate on), 2 on usage or
+// unreadable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"graingraph/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 25, "flag metrics that grew more than this percent over the baseline")
+	minMS := fs.Float64("min-ms", 50, "ignore metrics whose baseline wall time is below this floor (ms)")
+	warn := fs.Bool("warn", false, "report regressions but exit 0 (noisy-hardware CI lanes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-min-ms ms] [-warn] BASELINE.json NEW.json")
+		return 2
+	}
+
+	baseline, err := benchfmt.Read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	current, err := benchfmt.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: new: %v\n", err)
+		return 2
+	}
+
+	if !benchfmt.Comparable(baseline, current) {
+		fmt.Fprintf(stdout, "benchdiff: reports are not comparable (baseline -j %d vs new -j %d); wall times at different parallelism measure scheduling, not performance — nothing diffed\n",
+			baseline.Parallelism, current.Parallelism)
+		return 0
+	}
+	regs := benchfmt.Diff(baseline, current, benchfmt.DiffOptions{
+		ThresholdPct: *threshold,
+		MinMS:        *minMS,
+	})
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "benchdiff: no regressions over %.0f%% (baseline %s, %d figures compared)\n",
+			*threshold, fs.Arg(0), len(current.Figures))
+		return 0
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed more than %.0f%% vs %s:\n",
+		len(regs), *threshold, fs.Arg(0))
+	for _, r := range regs {
+		fmt.Fprintf(stdout, "  %s\n", r)
+	}
+	if *warn {
+		fmt.Fprintln(stdout, "benchdiff: -warn set, not failing")
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graingraph/internal/benchfmt"
+)
+
+// loadBaseline reads the committed BENCH_<date>.json trajectory point at
+// the repo root — the file CI diffs smoke runs against.
+func loadBaseline(t *testing.T) (path string, r *benchfmt.Report) {
+	t.Helper()
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed BENCH_*.json baseline at the repo root (err=%v)", err)
+	}
+	path = matches[len(matches)-1] // glob sorts; latest date wins
+	r, err = benchfmt.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, r
+}
+
+// TestBaselineSelfDiff pins that the committed baseline diffed against
+// itself is clean and exits 0.
+func TestBaselineSelfDiff(t *testing.T) {
+	path, _ := loadBaseline(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path, path}, &out, &errb); code != 0 {
+		t.Fatalf("self-diff exit %d, output:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("self-diff output missing pass line: %s", out.String())
+	}
+}
+
+// TestInjectedSlowdownFails pins the acceptance criterion: slow every
+// figure and phase of the committed baseline by 2x and benchdiff must
+// exit non-zero — and with -warn, report but exit 0.
+func TestInjectedSlowdownFails(t *testing.T) {
+	path, base := loadBaseline(t)
+	slow := *base
+	slow.Figures = append([]benchfmt.Figure(nil), base.Figures...)
+	slow.Phases = append([]benchfmt.Phase(nil), base.Phases...)
+	slow.WallMS *= 2
+	slow.AnalyzeMS *= 2
+	for i := range slow.Figures {
+		slow.Figures[i].WallMS *= 2
+		slow.Figures[i].AnalyzeMS *= 2
+	}
+	for i := range slow.Phases {
+		slow.Phases[i].WallMS *= 2
+	}
+	slowPath := filepath.Join(t.TempDir(), "BENCH_slow.json")
+	if err := benchfmt.Write(slowPath, &slow); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{path, slowPath}, &out, &errb); code != 1 {
+		t.Fatalf("injected 2x slowdown: exit %d, want 1; output:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "regressed") {
+		t.Errorf("output does not name regressions: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-warn", path, slowPath}, &out, &errb); code != 0 {
+		t.Fatalf("-warn: exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "not failing") {
+		t.Errorf("-warn output missing notice: %s", out.String())
+	}
+}
+
+// TestUsageErrors pins exit code 2 for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"nope.json", "nope2.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing files: exit %d, want 2", code)
+	}
+	if code := run([]string{"-threshold", "x", "a", "b"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -39,15 +39,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"graingraph/internal/benchfmt"
 	"graingraph/internal/export"
 	"graingraph/internal/expt"
+	"graingraph/internal/obs"
 )
 
 func main() {
@@ -55,11 +56,13 @@ func main() {
 	cores := flag.Int("cores", 48, "core count for speedup experiments")
 	whatIf := flag.Bool("whatif", false, "append the what-if opportunity tables to a full run (same as -fig whatif, but alongside the figures)")
 	jobs := flag.Int("j", 0, "max simulations in flight; 1 = serial, <=0 = all CPUs")
-	benchOut := flag.String("benchjson", "", "write a per-figure wall-time/engine-stats benchmark report to this JSON file")
+	benchOut := flag.String("benchjson", "", "write a per-figure wall-time/engine-stats benchmark report (with phase and run-pool breakdowns) to this JSON file")
 	record := flag.String("record", "", "write every keyed simulation of the selected figures as a grain-profile artifact (<hex key>.ggp) into this directory")
 	replay := flag.String("replay", "", "load simulations from grain-profile artifacts in this directory instead of executing them (missing artifacts simulate live)")
 	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace of all simulated runs to this file")
 	stats := flag.Bool("stats", false, "print a runtime-metrics footer after each figure")
+	phases := flag.Bool("phases", false, "print the engine's own phase table (simulate/analyze/ingest breakdown) after the run")
+	selfProf := flag.String("selfprofile", "", "write a Chrome-trace profile of the benchmark run itself to this file (open at ui.perfetto.dev)")
 	flag.Parse()
 
 	expt.SetParallelism(*jobs)
@@ -68,6 +71,13 @@ func main() {
 	}
 	if *replay != "" {
 		expt.SetReplayDir(*replay)
+	}
+	// -benchjson reports the phase breakdown, so it profiles implicitly.
+	// EnableSelfProfile must follow SetParallelism so the run-pool
+	// telemetry attaches to the live pool.
+	profiling := *phases || *selfProf != "" || *benchOut != ""
+	if profiling {
+		expt.EnableSelfProfile(obs.New())
 	}
 	if *traceOut != "" || *stats {
 		expt.Instr = &expt.Instrumentation{
@@ -97,7 +107,7 @@ func main() {
 	}
 	ran := false
 	var failed []string
-	var report benchReport
+	var report benchfmt.Report
 	start := time.Now()
 	for _, s := range steps {
 		// The what-if pass is opt-in: it runs for -fig whatif, or rides along
@@ -111,17 +121,23 @@ func main() {
 		ran = true
 		simBefore, memoBefore := expt.MemoStats()
 		analyzeBefore := expt.AnalyzeStats()
+		ingestBefore := expt.IngestStats()
+		artBefore := expt.ArtifactCounters()
 		figStart := time.Now()
 		err := s.run()
-		fr := benchFigure{
+		fr := benchfmt.Figure{
 			ID:        s.id,
 			OK:        err == nil,
 			WallMS:    float64(time.Since(figStart)) / float64(time.Millisecond),
 			AnalyzeMS: float64(expt.AnalyzeStats()-analyzeBefore) / float64(time.Millisecond),
+			IngestMS:  float64(expt.IngestStats()-ingestBefore) / float64(time.Millisecond),
 		}
 		sim, memo := expt.MemoStats()
 		fr.Simulated = sim - simBefore
 		fr.Memoized = memo - memoBefore
+		art := expt.ArtifactCounters()
+		fr.ArtifactDecodes = art.Misses - artBefore.Misses
+		fr.ArtifactHits = art.Hits - artBefore.Hits
 		report.Figures = append(report.Figures, fr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: figure %s: %v\n", s.id, err)
@@ -135,12 +151,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	var selfProfile *obs.Profile
+	if profiling {
+		var err error
+		selfProfile, err = expt.SelfProfile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: self-profile: %v\n", err)
+			failed = append(failed, "selfprofile")
+		}
+	}
+	if *phases && selfProfile != nil {
+		if err := obs.WriteTable(w, selfProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
+			failed = append(failed, "phases")
+		}
+	}
+	if *selfProf != "" && selfProfile != nil {
+		if err := writeSelfProfile(*selfProf, selfProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
+			failed = append(failed, "selfprofile")
+		}
+	}
 	if *benchOut != "" {
 		report.Parallelism = expt.Parallelism()
 		report.Cores = *cores
 		report.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		report.AnalyzeMS = float64(expt.AnalyzeStats()) / float64(time.Millisecond)
+		report.IngestMS = float64(expt.IngestStats()) / float64(time.Millisecond)
 		report.Simulated, report.Memoized = expt.MemoStats()
+		if selfProfile != nil {
+			report.Phases = benchfmt.Phases(selfProfile)
+			report.Runpool = selfProfile.Pool
+		}
 		if err := writeBenchJSON(*benchOut, &report); err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
 			failed = append(failed, "benchjson")
@@ -159,46 +201,30 @@ func main() {
 	}
 }
 
-// benchFigure is one figure's entry in the -benchjson report.
-type benchFigure struct {
-	ID     string  `json:"id"`
-	OK     bool    `json:"ok"`
-	WallMS float64 `json:"wall_ms"`
-	// AnalyzeMS is the analysis-phase wall time (graph build, metrics,
-	// highlighting) this figure spent, summed across concurrent runs — it
-	// can exceed WallMS at -j > 1.
-	AnalyzeMS float64 `json:"analyze_ms"`
-	// Simulated counts the rts.Run executions this figure triggered;
-	// Memoized counts the run requests it satisfied from the cache.
-	Simulated uint64 `json:"simulated_runs"`
-	Memoized  uint64 `json:"memoized_runs"`
-}
-
-// benchReport is the -benchjson output: per-figure wall time plus the
-// experiment engine's totals for the whole invocation.
-type benchReport struct {
-	Parallelism int           `json:"parallelism"`
-	Cores       int           `json:"cores"`
-	WallMS      float64       `json:"wall_ms"`
-	AnalyzeMS   float64       `json:"analyze_ms"`
-	Simulated   uint64        `json:"simulated_runs"`
-	Memoized    uint64        `json:"memoized_runs"`
-	Figures     []benchFigure `json:"figures"`
-}
-
 // writeBenchJSON writes the benchmark report (conventionally named
-// BENCH_<what>.json) for regression tracking across commits.
-func writeBenchJSON(path string, r *benchReport) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+// BENCH_<date>.json) for regression tracking across commits; benchdiff
+// compares two of them.
+func writeBenchJSON(path string, r *benchfmt.Report) error {
+	if err := benchfmt.Write(path, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "grainbench: wrote %s (%d figures, %.0f ms, %d simulated / %d memoized runs, %d phases)\n",
+		path, len(r.Figures), r.WallMS, r.Simulated, r.Memoized, len(r.Phases))
+	return nil
+}
+
+// writeSelfProfile exports the engine's own phase spans as a Chrome trace.
+func writeSelfProfile(path string, prof *obs.Profile) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("writing benchmark report: %w", err)
+	defer f.Close()
+	if err := export.SelfProfile(f, prof); err != nil {
+		return fmt.Errorf("writing self-profile %s: %w", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "grainbench: wrote %s (%d figures, %.0f ms, %d simulated / %d memoized runs)\n",
-		path, len(r.Figures), r.WallMS, r.Simulated, r.Memoized)
+	fmt.Fprintf(os.Stderr, "grainbench: wrote %s (%d spans) — open at https://ui.perfetto.dev\n",
+		path, len(prof.Spans))
 	return nil
 }
 

@@ -19,6 +19,11 @@
 //	grainview -workload fib -whatif cutoff:4,infcores -format json -o fib.json
 //	grainview -summary run.ggp            # analyze a saved artifact
 //	grainview -whatif rank run.ggp base.ggp
+//	grainview -workload fib -record fib.ggp -summary
+//	                                      # save the simulated run as an artifact
+//	grainview -phases run.ggp             # where did the analyzer's time go?
+//	grainview -selfprofile self.json run.ggp
+//	                                      # Perfetto trace of the analysis itself
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"graingraph/internal/expt"
 	"graingraph/internal/ggp"
 	"graingraph/internal/machine"
+	"graingraph/internal/obs"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
 	"graingraph/internal/timeline"
@@ -59,10 +65,50 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Perfetto/Chrome trace of the run to this file")
 		stats    = flag.Bool("stats", false, "print the runtime scheduler/cache metrics registry")
 		jobs     = flag.Int("j", 1, "worker parallelism for analysis and export (1 = serial, 0 = all cores); output is byte-identical at every -j")
+		phases   = flag.Bool("phases", false, "print the analyzer's own phase table (where grainview spent its time) after the run")
+		selfProf = flag.String("selfprofile", "", "write a Chrome-trace profile of the analysis run itself to this file (open at ui.perfetto.dev)")
+		recOut   = flag.String("record", "", "write the run's trace as a grain-profile artifact (.ggp) to this file for later replay")
 	)
 	flag.Parse()
 
 	expt.SetParallelism(*jobs)
+
+	// Self-observability: one root span covers the whole invocation, with
+	// children for ingest, analysis, what-if, layout and export, so the
+	// phase table attributes (nearly) all of grainview's wall time.
+	// EnableSelfProfile must follow SetParallelism so the pool telemetry
+	// attaches to the live pool.
+	var rootSp *obs.Span
+	if *phases || *selfProf != "" {
+		expt.EnableSelfProfile(obs.New())
+		rootSp = expt.SelfProfiler().Begin("grainview")
+	}
+	finishProfile := func() {
+		if rootSp == nil {
+			return
+		}
+		rootSp.End()
+		rootSp = nil
+		prof, err := expt.SelfProfile()
+		die(err)
+		if *phases {
+			// The phase table follows the whatif-table convention: stderr
+			// when an export is streaming to stdout, stdout otherwise.
+			tableW := os.Stdout
+			if !*summary && *out == "" {
+				tableW = os.Stderr
+			}
+			die(obs.WriteTable(tableW, prof))
+		}
+		if *selfProf != "" {
+			f, err := os.Create(*selfProf)
+			die(err)
+			die(export.SelfProfile(f, prof))
+			die(f.Close())
+			fmt.Fprintf(os.Stderr, "grainview: wrote %s (%d spans) — open at https://ui.perfetto.dev\n",
+				*selfProf, len(prof.Spans))
+		}
+	}
 
 	if *traceOut != "" || *stats {
 		expt.Instr = &expt.Instrumentation{CaptureEvents: *traceOut != ""}
@@ -93,6 +139,7 @@ func main() {
 		if flag.NArg() > 2 {
 			die(fmt.Errorf("expected <run.ggp> [baseline.ggp], got %d arguments", flag.NArg()))
 		}
+		isp := rootSp.Child("ingest:ggp")
 		tr, err := ggp.ReadFile(flag.Arg(0))
 		die(err)
 		var base *profile.Trace
@@ -100,7 +147,8 @@ func main() {
 			base, err = ggp.ReadFile(flag.Arg(1))
 			die(err)
 		}
-		res = expt.AnalyzeTrace(tr, base, expt.Config{})
+		isp.End()
+		res = expt.AnalyzeTraceSpan(tr, base, expt.Config{}, rootSp)
 		name, ncores = tr.Program, tr.Cores
 	} else {
 		inst, err := workloads.Get(*workload, workloads.Variant(*variant))
@@ -136,9 +184,23 @@ func main() {
 			die(fmt.Errorf("unknown policy %q", *policy))
 		}
 
-		res, err = expt.Run(inst, cfg)
+		// The run child covers simulation wall time too: the simulate spans
+		// themselves are separate root trees (they may execute on any pool
+		// goroutine under the memo's single-flight), but this wrapper keeps
+		// the grainview tree's attribution complete.
+		rsp := rootSp.Child("run")
+		res, err = expt.RunSpan(inst, cfg, rsp)
+		rsp.End()
 		die(err)
 		name, ncores = inst.Name(), *cores
+	}
+
+	if *recOut != "" {
+		rsp := rootSp.Child("record:ggp")
+		die(ggp.WriteFile(*recOut, res.Trace))
+		rsp.End()
+		fmt.Fprintf(os.Stderr, "grainview: recorded %s (%d grains, %d cores)\n",
+			*recOut, res.Trace.NumGrains(), res.Trace.Cores)
 	}
 
 	// What-if analysis: replay the recorded graph under hypothetical
@@ -146,6 +208,7 @@ func main() {
 	// when the export itself streams to stdout, keeping pipes clean.
 	var projections []whatif.Projection
 	if *whatIf != "" {
+		wsp := rootSp.Child("whatif")
 		eng := whatif.New(res.Graph, res.Report)
 		if *whatIf == "rank" {
 			projections = eng.Rank(res.Assessment, expt.Pool(), whatif.RankOptions{TopN: 10})
@@ -154,6 +217,7 @@ func main() {
 			die(err)
 			projections = eng.EvalAll(expt.Pool(), hs)
 		}
+		wsp.End()
 		tableW := os.Stdout
 		if !*summary && *out == "" {
 			tableW = os.Stderr
@@ -169,15 +233,20 @@ func main() {
 		printStats(res)
 	}
 	if *summary {
+		ssp := rootSp.Child("summary")
 		printSummary(res)
+		ssp.End()
+		finishProfile()
 		return
 	}
 
+	lsp := rootSp.Child("layout")
 	g := res.Graph
 	if *reduce {
 		g = core.ReduceAll(g)
 	}
 	core.Layout(g)
+	lsp.End()
 
 	var v export.View
 	switch *view {
@@ -206,6 +275,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	esp := rootSp.Child("export:" + *format)
 	switch *format {
 	case "graphml":
 		die(export.GraphML(w, g, res.Assessment, v))
@@ -216,10 +286,12 @@ func main() {
 	default:
 		die(fmt.Errorf("unknown format %q", *format))
 	}
+	esp.End()
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "grainview: wrote %s (%d nodes, %d edges, %s view)\n",
 			*out, g.NumNodes(), g.NumEdges(), v)
 	}
+	finishProfile()
 }
 
 // writeTrace exports the instrumented runs (baseline + parallel) as one

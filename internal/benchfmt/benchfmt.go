@@ -1,0 +1,126 @@
+// Package benchfmt defines the benchmark-report schema shared by
+// grainbench (which writes reports) and benchdiff (which compares them).
+//
+// A report is one -benchjson invocation: per-figure wall time and engine
+// stats, plus — when self-observability is on — a phase breakdown
+// aggregated from the analyzer's own spans (internal/obs) and the
+// run-pool telemetry. Reports are committed to the repository root as
+// dated BENCH_<date>.json files, forming a performance trajectory that
+// benchdiff checks new runs against: any phase or figure that got more
+// than a threshold slower than the baseline is a regression.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"graingraph/internal/obs"
+)
+
+// Figure is one figure's entry in a report.
+type Figure struct {
+	ID     string  `json:"id"`
+	OK     bool    `json:"ok"`
+	WallMS float64 `json:"wall_ms"`
+	// AnalyzeMS is the analysis-phase wall time (graph build, metrics,
+	// highlighting) this figure spent, summed across concurrent runs — it
+	// can exceed WallMS at -j > 1.
+	AnalyzeMS float64 `json:"analyze_ms"`
+	// IngestMS is the artifact-ingest wall time (replay file read +
+	// CRC-checked decode) this figure spent; zero unless -replay is on.
+	IngestMS float64 `json:"ingest_ms,omitempty"`
+	// Simulated counts the rts.Run executions this figure triggered;
+	// Memoized counts the run requests it satisfied from the cache.
+	Simulated uint64 `json:"simulated_runs"`
+	Memoized  uint64 `json:"memoized_runs"`
+	// ArtifactDecodes/ArtifactHits count grain-profile artifact decodes
+	// executed vs served from the content-hash cache during this figure.
+	ArtifactDecodes uint64 `json:"artifact_decodes,omitempty"`
+	ArtifactHits    uint64 `json:"artifact_hits,omitempty"`
+}
+
+// Phase is the aggregate of every span with one name across the run:
+// how many times it executed and its total wall time and allocations.
+type Phase struct {
+	Name   string  `json:"name"`
+	Count  int     `json:"count"`
+	WallMS float64 `json:"wall_ms"`
+	Allocs uint64  `json:"allocs,omitempty"`
+	Bytes  uint64  `json:"bytes,omitempty"`
+}
+
+// Report is one -benchjson document.
+type Report struct {
+	Parallelism int      `json:"parallelism"`
+	Cores       int      `json:"cores"`
+	WallMS      float64  `json:"wall_ms"`
+	AnalyzeMS   float64  `json:"analyze_ms"`
+	IngestMS    float64  `json:"ingest_ms,omitempty"`
+	Simulated   uint64   `json:"simulated_runs"`
+	Memoized    uint64   `json:"memoized_runs"`
+	Figures     []Figure `json:"figures"`
+	// Phases is the self-observability breakdown, present when the run
+	// profiled itself. Sorted by total wall time, heaviest first.
+	Phases []Phase `json:"phases,omitempty"`
+	// Runpool is the worker/memo telemetry snapshot for the whole run.
+	Runpool *obs.PoolSnapshot `json:"runpool,omitempty"`
+}
+
+// Phases aggregates a span profile by name: every span with the same
+// name — across figures, trees and nesting levels — folds into one Phase.
+// Sorted heaviest-first with name as the deterministic tie-break.
+func Phases(prof *obs.Profile) []Phase {
+	if prof == nil || len(prof.Spans) == 0 {
+		return nil
+	}
+	idx := map[string]int{}
+	var out []Phase
+	for _, s := range prof.Spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, Phase{Name: s.Name})
+		}
+		out[i].Count++
+		out[i].WallMS += float64(s.Dur.Nanoseconds()) / 1e6
+		out[i].Allocs += s.Allocs
+		out[i].Bytes += s.Bytes
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].WallMS != out[b].WallMS {
+			return out[a].WallMS > out[b].WallMS
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// Read loads a report from path.
+func Read(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Write stores the report as indented JSON (conventionally named
+// BENCH_<date>.json at the repo root for the committed trajectory).
+func Write(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchfmt: writing report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"graingraph/internal/obs"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Parallelism: 4, Cores: 48, WallMS: 1000, AnalyzeMS: 400, IngestMS: 20,
+		Simulated: 10, Memoized: 5,
+		Figures: []Figure{
+			{ID: "2", OK: true, WallMS: 600, AnalyzeMS: 250, Simulated: 6, Memoized: 2},
+			{ID: "5", OK: true, WallMS: 400, AnalyzeMS: 150, Simulated: 4, Memoized: 3},
+		},
+		Phases: []Phase{
+			{Name: "metric:critical", Count: 10, WallMS: 200},
+			{Name: "build", Count: 10, WallMS: 120},
+			{Name: "highlight", Count: 10, WallMS: 3},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := sampleReport()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WallMS != want.WallMS || len(got.Figures) != 2 || len(got.Phases) != 3 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Figures[0].ID != "2" || got.Phases[0].Name != "metric:critical" {
+		t.Fatalf("round trip reordered entries: %+v", got)
+	}
+}
+
+func TestPhasesAggregatesByName(t *testing.T) {
+	p := obs.New()
+	p.TrackMem = false
+	for i := 0; i < 3; i++ {
+		sp := p.Begin("analyze")
+		c := sp.Child("build")
+		time.Sleep(time.Millisecond)
+		c.End()
+		sp.End()
+	}
+	spans, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := Phases(&obs.Profile{Spans: spans})
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (analyze, build): %+v", len(phases), phases)
+	}
+	for _, ph := range phases {
+		if ph.Count != 3 {
+			t.Errorf("phase %s count = %d, want 3", ph.Name, ph.Count)
+		}
+		if ph.WallMS <= 0 {
+			t.Errorf("phase %s wall = %v, want > 0", ph.Name, ph.WallMS)
+		}
+	}
+	// analyze encloses build, so it sorts first (heaviest).
+	if phases[0].Name != "analyze" {
+		t.Errorf("heaviest phase = %s, want analyze", phases[0].Name)
+	}
+	if Phases(nil) != nil || Phases(&obs.Profile{}) != nil {
+		t.Error("empty profile should yield no phases")
+	}
+}
+
+func TestDiffFlagsInjectedSlowdown(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Figures[0].WallMS *= 2           // figure 2 doubles
+	cur.Phases[0].WallMS *= 1.5          // metric:critical +50%
+	cur.Phases[2].WallMS *= 10           // highlight 3ms -> 30ms, below MinMS floor
+	cur.WallMS = 1600                    // total rides along
+	opt := DiffOptions{ThresholdPct: 25, MinMS: 50}
+
+	regs := Diff(base, cur, opt)
+	var metrics []string
+	for _, r := range regs {
+		metrics = append(metrics, r.Metric)
+	}
+	joined := strings.Join(metrics, ",")
+	for _, want := range []string{"figure 2/wall", "phase metric:critical", "total/wall"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions %v missing %q", metrics, want)
+		}
+	}
+	if strings.Contains(joined, "highlight") {
+		t.Errorf("sub-floor phase flagged: %v", metrics)
+	}
+	// Worst first: figure 2 (+100%) before metric:critical (+50%).
+	if len(regs) > 1 && regs[0].Metric != "figure 2/wall" {
+		t.Errorf("regressions not sorted worst-first: %v", metrics)
+	}
+}
+
+func TestDiffIntersectionSemantics(t *testing.T) {
+	base := sampleReport()
+	// Smoke run: only figure 2, twice as slow, plus a brand-new phase.
+	cur := &Report{
+		Parallelism: 4, Cores: 48, WallMS: 1200,
+		Figures: []Figure{{ID: "2", OK: true, WallMS: 1200, AnalyzeMS: 250}},
+		Phases:  []Phase{{Name: "brand-new", WallMS: 900}},
+	}
+	regs := Diff(base, cur, DiffOptions{ThresholdPct: 25, MinMS: 50})
+	for _, r := range regs {
+		if r.Metric == "total/wall" {
+			t.Error("total compared across different figure sets")
+		}
+		if strings.Contains(r.Metric, "brand-new") {
+			t.Error("phase missing from baseline was flagged")
+		}
+	}
+	if len(regs) != 1 || regs[0].Metric != "figure 2/wall" {
+		t.Fatalf("want exactly the figure 2 regression, got %v", regs)
+	}
+
+	// A failed figure is a test problem, not a perf signal.
+	cur.Figures[0].OK = false
+	if regs := Diff(base, cur, DiffOptions{ThresholdPct: 25, MinMS: 50}); len(regs) != 0 {
+		t.Fatalf("failed figure still diffed: %v", regs)
+	}
+}
+
+func TestDiffParallelismMismatchNotComparable(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Parallelism = 8
+	cur.WallMS *= 4 // massively "slower" — but it's 8 workers on the same host
+	cur.Figures[0].WallMS *= 4
+	cur.Phases[0].WallMS *= 4
+	if Comparable(base, cur) {
+		t.Error("reports at -j 4 and -j 8 reported comparable")
+	}
+	if regs := Diff(base, cur, DiffOptions{ThresholdPct: 25, MinMS: 50}); len(regs) != 0 {
+		t.Fatalf("cross-parallelism diff produced regressions: %v", regs)
+	}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.WallMS *= 1.10 // +10% < 25%
+	cur.Figures[0].WallMS *= 1.10
+	if regs := Diff(base, cur, DiffOptions{ThresholdPct: 25, MinMS: 50}); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+}

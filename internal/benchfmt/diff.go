@@ -1,0 +1,118 @@
+package benchfmt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffOptions tunes regression detection.
+type DiffOptions struct {
+	// ThresholdPct flags a metric that grew by more than this percentage
+	// over the baseline (25 means "new > 1.25 × old").
+	ThresholdPct float64
+	// MinMS ignores metrics whose baseline is below this floor: a 3 ms
+	// phase doubling to 6 ms is scheduler noise, not a regression.
+	MinMS float64
+}
+
+// Regression is one metric that got slower than the baseline allows.
+type Regression struct {
+	Metric string  `json:"metric"`
+	OldMS  float64 `json:"old_ms"`
+	NewMS  float64 `json:"new_ms"`
+	Pct    float64 `json:"pct"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%-28s %10.1f ms -> %10.1f ms  (+%.1f%%)", r.Metric, r.OldMS, r.NewMS, r.Pct)
+}
+
+// Comparable reports whether two reports' wall times can be meaningfully
+// diffed: they must come from the same parallelism level. A span's wall
+// time includes time the worker spent descheduled, so a -j 8 run on a
+// small host inflates every concurrent phase relative to a -j 1 baseline
+// — that is scheduling, not a regression.
+func Comparable(baseline, current *Report) bool {
+	return baseline.Parallelism == current.Parallelism
+}
+
+// Diff compares a new report against a baseline and returns every
+// regression, worst first. Figures are matched by ID and phases by name;
+// entries present in only one report are skipped (intersection
+// semantics), so a smoke run with a subset of figures can still be
+// checked against a full baseline. Figures that failed (OK=false) on
+// either side are skipped too — a broken figure is a test failure, not a
+// performance signal. Reports from different parallelism levels are not
+// comparable (see Comparable) and diff as empty.
+func Diff(baseline, current *Report, opt DiffOptions) []Regression {
+	if !Comparable(baseline, current) {
+		return nil
+	}
+	var out []Regression
+	check := func(metric string, old, new float64) {
+		if old < opt.MinMS {
+			return
+		}
+		pct := (new - old) / old * 100
+		if pct > opt.ThresholdPct {
+			out = append(out, Regression{Metric: metric, OldMS: old, NewMS: new, Pct: pct})
+		}
+	}
+
+	// Totals only compare when the figure sets match — a smoke run's
+	// total wall says nothing about a full baseline's.
+	if sameFigureSet(baseline, current) {
+		check("total/wall", baseline.WallMS, current.WallMS)
+		check("total/analyze", baseline.AnalyzeMS, current.AnalyzeMS)
+		check("total/ingest", baseline.IngestMS, current.IngestMS)
+	}
+
+	base := map[string]Figure{}
+	for _, f := range baseline.Figures {
+		base[f.ID] = f
+	}
+	for _, f := range current.Figures {
+		b, ok := base[f.ID]
+		if !ok || !b.OK || !f.OK {
+			continue
+		}
+		check("figure "+f.ID+"/wall", b.WallMS, f.WallMS)
+		check("figure "+f.ID+"/analyze", b.AnalyzeMS, f.AnalyzeMS)
+	}
+
+	basePhase := map[string]Phase{}
+	for _, p := range baseline.Phases {
+		basePhase[p.Name] = p
+	}
+	for _, p := range current.Phases {
+		b, ok := basePhase[p.Name]
+		if !ok {
+			continue
+		}
+		check("phase "+p.Name, b.WallMS, p.WallMS)
+	}
+
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Pct != out[b].Pct {
+			return out[a].Pct > out[b].Pct
+		}
+		return out[a].Metric < out[b].Metric
+	})
+	return out
+}
+
+func sameFigureSet(a, b *Report) bool {
+	if len(a.Figures) != len(b.Figures) {
+		return false
+	}
+	ids := map[string]bool{}
+	for _, f := range a.Figures {
+		ids[f.ID] = true
+	}
+	for _, f := range b.Figures {
+		if !ids[f.ID] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package export
+
+// Self-profile export: the analyzer observing itself. Where perfetto.go
+// renders the *simulated* runtime's trace, SelfProfile renders the
+// analysis pipeline's own phase spans (internal/obs) with the same
+// Chrome-trace event model, so a -selfprofile file opens in
+// ui.perfetto.dev exactly like a -trace file — one thread track per root
+// phase tree, nested slices for the kernels inside it.
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"graingraph/internal/obs"
+)
+
+// SelfProfile writes the profile as Chrome-trace JSON. Structure is
+// deterministic for a canonical snapshot: spans are emitted in snapshot
+// order (depth-first, name-sorted trees), each root tree gets its own
+// thread track in that order, and timestamps are relative to the
+// profiler's epoch in microseconds. Only the measured times and the
+// allocation args vary between runs; the run-pool telemetry — inherently
+// dependent on the worker count — is confined to otherData.runpool.
+func SelfProfile(w io.Writer, prof *obs.Profile) error {
+	doc := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"generator": "graingraph-selfprofile"},
+	}
+	if prof.Pool != nil {
+		doc.OtherData["runpool"] = prof.Pool
+	}
+
+	// Thread track per root tree, named after the root span.
+	tid := -1
+	tids := make([]int, len(prof.Spans))
+	for _, s := range prof.Spans {
+		if s.Parent < 0 {
+			tid++
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": s.Name},
+			})
+		}
+		tids[s.ID] = tid
+	}
+	for _, s := range prof.Spans {
+		dur := uint64(s.Dur / time.Microsecond)
+		ev := chromeEvent{
+			Name: s.Name, Cat: "phase", Ph: "X",
+			Ts: uint64(s.Start / time.Microsecond), Dur: &dur,
+			Pid: 1, Tid: tids[s.ID],
+		}
+		if s.Allocs > 0 || s.Bytes > 0 {
+			ev.Args = map[string]any{"allocs": s.Allocs, "bytes": s.Bytes}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

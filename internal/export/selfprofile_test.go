@@ -1,0 +1,77 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"graingraph/internal/obs"
+)
+
+// TestSelfProfileShape pins the Chrome-trace structure of a self-profile:
+// one thread-name metadata event per root tree, one complete ("X") slice
+// per span on that tree's track, and the run-pool telemetry under
+// otherData — never in the event stream.
+func TestSelfProfileShape(t *testing.T) {
+	p := obs.New()
+	root := p.Begin("analyze:fib")
+	c := root.Child("build")
+	time.Sleep(50 * time.Microsecond)
+	c.End()
+	root.End()
+	r2 := p.Begin("export:json")
+	r2.End()
+	spans, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := obs.NewPoolTelemetry(2)
+	tel.RecordChunk(0, time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := SelfProfile(&buf, &obs.Profile{Spans: spans, Pool: tel.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("self-profile is not valid JSON: %v", err)
+	}
+
+	meta := map[int]string{}
+	slices := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				meta[e.Tid] = e.Args["name"].(string)
+			}
+		case "X":
+			slices[e.Name] = e.Tid
+		default:
+			t.Errorf("unexpected phase %q in self-profile", e.Ph)
+		}
+	}
+	// Canonical root order is name-sorted: analyze:fib before export:json.
+	if meta[0] != "analyze:fib" || meta[1] != "export:json" {
+		t.Errorf("thread tracks = %v, want analyze:fib then export:json", meta)
+	}
+	if tid, ok := slices["build"]; !ok || tid != 0 {
+		t.Errorf("build slice on tid %d (present %v), want tid 0", tid, ok)
+	}
+	if tid, ok := slices["export:json"]; !ok || tid != 1 {
+		t.Errorf("export:json slice on tid %d (present %v), want tid 1", tid, ok)
+	}
+	if _, ok := doc.OtherData["runpool"]; !ok {
+		t.Error("runpool telemetry missing from otherData")
+	}
+}

@@ -47,12 +47,16 @@ var simMemo = runpool.NewCache[*simResult]()
 // regenerating figures, not concurrently with them.
 func SetParallelism(j int) {
 	poolMu.Lock()
-	defer poolMu.Unlock()
 	if j == 1 {
 		pool = runpool.New(1)
-		return
+	} else {
+		pool = runpool.New(j)
 	}
-	pool = runpool.New(j)
+	p := pool
+	poolMu.Unlock()
+	// Keep pool telemetry attached across pool swaps (worker slots beyond
+	// the telemetry's allocation clamp into the last slot).
+	p.SetTelemetry(selfTelemetry())
 }
 
 // Parallelism returns the current worker bound.
@@ -138,6 +142,8 @@ func simulate(inst workloads.Instance, rcfg rts.Config, label string) (*profile.
 	}
 
 	compute := func() (*simResult, error) {
+		sp := SelfProfiler().Begin("simulate:" + label)
+		defer sp.End()
 		runCfg := rcfg
 		r := &simResult{}
 		var sink *trace.RingSink
@@ -158,7 +164,10 @@ func simulate(inst workloads.Instance, rcfg rts.Config, label string) (*profile.
 			return r, err
 		}
 		if keyed && ins == nil && recDir != "" {
-			if werr := recordArtifact(recDir, key, r.trace); werr != nil {
+			rsp := sp.Child("record:artifact")
+			werr := recordArtifact(recDir, key, r.trace)
+			rsp.End()
+			if werr != nil {
 				return r, werr
 			}
 		}
@@ -216,7 +225,7 @@ func runBatch(reqs []runReq) ([]*Result, error) {
 		iruns []*InstrumentedRun
 	}
 	outs, err := runpool.Map(currentPool(), len(reqs), func(i int) (out, error) {
-		res, iruns, rerr := runOne(reqs[i].mk(), reqs[i].cfg)
+		res, iruns, rerr := runOne(reqs[i].mk(), reqs[i].cfg, nil)
 		return out{res, iruns}, wrapErr(reqs[i].wrap, rerr)
 	})
 	results := make([]*Result, len(outs))

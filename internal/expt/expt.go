@@ -20,6 +20,7 @@ import (
 	"graingraph/internal/highlight"
 	"graingraph/internal/machine"
 	"graingraph/internal/metrics"
+	"graingraph/internal/obs"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
 	"graingraph/internal/trace"
@@ -40,18 +41,25 @@ func ResetAnalyzeStats() { analyzeNS.Store(0) }
 
 // analyze is the shared analysis half of runOne and AnalyzeTrace: graph
 // build, metric derivation and highlighting, with the per-grain kernels
-// running on the experiment pool. It feeds the analyze-phase timer.
-func analyze(tr, baseline *profile.Trace, cores int, wdMax float64) *Result {
+// running on the experiment pool. It feeds the analyze-phase timer and,
+// when self-observability is enabled, reports one phase-span tree per
+// analysis — rooted under parent when the caller threaded one through, or
+// as its own root (the batch case, where analyses run on pool workers).
+func analyze(tr, baseline *profile.Trace, cores int, wdMax float64, parent *obs.Span) *Result {
 	start := time.Now()
 	defer func() { analyzeNS.Add(int64(time.Since(start))) }()
+	sp := obs.Under(SelfProfiler(), parent, "analyze:"+tr.Program)
+	defer sp.End()
 
+	bsp := sp.Child("build")
 	g := core.Build(tr)
-	rep := metrics.Analyze(tr, g, baseline, metrics.Options{Pool: currentPool()})
+	bsp.End()
+	rep := metrics.Analyze(tr, g, baseline, metrics.Options{Pool: currentPool(), Span: sp})
 	th := highlight.Defaults(cores, 12)
 	if wdMax > 0 {
 		th.WorkDeviationMax = wdMax
 	}
-	a := highlight.EvaluateWith(rep, th, currentPool())
+	a := highlight.EvaluateObs(rep, th, currentPool(), sp)
 	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}
 }
 
@@ -176,8 +184,9 @@ func rtsConfig(inst workloads.Instance, cfg Config) rts.Config {
 
 // runOne is Run without the instrumentation recording: it returns the
 // instrumented runs it produced so batch callers can record them in
-// request order after the whole batch completes.
-func runOne(inst workloads.Instance, cfg Config) (*Result, []*InstrumentedRun, error) {
+// request order after the whole batch completes. parent, when non-nil,
+// roots the analysis phase spans (see analyze).
+func runOne(inst workloads.Instance, cfg Config, parent *obs.Span) (*Result, []*InstrumentedRun, error) {
 	rcfg := rtsConfig(inst, cfg)
 
 	var iruns []*InstrumentedRun
@@ -201,7 +210,7 @@ func runOne(inst workloads.Instance, cfg Config) (*Result, []*InstrumentedRun, e
 	if err != nil {
 		return nil, iruns, fmt.Errorf("parallel run: %w", err)
 	}
-	res := analyze(tr, baseline, cfg.Cores, cfg.WorkDeviationMax)
+	res := analyze(tr, baseline, cfg.Cores, cfg.WorkDeviationMax, parent)
 	if irun != nil {
 		irun.Critical = res.Graph.CriticalGrains()
 	}
@@ -211,7 +220,14 @@ func runOne(inst workloads.Instance, cfg Config) (*Result, []*InstrumentedRun, e
 // Run executes inst under cfg, verifies its computational result, and
 // derives the full metric set.
 func Run(inst workloads.Instance, cfg Config) (*Result, error) {
-	res, iruns, err := runOne(inst, cfg)
+	return RunSpan(inst, cfg, nil)
+}
+
+// RunSpan is Run with the analysis phase spans rooted under parent — the
+// cmds pass their top-level span so a live run's whole pipeline lands in
+// one tree. A nil parent (or disabled self-observability) is exactly Run.
+func RunSpan(inst workloads.Instance, cfg Config, parent *obs.Span) (*Result, error) {
+	res, iruns, err := runOne(inst, cfg, parent)
 	record(iruns)
 	return res, err
 }
@@ -224,11 +240,17 @@ func Run(inst workloads.Instance, cfg Config) (*Result, error) {
 // highlighting — so a saved artifact analyzes byte-identically to the live
 // run it recorded. cfg.Cores <= 0 takes the core count from the trace.
 func AnalyzeTrace(tr, baseline *profile.Trace, cfg Config) *Result {
+	return AnalyzeTraceSpan(tr, baseline, cfg, nil)
+}
+
+// AnalyzeTraceSpan is AnalyzeTrace with the phase spans rooted under
+// parent (nil behaves exactly like AnalyzeTrace).
+func AnalyzeTraceSpan(tr, baseline *profile.Trace, cfg Config, parent *obs.Span) *Result {
 	cores := cfg.Cores
 	if cores <= 0 {
 		cores = tr.Cores
 	}
-	return analyze(tr, baseline, cores, cfg.WorkDeviationMax)
+	return analyze(tr, baseline, cores, cfg.WorkDeviationMax, parent)
 }
 
 // makespanOne is Makespan without the instrumentation recording.

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"graingraph/internal/ggp"
 	"graingraph/internal/profile"
@@ -60,9 +62,25 @@ func artifactDirs() (rec, rep string) {
 	return recordDir, replayDir
 }
 
+// ingestNS accumulates wall time spent ingesting grain-profile artifacts
+// (file read + CRC-checked decode, including memo-hit waits) across all
+// replayed runs, the record/replay counterpart of the analyze-phase timer.
+// grainbench reports it per figure so artifact-cache effectiveness is
+// visible next to analysis cost.
+var ingestNS atomic.Int64
+
+// IngestStats returns the accumulated artifact-ingest wall time.
+func IngestStats() time.Duration { return time.Duration(ingestNS.Load()) }
+
+// ResetIngestStats zeroes the artifact-ingest timer.
+func ResetIngestStats() { ingestNS.Store(0) }
+
 // ArtifactStats reports how many artifact decodes executed and how many
 // loads were served from the content-hash cache.
 func ArtifactStats() (decodes, hits uint64) { return artifactMemo.Stats() }
+
+// ArtifactCounters returns the artifact-decode cache's hit/miss counters.
+func ArtifactCounters() runpool.CacheStats { return artifactMemo.Counters() }
 
 // ResetArtifactMemo drops the decode cache (tests use it to measure
 // hit/miss behaviour from a clean slate).
@@ -92,6 +110,12 @@ func recordArtifact(dir string, key runpool.Key, tr *profile.Trace) error {
 // Decodes are memoized by content hash: rereading identical bytes returns
 // the shared immutable trace without parsing again.
 func loadArtifact(dir string, key runpool.Key) (tr *profile.Trace, found bool, err error) {
+	start := time.Now()
+	sp := SelfProfiler().Begin("ingest:artifact")
+	defer func() {
+		ingestNS.Add(int64(time.Since(start)))
+		sp.End()
+	}()
 	raw, rerr := os.ReadFile(artifactPath(dir, key))
 	if rerr != nil {
 		if os.IsNotExist(rerr) {

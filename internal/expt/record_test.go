@@ -173,6 +173,9 @@ func TestArtifactDecodeMemo(t *testing.T) {
 	if decodes, hits := ArtifactStats(); decodes != 1 || hits != 1 {
 		t.Errorf("after two identical loads: decodes=%d hits=%d, want 1/1", decodes, hits)
 	}
+	if c := ArtifactCounters(); c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("after two identical loads: counters=%+v, want 1 hit / 1 miss", c)
+	}
 
 	// Different content at the same path is a cache miss that decodes fresh.
 	tr2 := rts.Run(rts.Config{Program: "memo-b", Cores: 2}, func(c rts.Ctx) { c.Compute(500) })
@@ -192,6 +195,9 @@ func TestArtifactDecodeMemo(t *testing.T) {
 	if decodes, _ := ArtifactStats(); decodes != 2 {
 		t.Errorf("after rewrite: decodes=%d, want 2", decodes)
 	}
+	if c := ArtifactCounters(); c.Hits != 1 || c.Misses != 2 {
+		t.Errorf("after rewrite: counters=%+v, want 1 hit / 2 misses", c)
+	}
 
 	// A mutated payload byte is also a miss — and the fresh decode fails
 	// the CRC check rather than serving anything.
@@ -209,6 +215,9 @@ func TestArtifactDecodeMemo(t *testing.T) {
 	}
 	if decodes, _ := ArtifactStats(); decodes != 3 {
 		t.Errorf("after corruption: decodes=%d, want 3", decodes)
+	}
+	if c := ArtifactCounters(); c.Hits != 1 || c.Misses != 3 {
+		t.Errorf("after corruption: counters=%+v, want 1 hit / 3 misses", c)
 	}
 
 	// A missing artifact is not an error: the engine falls back to live

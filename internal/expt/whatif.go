@@ -41,10 +41,14 @@ func WhatIfTable(w io.Writer) (*WhatIfResult, error) {
 	opt := whatif.RankOptions{TopN: 8}
 	pool := currentPool()
 
+	sp := SelfProfiler().Begin("whatif:rank:sort")
 	sortEng := whatif.New(res.Sort.Graph, res.Sort.Report)
 	res.SortRanked = sortEng.Rank(res.Sort.Assessment, pool, opt)
+	sp.End()
+	sp = SelfProfiler().Begin("whatif:rank:fib")
 	fibEng := whatif.New(res.Fib.Graph, res.Fib.Report)
 	res.FibRanked = fibEng.Rank(res.Fib.Assessment, pool, opt)
+	sp.End()
 
 	if w != nil {
 		title := fmt.Sprintf("What-if: sort, tuned cutoffs (%d grains, %d cores)",

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"graingraph/internal/metrics"
+	"graingraph/internal/obs"
 	"graingraph/internal/profile"
 	"graingraph/internal/runpool"
 )
@@ -126,6 +127,14 @@ func Evaluate(rep *metrics.Report, th Thresholds) *Assessment {
 // every worker count) and only the ID index is built serially. A nil pool
 // is the strict serial schedule.
 func EvaluateWith(rep *metrics.Report, th Thresholds, pool *runpool.Runner) *Assessment {
+	return EvaluateObs(rep, th, pool, nil)
+}
+
+// EvaluateObs is EvaluateWith reporting its threshold scan as a phase span
+// under parent (internal/obs). A nil parent is exactly EvaluateWith.
+func EvaluateObs(rep *metrics.Report, th Thresholds, pool *runpool.Runner, parent *obs.Span) *Assessment {
+	sp := parent.Child("highlight")
+	defer sp.End()
 	a := &Assessment{
 		Thresholds: th,
 		Report:     rep,

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"graingraph/internal/core"
+	"graingraph/internal/obs"
 	"graingraph/internal/profile"
 	"graingraph/internal/runpool"
 )
@@ -81,6 +82,11 @@ type Options struct {
 	// DP data-parallel across its workers. Output is byte-identical at
 	// every worker count — nil is simply the serial schedule.
 	Pool *runpool.Runner
+	// Span, when non-nil, is the parent phase span each metric kernel
+	// reports under (internal/obs): one child span per kernel, in the
+	// fixed serial order the kernels run. Nil disables phase observation
+	// at zero cost.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -125,7 +131,9 @@ func (r *Report) Get(id profile.GrainID) *GrainMetrics { return r.byID[id] }
 func Analyze(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, opts Options) *Report {
 	opts = opts.withDefaults()
 	if g == nil {
+		sp := opts.Span.Child("build")
 		g = core.Build(tr)
+		sp.End()
 	}
 	grains := tr.Grains()
 	rep := &Report{
@@ -138,6 +146,7 @@ func Analyze(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, opts Opt
 	// utilization): every row is independent, so the rows fill their
 	// pre-sized slots across the pool; the ID index is built serially after
 	// (map writes don't shard).
+	sp := opts.Span.Child("metric:rows")
 	rep.Grains = make([]*GrainMetrics, len(grains))
 	runpool.ParallelFor(opts.Pool, len(grains), metricGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -152,10 +161,12 @@ func Analyze(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, opts Opt
 	for _, gm := range rep.Grains {
 		rep.byID[gm.Grain.ID] = gm
 	}
+	sp.End()
 
 	// Work deviation against the single-core baseline: the baseline index
 	// is built once, then read-only while the division shards.
 	if baseline != nil {
+		sp := opts.Span.Child("metric:workdev")
 		bgrains := baseline.Grains()
 		base := make(map[profile.GrainID]profile.Time, len(bgrains))
 		for _, bg := range bgrains {
@@ -169,26 +180,42 @@ func Analyze(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, opts Opt
 				}
 			}
 		})
+		sp.End()
 	}
 
-	// Critical path on the grain graph: level-synchronous parallel DP.
+	// Critical path on the grain graph: level-synchronous parallel DP over
+	// the topological-level index. The index (and the CSRs it needs) builds
+	// lazily on first touch; forcing it under its own span separates index
+	// construction cost from the relaxation itself.
+	sp = opts.Span.Child("metric:critical")
+	lv := sp.Child("levels")
+	g.NumLevels()
+	g.In(0)
+	lv.End()
 	rep.CriticalPathLength, rep.CriticalNodes = CriticalPathPool(g, opts.Pool)
+	sp.End()
 
 	// Instantaneous parallelism.
+	sp = opts.Span.Child("metric:parallelism")
 	interval := opts.Interval
 	if interval == 0 {
 		interval = MedianGrainLength(grains)
 	}
 	rep.IntervalSize, rep.Timeline = instParallelism(tr, grains, rep.byID, interval, opts)
+	sp.End()
 
 	// Scatter per sibling set.
+	sp = opts.Span.Child("metric:scatter")
 	scatter(grains, rep.byID, tr, opts)
+	sp.End()
 
 	// Load balance.
+	sp = opts.Span.Child("metric:loadbalance")
 	for _, l := range tr.Loops {
 		rep.LoopLoadBalance[l.ID] = LoopLoadBalance(tr, l.ID)
 	}
 	rep.TaskLoadBalance = TaskLoadBalance(tr)
+	sp.End()
 
 	return rep
 }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteTable renders a profile as an aligned phase table: one row per span,
+// indented by nesting depth, with wall time, the share of its root tree's
+// wall, and allocation deltas; then the run-pool section when telemetry was
+// attached. The final line reports attribution coverage — how much of the
+// root spans' wall time their immediate children account for — which is
+// the number the "no more guessing at the 100-second tail" goal cares
+// about. Structure (row order, names) is deterministic for a canonical
+// snapshot; only the measured values vary run to run.
+func WriteTable(w io.Writer, p *Profile) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "phase\t\twall\t%\tallocs\tbytes\t")
+
+	// Root wall per tree, for the % column and the coverage line. A root
+	// with children is attributed by what its immediate children cover; a
+	// childless root is itself a leaf phase and counts as fully
+	// attributed (e.g. a standalone simulate: tree).
+	rootWall := make([]time.Duration, len(p.Spans))
+	hasChild := make([]bool, len(p.Spans))
+	for _, s := range p.Spans {
+		if s.Parent >= 0 {
+			hasChild[s.Parent] = true
+		}
+	}
+	var rootsTotal, childTotal time.Duration
+	for _, s := range p.Spans {
+		if s.Parent < 0 {
+			rootWall[s.ID] = s.Dur
+			rootsTotal += s.Dur
+			if !hasChild[s.ID] {
+				childTotal += s.Dur
+			}
+		} else {
+			rootWall[s.ID] = rootWall[s.Parent]
+			if s.Depth == 1 {
+				childTotal += s.Dur
+			}
+		}
+	}
+	hasNest := false
+	for _, s := range p.Spans {
+		if s.Depth == 1 {
+			hasNest = true
+		}
+		share := 0.0
+		if rootWall[s.ID] > 0 {
+			share = 100 * float64(s.Dur) / float64(rootWall[s.ID])
+		}
+		fmt.Fprintf(tw, "%s%s\t\t%s\t%.1f%%\t%d\t%s\t\n",
+			strings.Repeat("  ", s.Depth), s.Name,
+			fmtDur(s.Dur), share, s.Allocs, fmtBytes(s.Bytes))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if hasNest && rootsTotal > 0 {
+		fmt.Fprintf(w, "phases attribute %.1f%% of %s root wall time\n",
+			100*float64(childTotal)/float64(rootsTotal), fmtDur(rootsTotal))
+	}
+	if p.Pool != nil {
+		writePool(w, p.Pool)
+	}
+	return nil
+}
+
+// writePool renders the run-pool telemetry section.
+func writePool(w io.Writer, s *PoolSnapshot) {
+	fmt.Fprintf(w, "\nrunpool: %d active worker(s), %d chunks, busy %s, idle %s",
+		len(s.Workers), s.Chunks, fmtDur(s.Busy), fmtDur(s.Idle))
+	if s.Fanouts > 0 {
+		fmt.Fprintf(w, ", queue wait %s over %d fan-outs", fmtDur(s.QueueWait), s.Fanouts)
+	}
+	fmt.Fprintln(w)
+	for _, ws := range s.Workers {
+		fmt.Fprintf(w, "  worker %d: busy %s / span %s, %d chunks\n",
+			ws.Worker, fmtDur(ws.Busy), fmtDur(ws.Span), ws.Chunks)
+	}
+	if len(s.Latency) > 0 {
+		fmt.Fprintf(w, "  chunk latency: %s\n", histLine(s.Latency))
+	}
+	for _, m := range s.Memos {
+		total := m.Hits + m.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(m.Hits) / float64(total)
+		}
+		fmt.Fprintf(w, "  memo %s: %d hits / %d misses (%.1f%% hit rate)\n",
+			m.Name, m.Hits, m.Misses, rate)
+	}
+}
+
+// histLine compacts the latency histogram into one line of
+// "[lo,hi):count" cells.
+func histLine(bs []HistBucket) string {
+	var b strings.Builder
+	for i, h := range bs {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "[%s,%s):%d", fmtDur(h.Lo), fmtDur(h.Hi), h.Count)
+	}
+	return b.String()
+}
+
+// fmtDur renders durations with stable precision: milliseconds with one
+// decimal above 1ms, microseconds below, nanoseconds under 1µs.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%dµs", d/time.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", d)
+	}
+}
+
+// fmtBytes renders byte counts in binary units.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

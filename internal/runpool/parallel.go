@@ -17,6 +17,9 @@ package runpool
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"graingraph/internal/obs"
 )
 
 // Chunks returns how many fixed-size chunks ParallelFor splits n items into
@@ -58,28 +61,78 @@ func forChunks(r *Runner, chunks int, body func(chunk int)) {
 	if workers > chunks {
 		workers = chunks
 	}
+	tel := telemetry(r)
 	if workers <= 1 {
-		for c := 0; c < chunks; c++ {
-			body(c)
+		if tel == nil {
+			for c := 0; c < chunks; c++ {
+				body(c)
+			}
+			return
 		}
+		serialChunks(tel, chunks, body)
 		return
+	}
+	issued := time.Time{}
+	if tel != nil {
+		issued = time.Now()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				c := int(next.Add(1) - 1)
-				if c >= chunks {
-					return
-				}
-				body(c)
-			}
-		}()
+			workerChunks(tel, w, issued, &next, chunks, body)
+		}(w)
 	}
 	wg.Wait()
+}
+
+// serialChunks is the instrumented serial fallback: every chunk runs on the
+// calling goroutine, attributed to worker slot 0.
+func serialChunks(tel *obs.PoolTelemetry, chunks int, body func(chunk int)) {
+	start := time.Now()
+	for c := 0; c < chunks; c++ {
+		t0 := time.Now()
+		if c == 0 {
+			tel.RecordQueueWait(t0.Sub(start))
+		}
+		body(c)
+		tel.RecordChunk(0, time.Since(t0))
+	}
+	tel.RecordWorkerSpan(0, time.Since(start))
+}
+
+// workerChunks is one worker goroutine's claim loop, optionally timed.
+// With tel == nil it is the bare claim loop the uninstrumented pool always
+// ran; otherwise it records this worker's participation span, per-chunk
+// latencies and the delay until its first claim.
+func workerChunks(tel *obs.PoolTelemetry, w int, issued time.Time, next *atomic.Int64, chunks int, body func(chunk int)) {
+	if tel == nil {
+		for {
+			c := int(next.Add(1) - 1)
+			if c >= chunks {
+				return
+			}
+			body(c)
+		}
+	}
+	wstart := time.Now()
+	first := true
+	for {
+		c := int(next.Add(1) - 1)
+		if c >= chunks {
+			break
+		}
+		t0 := time.Now()
+		if first {
+			tel.RecordQueueWait(t0.Sub(issued))
+			first = false
+		}
+		body(c)
+		tel.RecordChunk(w, time.Since(t0))
+	}
+	tel.RecordWorkerSpan(w, time.Since(wstart))
 }
 
 // ParallelFor runs body over [0, n) in fixed chunks of size grain across
@@ -118,30 +171,38 @@ func ParallelForScratch[S any](r *Runner, n, grain int, newScratch func() S, bod
 	if workers > chunks {
 		workers = chunks
 	}
+	tel := telemetry(r)
 	if workers <= 1 {
 		scratch := newScratch()
-		for c := 0; c < chunks; c++ {
+		if tel == nil {
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(c, n, grain)
+				body(c, lo, hi, scratch)
+			}
+			return
+		}
+		serialChunks(tel, chunks, func(c int) {
 			lo, hi := chunkBounds(c, n, grain)
 			body(c, lo, hi, scratch)
-		}
+		})
 		return
+	}
+	issued := time.Time{}
+	if tel != nil {
+		issued = time.Now()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			scratch := newScratch()
-			for {
-				c := int(next.Add(1) - 1)
-				if c >= chunks {
-					return
-				}
+			workerChunks(tel, w, issued, &next, chunks, func(c int) {
 				lo, hi := chunkBounds(c, n, grain)
 				body(c, lo, hi, scratch)
-			}
-		}()
+			})
+		}(w)
 	}
 	wg.Wait()
 }

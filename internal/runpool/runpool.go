@@ -20,12 +20,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"graingraph/internal/obs"
 )
 
 // Runner is a bounded worker pool. The zero value is not usable; construct
 // with New. A Runner holds no per-job state and may be shared freely.
 type Runner struct {
 	workers int
+	// tel, when attached, receives per-worker busy/participation times,
+	// chunk counts and latencies for every fan-out through this runner.
+	// Nil costs one pointer test per fan-out and per chunk.
+	tel *obs.PoolTelemetry
 }
 
 // New returns a Runner executing at most workers jobs concurrently.
@@ -40,6 +47,32 @@ func New(workers int) *Runner {
 // Workers returns the concurrency bound.
 func (r *Runner) Workers() int { return r.workers }
 
+// SetTelemetry attaches (or, with nil, detaches) pool telemetry. Attach
+// before submitting work: the field is read without synchronization by
+// running fan-outs. A nil runner ignores the call.
+func (r *Runner) SetTelemetry(t *obs.PoolTelemetry) {
+	if r != nil {
+		r.tel = t
+	}
+}
+
+// Telemetry returns the attached telemetry, or nil.
+func (r *Runner) Telemetry() *obs.PoolTelemetry {
+	if r == nil {
+		return nil
+	}
+	return r.tel
+}
+
+// telemetry returns r's telemetry for use inside fan-outs (nil when
+// detached or when r itself is nil).
+func telemetry(r *Runner) *obs.PoolTelemetry {
+	if r == nil {
+		return nil
+	}
+	return r.tel
+}
+
 // Map runs fn(0..n-1) across the pool and returns the results in index
 // order. With one worker, jobs run strictly sequentially in index order on
 // the calling goroutine — the serial fallback is exactly the legacy
@@ -50,29 +83,66 @@ func (r *Runner) Workers() int { return r.workers }
 func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
+	tel := telemetry(r)
 	if r == nil || r.workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			out[i], errs[i] = fn(i)
+		if tel == nil || n == 0 {
+			for i := 0; i < n; i++ {
+				out[i], errs[i] = fn(i)
+			}
+		} else {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				if i == 0 {
+					tel.RecordQueueWait(t0.Sub(start))
+				}
+				out[i], errs[i] = fn(i)
+				tel.RecordChunk(0, time.Since(t0))
+			}
+			tel.RecordWorkerSpan(0, time.Since(start))
 		}
 	} else {
 		workers := r.workers
 		if workers > n {
 			workers = n
 		}
+		issued := time.Time{}
+		if tel != nil {
+			issued = time.Now()
+		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				var wstart time.Time
+				if tel != nil {
+					wstart = time.Now()
+				}
+				first := true
 				for {
 					i := int(next.Add(1) - 1)
 					if i >= n {
-						return
+						break
+					}
+					var t0 time.Time
+					if tel != nil {
+						t0 = time.Now()
+						if first {
+							tel.RecordQueueWait(t0.Sub(issued))
+							first = false
+						}
 					}
 					out[i], errs[i] = fn(i)
+					if tel != nil {
+						tel.RecordChunk(w, time.Since(t0))
+					}
 				}
-			}()
+				if tel != nil {
+					tel.RecordWorkerSpan(w, time.Since(wstart))
+				}
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -183,6 +253,21 @@ func (c *Cache[V]) Len() int {
 // from the cache since construction or the last Reset.
 func (c *Cache[V]) Stats() (runs, hits uint64) {
 	return c.runs.Load(), c.hits.Load()
+}
+
+// CacheStats is a cache's lookup outcome counters: Hits counts Do calls
+// served from the cache (including waits on another goroutine's in-flight
+// computation), Misses counts Do calls that had to run the computation.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Counters returns the hit/miss counters in the shape the observability
+// registry (internal/obs) reports: every Do call is exactly one hit or one
+// miss, so Hits+Misses is the total lookup count.
+func (c *Cache[V]) Counters() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.runs.Load()}
 }
 
 // Reset drops all cached entries and zeroes the counters. Entries still
