@@ -7,7 +7,10 @@
 //	grainbench -fig 1        # only Figure 1
 //	grainbench -fig sort     # only the Sort problem table (§4.3.1)
 //	grainbench -fig whatif   # what-if opportunity tables (what would a
-//	                         # perfect cutoff / optimized grain buy?)
+//	                         # perfect cutoff / optimized grain buy?).
+//	                         # Hypotheses evaluate incrementally (sparse
+//	                         # delta DP, DESIGN.md §11); -phases/-benchjson
+//	                         # break the cost out as whatif:eval spans
 //	grainbench -whatif       # full run plus the what-if tables
 //	grainbench -cores 16     # override the core count for Figure 1
 //	grainbench -j 8          # at most 8 simulations in flight (-j 1: serial)

@@ -24,18 +24,23 @@
 //	grainview -phases run.ggp             # where did the analyzer's time go?
 //	grainview -selfprofile self.json run.ggp
 //	                                      # Perfetto trace of the analysis itself
+//	grainview -window root=R,depth=2,top=6 -format dot -o run.dot run.ggp
+//	                                      # level-of-detail window over a huge run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"graingraph/internal/core"
 	"graingraph/internal/export"
 	"graingraph/internal/expt"
 	"graingraph/internal/ggp"
+	"graingraph/internal/lod"
 	"graingraph/internal/machine"
 	"graingraph/internal/obs"
 	"graingraph/internal/profile"
@@ -44,6 +49,12 @@ import (
 	"graingraph/internal/whatif"
 	"graingraph/internal/workloads"
 )
+
+// hugeExportNodes is the full-export refusal threshold: past it a DOT/JSON/
+// GraphML emission of every node is hundreds of MB no viewer opens, so
+// grainview demands an explicit -window (the useful view) or -full-export
+// (the old behavior) instead of silently writing one.
+const hugeExportNodes = 500_000
 
 func main() {
 	var (
@@ -68,6 +79,8 @@ func main() {
 		phases   = flag.Bool("phases", false, "print the analyzer's own phase table (where grainview spent its time) after the run")
 		selfProf = flag.String("selfprofile", "", "write a Chrome-trace profile of the analysis run itself to this file (open at ui.perfetto.dev)")
 		recOut   = flag.String("record", "", "write the run's trace as a grain-profile artifact (.ggp) to this file for later replay")
+		window   = flag.String("window", "", "level-of-detail export window, e.g. \"root=R.3,depth=2,top=8\": expand the root task's subtree depth levels with the top heaviest children per task, collapse the rest into super-nodes (critical path stays exact); keys are optional and order-free")
+		fullExp  = flag.Bool("full-export", false, "export every node even on huge graphs (default: graphs over 500k nodes require -window or -full-export)")
 	)
 	flag.Parse()
 
@@ -209,9 +222,14 @@ func main() {
 	var projections []whatif.Projection
 	if *whatIf != "" {
 		wsp := rootSp.Child("whatif")
+		nsp := wsp.Child("whatif:new")
 		eng := whatif.New(res.Graph, res.Report)
+		nsp.End()
+		eng.Obs = wsp
 		if *whatIf == "rank" {
-			projections = eng.Rank(res.Assessment, expt.Pool(), whatif.RankOptions{TopN: 10})
+			var err error
+			projections, err = eng.Rank(res.Assessment, expt.Pool(), whatif.RankOptions{TopN: 10})
+			die(err)
 		} else {
 			hs, err := whatif.ParseSpecs(*whatIf)
 			die(err)
@@ -240,8 +258,25 @@ func main() {
 		return
 	}
 
-	lsp := rootSp.Child("layout")
 	g := res.Graph
+	if *window != "" {
+		wopt, err := parseWindow(*window)
+		die(err)
+		isp := rootSp.Child("lod:index")
+		ix := lod.Build(res.Graph, res.Assessment)
+		isp.End()
+		qsp := rootSp.Child("lod:window")
+		wg, wstats, err := ix.Window(wopt)
+		qsp.End()
+		die(err)
+		g = wg
+		fmt.Fprintf(os.Stderr, "grainview: window %s: %d tasks expanded, %d super-nodes — %d nodes, %d edges (of %d source nodes)\n",
+			*window, wstats.Expanded, wstats.SuperNodes, wstats.Nodes, wstats.Edges, wstats.SourceSize)
+	} else if !*fullExp && g.NumNodes() > hugeExportNodes {
+		die(fmt.Errorf("graph has %d nodes — a full export would be unusable and enormous; pass -window (e.g. -window depth=2,top=8) for a level-of-detail view, or -full-export to force the old behavior", g.NumNodes()))
+	}
+
+	lsp := rootSp.Child("layout")
 	if *reduce {
 		g = core.ReduceAll(g)
 	}
@@ -349,6 +384,41 @@ func printSummary(res *expt.Result) {
 	tw.Flush()
 	fmt.Println("\nthread timeline (what conventional tools show):")
 	die(timeline.FromTrace(res.Trace).Render(os.Stdout))
+}
+
+// parseWindow parses the -window flag's "root=R.3,depth=2,top=8" syntax
+// into lod.WindowOptions; every key is optional (lod supplies defaults).
+func parseWindow(s string) (lod.WindowOptions, error) {
+	var o lod.WindowOptions
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return o, fmt.Errorf("window: %q is not key=value (want root=..,depth=..,top=..)", part)
+		}
+		switch k {
+		case "root":
+			o.Root = profile.GrainID(v)
+		case "depth":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return o, fmt.Errorf("window depth %q: not a number", v)
+			}
+			o.Depth = n
+		case "top":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return o, fmt.Errorf("window top %q: not a number", v)
+			}
+			o.Top = n
+		default:
+			return o, fmt.Errorf("unknown window key %q (want root, depth, top)", k)
+		}
+	}
+	return o, nil
 }
 
 func die(err error) {

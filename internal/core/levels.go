@@ -56,6 +56,7 @@ func (s *GraphStore) buildLevels() {
 	if visited != n {
 		panic("core: level index requested on cyclic graph")
 	}
+	s.nodeLevel = level
 
 	// Counting sort by level: stable over ascending NodeID, so each level's
 	// node list comes out sorted by ID.
@@ -97,4 +98,15 @@ func (s *GraphStore) LevelNodes(l int) []int32 {
 		s.buildLevels()
 	}
 	return s.levelNodes[s.levelOff[l]:s.levelOff[l+1]]
+}
+
+// Level returns node n's topological level (its longest-path depth), with
+// the same lazy-build and concurrency contract as NumLevels: force the index
+// before concurrent reads. The delta-aware critical-path DP uses it to order
+// its dirty frontier without re-walking untouched levels.
+func (s *GraphStore) Level(n NodeID) int {
+	if s.levelOff == nil {
+		s.buildLevels()
+	}
+	return int(s.nodeLevel[n])
 }

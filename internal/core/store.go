@@ -50,9 +50,11 @@ type GraphStore struct {
 	inOff, inIdx   []int32
 
 	// Topological level index: level l's nodes (ascending NodeID) are
-	// levelNodes[levelOff[l]:levelOff[l+1]]. Built lazily by NumLevels /
-	// LevelNodes (see levels.go); nil when stale.
+	// levelNodes[levelOff[l]:levelOff[l+1]], and nodeLevel[n] is node n's
+	// own level. Built lazily by NumLevels / LevelNodes / Level (see
+	// levels.go); nil when stale.
 	levelOff, levelNodes []int32
+	nodeLevel            []int32
 }
 
 // NumNodes returns the node count.
@@ -243,6 +245,7 @@ func (s *GraphStore) invalidateCSR() {
 	s.outOff, s.outIdx = nil, nil
 	s.inOff, s.inIdx = nil, nil
 	s.levelOff, s.levelNodes = nil, nil
+	s.nodeLevel = nil
 }
 
 // buildCSR (re)builds both adjacency indexes as flat offset/index arrays:

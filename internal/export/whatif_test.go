@@ -15,7 +15,11 @@ func testProjections(t *testing.T) []whatif.Projection {
 	g, a := testGraph(t)
 	rep := metrics.Analyze(g.Trace, g, nil, metrics.Options{})
 	e := whatif.New(g, rep)
-	return e.Rank(a, nil, whatif.RankOptions{TopN: 3})
+	ps, err := e.Rank(a, nil, whatif.RankOptions{TopN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
 }
 
 func TestJSONWithWhatIfSection(t *testing.T) {

@@ -43,12 +43,20 @@ func WhatIfTable(w io.Writer) (*WhatIfResult, error) {
 
 	sp := SelfProfiler().Begin("whatif:rank:sort")
 	sortEng := whatif.New(res.Sort.Graph, res.Sort.Report)
-	res.SortRanked = sortEng.Rank(res.Sort.Assessment, pool, opt)
+	sortEng.Obs = sp
+	res.SortRanked, err = sortEng.Rank(res.Sort.Assessment, pool, opt)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	sp = SelfProfiler().Begin("whatif:rank:fib")
 	fibEng := whatif.New(res.Fib.Graph, res.Fib.Report)
-	res.FibRanked = fibEng.Rank(res.Fib.Assessment, pool, opt)
+	fibEng.Obs = sp
+	res.FibRanked, err = fibEng.Rank(res.Fib.Assessment, pool, opt)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	if w != nil {
 		title := fmt.Sprintf("What-if: sort, tuned cutoffs (%d grains, %d cores)",

@@ -296,28 +296,55 @@ func (a *Assessment) Summarize() Summary {
 // TopOffenders returns the worst n grains for problem p, ranked by
 // severity then execution time — the paper's "sorting task definitions by
 // creation count and work inflation" workflow uses rankings like this.
+//
+// One bounded-selection pass with severities computed once per affected
+// grain: a problem like low-parallel-benefit can flag every grain of a
+// million-grain report, and sorting them all (recomputing severity inside
+// the comparator) to keep the top handful used to dominate what-if
+// candidate generation.
 func (a *Assessment) TopOffenders(p Problem, n int) []*GrainAssessment {
-	var out []*GrainAssessment
+	if n <= 0 {
+		return nil
+	}
+	var (
+		top []*GrainAssessment
+		sev []float64
+	)
 	for _, g := range a.Grains {
-		if g.Has(p) {
-			out = append(out, g)
+		if !g.Has(p) {
+			continue
 		}
+		s, _ := a.Severity(g, p)
+		if len(top) == n && !offenderAbove(g, s, top[n-1], sev[n-1]) {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && offenderAbove(g, s, top[pos-1], sev[pos-1]) {
+			pos--
+		}
+		if len(top) < n {
+			top = append(top, nil)
+			sev = append(sev, 0)
+		}
+		copy(top[pos+1:], top[pos:])
+		copy(sev[pos+1:], sev[pos:])
+		top[pos] = g
+		sev[pos] = s
 	}
-	sort.Slice(out, func(i, j int) bool {
-		si, _ := a.Severity(out[i], p)
-		sj, _ := a.Severity(out[j], p)
-		if si != sj {
-			return si > sj
-		}
-		if out[i].Metrics.Grain.Exec != out[j].Metrics.Grain.Exec {
-			return out[i].Metrics.Grain.Exec > out[j].Metrics.Grain.Exec
-		}
-		return out[i].Metrics.Grain.ID < out[j].Metrics.Grain.ID
-	})
-	if len(out) > n {
-		out = out[:n]
+	return top
+}
+
+// offenderAbove reports whether offender g (severity sg) outranks h: higher
+// severity, then longer execution, then lower grain ID — a total order, so
+// the selection above returns exactly what the full sort did.
+func offenderAbove(g *GrainAssessment, sg float64, h *GrainAssessment, sh float64) bool {
+	if sg != sh {
+		return sg > sh
 	}
-	return out
+	if g.Metrics.Grain.Exec != h.Metrics.Grain.Exec {
+		return g.Metrics.Grain.Exec > h.Metrics.Grain.Exec
+	}
+	return g.Metrics.Grain.ID < h.Metrics.Grain.ID
 }
 
 // ByDefinition aggregates problem prevalence per source definition — the

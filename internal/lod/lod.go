@@ -1,0 +1,593 @@
+// Package lod builds a level-of-detail summary index over a grain graph and
+// answers windowed queries against it. The paper's workflow is navigation —
+// zoom into a subtree, collapse what you are not looking at, follow the
+// critical path — yet a million-grain run renders as a 3.6M-node DOT file
+// no tool can open. The index aggregates every task's spawn subtree
+// (work, node/task counts, highlight-problem counts, time extents,
+// critical-path membership) in one pass; Window then materializes a small
+// core.Graph for a chosen root, depth and fan-out budget, collapsing
+// everything else into super-nodes while keeping the critical-path spine
+// exact: a subtree containing critical nodes is always expanded down to the
+// critical grains themselves, whatever the depth and top limits say.
+//
+// The windowed graph is a fresh *core.Graph sharing the original Trace, so
+// the existing DOT/JSON exporters and the layout pass consume it unchanged.
+// Queries do no string parsing and no full-graph scans — cost is
+// proportional to the nodes and edges actually shown — so any window over a
+// multi-million-node graph answers in milliseconds after the one-time
+// index build.
+package lod
+
+import (
+	"fmt"
+	"strings"
+
+	"graingraph/internal/core"
+	"graingraph/internal/highlight"
+	"graingraph/internal/profile"
+)
+
+// Index is the hierarchical summary: one record per task grain (slot),
+// parent-linked as a spawn tree, with subtree aggregates rolled up from the
+// leaves. Building is a handful of linear passes; the index is immutable
+// afterwards and safe for concurrent Window calls.
+type Index struct {
+	g *core.Graph
+
+	slots map[profile.GrainID]int32
+	ids   []profile.GrainID
+	depth []int32
+	par   []int32
+
+	// children CSR, each parent's children sorted by descending subtree
+	// work (slot index breaks ties) — Window's top-N selection reads a
+	// prefix.
+	childOff []int32
+	childIdx []int32
+
+	// ownerOf maps every node to its owning task slot (chunks through
+	// their loop's book-keeping owner); nodesOf is the inverse CSR.
+	ownerOf  []int32
+	nodeOff  []int32
+	nodeIdx  []int32
+	ownWork  []int64
+	critSelf []bool
+	probSelf []int32
+
+	// Subtree rollups (self included).
+	subWork  []int64
+	subNodes []int32
+	subTasks []int32
+	subProbs []int32
+	critSub  []bool
+	startMin []profile.Time
+	endMax   []profile.Time
+}
+
+// Build constructs the summary index. a may be nil (no problem counts).
+func Build(g *core.Graph, a *highlight.Assessment) *Index {
+	ix := &Index{g: g, slots: make(map[profile.GrainID]int32)}
+	numNodes := core.NodeID(g.NumNodes())
+
+	// Loop owners first: chunk nodes attribute to the task that ran the
+	// loop, recorded on its book-keeping nodes.
+	loopOwner := make(map[profile.LoopID]profile.GrainID)
+	for n := core.NodeID(0); n < numNodes; n++ {
+		if g.Kind(n) == core.NodeBookkeep {
+			loopOwner[g.Loop(n)] = g.Grain(n)
+		}
+	}
+
+	intern := func(id profile.GrainID) int32 {
+		if si, ok := ix.slots[id]; ok {
+			return si
+		}
+		si := int32(len(ix.ids))
+		ix.slots[id] = si
+		ix.ids = append(ix.ids, id)
+		ix.depth = append(ix.depth, taskDepth(id))
+		ix.ownWork = append(ix.ownWork, 0)
+		ix.critSelf = append(ix.critSelf, false)
+		ix.probSelf = append(ix.probSelf, 0)
+		ix.startMin = append(ix.startMin, 0)
+		ix.endMax = append(ix.endMax, 0)
+		return si
+	}
+
+	ix.ownerOf = make([]int32, numNodes)
+	var lastOwner profile.GrainID
+	lastSlot := int32(-1)
+	for n := core.NodeID(0); n < numNodes; n++ {
+		owner := g.Grain(n)
+		if g.Kind(n) == core.NodeChunk {
+			owner = loopOwner[g.Loop(n)]
+		}
+		if lastSlot < 0 || owner != lastOwner {
+			lastOwner, lastSlot = owner, intern(owner)
+		}
+		si := lastSlot
+		ix.ownerOf[n] = si
+		ix.ownWork[si] += int64(g.Weight(n))
+		if g.Critical(n) {
+			ix.critSelf[si] = true
+		}
+		if s := g.Start(n); ix.startMin[si] == 0 || (s != 0 && s < ix.startMin[si]) {
+			ix.startMin[si] = s
+		}
+		if e := g.End(n); e > ix.endMax[si] {
+			ix.endMax[si] = e
+		}
+	}
+
+	// Problem counts: flagged task grains count against their own slot,
+	// flagged chunk grains against the owning task's slot (their recorded
+	// parent is the loop pseudo-grain, resolved through the loop's owner).
+	if a != nil {
+		loopParentOwner := make(map[profile.GrainID]profile.GrainID, len(loopOwner))
+		for lid, owner := range loopOwner {
+			loopParentOwner[profile.LoopParentID(lid)] = owner
+		}
+		for _, ga := range a.Grains {
+			if ga.Mask == 0 {
+				continue
+			}
+			id := ga.Metrics.Grain.ID
+			si, ok := ix.slots[id]
+			if !ok {
+				if owner, isLoop := loopParentOwner[ga.Metrics.Grain.Parent]; isLoop {
+					si, ok = ix.slots[owner]
+				}
+			}
+			if ok {
+				ix.probSelf[si]++
+			}
+		}
+	}
+
+	// Parent closure: interning an ancestor appends a slot, and the loop
+	// bound re-reads len(ids), so ancestors that own no nodes are walked
+	// too.
+	for si := int32(0); si < int32(len(ix.ids)); si++ {
+		p := int32(-1)
+		if d := ix.depth[si]; d > 0 {
+			p = intern(ancestorAt(ix.ids[si], int(d)-1))
+		}
+		ix.par = append(ix.par, p)
+	}
+	numSlots := len(ix.ids)
+
+	// Owned-node CSR via counting sort.
+	ix.nodeOff = make([]int32, numSlots+1)
+	for _, si := range ix.ownerOf {
+		ix.nodeOff[si+1]++
+	}
+	for i := 0; i < numSlots; i++ {
+		ix.nodeOff[i+1] += ix.nodeOff[i]
+	}
+	ix.nodeIdx = make([]int32, numNodes)
+	fill := make([]int32, numSlots)
+	for n := core.NodeID(0); n < numNodes; n++ {
+		si := ix.ownerOf[n]
+		ix.nodeIdx[ix.nodeOff[si]+fill[si]] = int32(n)
+		fill[si]++
+	}
+
+	// Rollups, deepest depth first so children settle before parents.
+	ix.subWork = make([]int64, numSlots)
+	ix.subNodes = make([]int32, numSlots)
+	ix.subTasks = make([]int32, numSlots)
+	ix.subProbs = make([]int32, numSlots)
+	ix.critSub = make([]bool, numSlots)
+	maxDepth := int32(0)
+	for _, d := range ix.depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	byDepth := make([][]int32, maxDepth+1)
+	for si := 0; si < numSlots; si++ {
+		d := ix.depth[si]
+		if d < 0 {
+			d = 0 // non-task owners roll up nowhere; treat as roots
+		}
+		byDepth[d] = append(byDepth[d], int32(si))
+	}
+	for si := 0; si < numSlots; si++ {
+		ix.subWork[si] = ix.ownWork[si]
+		ix.subNodes[si] = ix.nodeOff[si+1] - ix.nodeOff[si]
+		ix.subTasks[si] = 1
+		ix.subProbs[si] = ix.probSelf[si]
+		ix.critSub[si] = ix.critSelf[si]
+	}
+	for d := maxDepth; d > 0; d-- {
+		for _, si := range byDepth[d] {
+			p := ix.par[si]
+			if p < 0 {
+				continue
+			}
+			ix.subWork[p] += ix.subWork[si]
+			ix.subNodes[p] += ix.subNodes[si]
+			ix.subTasks[p] += ix.subTasks[si]
+			ix.subProbs[p] += ix.subProbs[si]
+			if ix.critSub[si] {
+				ix.critSub[p] = true
+			}
+			if s := ix.startMin[si]; s != 0 && (ix.startMin[p] == 0 || s < ix.startMin[p]) {
+				ix.startMin[p] = s
+			}
+			if e := ix.endMax[si]; e > ix.endMax[p] {
+				ix.endMax[p] = e
+			}
+		}
+	}
+
+	// Children CSR, sorted by (subWork desc, slot asc) per parent with an
+	// insertion pass — fan-outs are small compared to the graph.
+	ix.childOff = make([]int32, numSlots+1)
+	for _, p := range ix.par {
+		if p >= 0 {
+			ix.childOff[p+1]++
+		}
+	}
+	for i := 0; i < numSlots; i++ {
+		ix.childOff[i+1] += ix.childOff[i]
+	}
+	ix.childIdx = make([]int32, 0, numSlots)
+	ix.childIdx = ix.childIdx[:cap(ix.childIdx)]
+	cfill := make([]int32, numSlots)
+	for si := int32(0); si < int32(numSlots); si++ {
+		p := ix.par[si]
+		if p < 0 {
+			continue
+		}
+		ix.childIdx[ix.childOff[p]+cfill[p]] = si
+		cfill[p]++
+	}
+	for p := 0; p < numSlots; p++ {
+		kids := ix.childIdx[ix.childOff[p]:ix.childOff[p+1]]
+		for i := 1; i < len(kids); i++ {
+			k := kids[i]
+			j := i
+			for j > 0 && (ix.subWork[kids[j-1]] < ix.subWork[k] ||
+				(ix.subWork[kids[j-1]] == ix.subWork[k] && kids[j-1] > k)) {
+				kids[j] = kids[j-1]
+				j--
+			}
+			kids[j] = k
+		}
+	}
+	return ix
+}
+
+// NumTasks returns the number of task slots in the index.
+func (ix *Index) NumTasks() int { return len(ix.ids) }
+
+// SubtreeWork returns the aggregated work of id's spawn subtree, and
+// whether the task exists.
+func (ix *Index) SubtreeWork(id profile.GrainID) (profile.Time, bool) {
+	si, ok := ix.slots[id]
+	if !ok {
+		return 0, false
+	}
+	return profile.Time(ix.subWork[si]), true
+}
+
+// taskDepth returns the spawn-tree depth of a task grain ID, or -1 for
+// non-task grains (chunk IDs, unknown owners).
+func taskDepth(id profile.GrainID) int32 {
+	if id == profile.RootID {
+		return 0
+	}
+	s := string(id)
+	if !strings.HasPrefix(s, string(profile.RootID)+".") {
+		return -1
+	}
+	return int32(strings.Count(s, "."))
+}
+
+// ancestorAt truncates a task grain ID to its ancestor at depth d; the
+// result is a substring (no allocation).
+func ancestorAt(id profile.GrainID, d int) profile.GrainID {
+	s := string(id)
+	dots := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			continue
+		}
+		if dots == d {
+			return profile.GrainID(s[:i])
+		}
+		dots++
+	}
+	return id
+}
+
+// WindowOptions selects what a windowed query shows.
+type WindowOptions struct {
+	// Root is the subtree to render (default: the whole-program root "R").
+	Root profile.GrainID
+	// Depth is how many spawn levels below Root stay expanded (default 3).
+	Depth int
+	// Top bounds how many children of each expanded task are shown
+	// individually, heaviest subtree first (default 8); the rest collapse
+	// into one "rest" super-node per parent. Subtrees containing
+	// critical-path nodes are always expanded, beyond both limits.
+	Top int
+}
+
+func (o WindowOptions) withDefaults() (WindowOptions, error) {
+	if o.Root == "" {
+		o.Root = profile.RootID
+	}
+	if o.Depth == 0 {
+		o.Depth = 3
+	}
+	if o.Top == 0 {
+		o.Top = 8
+	}
+	if o.Depth < 0 {
+		return o, fmt.Errorf("lod: negative window depth %d", o.Depth)
+	}
+	if o.Top < 0 {
+		return o, fmt.Errorf("lod: negative window top %d", o.Top)
+	}
+	return o, nil
+}
+
+// WindowStats summarizes what a windowed query kept and collapsed.
+type WindowStats struct {
+	Expanded   int // tasks shown in full
+	SuperNodes int // collapsed subtree / loop-rest / sibling-rest nodes
+	Nodes      int // nodes in the windowed graph
+	Edges      int // edges in the windowed graph
+	SourceSize int // nodes in the underlying full graph
+}
+
+// windowBuild carries the per-query state of one Window materialization.
+type windowBuild struct {
+	ix  *Index
+	opt WindowOptions
+	out *core.Graph
+
+	nodeMap   []int32 // original node -> new node + 1, 0 when not shown
+	included  []core.NodeID // original IDs of copied nodes, in emission order
+	regionRep []int32 // slot -> super-node absorbing its subtree, -1 none
+	loopRest  map[profile.LoopID]int32
+	stats     WindowStats
+}
+
+// Window materializes the level-of-detail view described by opt as a fresh
+// grain graph sharing the original trace. Expanded tasks keep their real
+// nodes; collapsed subtrees, overflowing siblings and oversized loops
+// become aggregate super-nodes. The construction is fully deterministic:
+// child order comes from the index, node and edge emission follow original
+// node order, and no map iteration reaches the output.
+func (ix *Index) Window(opt WindowOptions) (*core.Graph, WindowStats, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, WindowStats{}, err
+	}
+	rootSlot, ok := ix.slots[opt.Root]
+	if !ok {
+		return nil, WindowStats{}, fmt.Errorf("lod: unknown window root %q", opt.Root)
+	}
+
+	b := &windowBuild{
+		ix:        ix,
+		opt:       opt,
+		out:       core.NewGraph(ix.g.Trace),
+		nodeMap:   make([]int32, ix.g.NumNodes()),
+		regionRep: make([]int32, len(ix.ids)),
+		loopRest:  make(map[profile.LoopID]int32),
+	}
+	for i := range b.regionRep {
+		b.regionRep[i] = -1
+	}
+	b.stats.SourceSize = ix.g.NumNodes()
+
+	b.expand(rootSlot, 0)
+	b.emitEdges()
+	b.stats.Nodes = b.out.NumNodes()
+	b.stats.Edges = b.out.NumEdges()
+	return b.out, b.stats, nil
+}
+
+// expand includes task slot si's own nodes, decides which children stay
+// expanded (top-N by subtree work within the depth budget, plus every
+// critical subtree), and collapses the rest into super-nodes.
+func (b *windowBuild) expand(si int32, rel int) {
+	ix := b.ix
+	b.stats.Expanded++
+
+	// Own nodes, grouped so oversized loops collapse: non-chunk nodes copy
+	// straight through; a loop's chunks copy only when the loop is small
+	// enough or critical chunks force them (critical chunks always copy,
+	// the rest collapse into one loop super-node).
+	type loopAgg struct {
+		loop    profile.LoopID
+		rest    int32
+		work    int64
+		started bool
+	}
+	owned := ix.nodeIdx[ix.nodeOff[si]:ix.nodeOff[si+1]]
+	chunkCount := make(map[profile.LoopID]int32)
+	for _, ni := range owned {
+		if ix.g.Kind(core.NodeID(ni)) == core.NodeChunk {
+			chunkCount[ix.g.Loop(core.NodeID(ni))]++
+		}
+	}
+	chunkLimit := int32(b.opt.Top)
+	if chunkLimit < 8 {
+		chunkLimit = 8
+	}
+	var aggs []*loopAgg
+	agg := make(map[profile.LoopID]*loopAgg)
+	for _, ni := range owned {
+		n := core.NodeID(ni)
+		if ix.g.Kind(n) != core.NodeChunk {
+			b.copyNode(n)
+			continue
+		}
+		loop := ix.g.Loop(n)
+		if chunkCount[loop] <= chunkLimit || ix.g.Critical(n) {
+			b.copyNode(n)
+			continue
+		}
+		a := agg[loop]
+		if a == nil {
+			a = &loopAgg{loop: loop}
+			agg[loop] = a
+			aggs = append(aggs, a)
+		}
+		a.work += int64(ix.g.Weight(n))
+		a.rest++
+	}
+	for _, a := range aggs {
+		nid := b.out.AddNode(core.Node{
+			Kind:    core.NodeChunk,
+			Grain:   ix.ids[si],
+			Loop:    a.loop,
+			Label:   fmt.Sprintf("%d chunks · work %d", a.rest, a.work),
+			Weight:  profile.Time(a.work),
+			Members: int(a.rest),
+		})
+		b.loopRest[a.loop] = int32(nid)
+		b.stats.SuperNodes++
+	}
+
+	// Children: expand critical subtrees unconditionally; of the rest, the
+	// heaviest Top within the depth budget. Children are pre-sorted by
+	// descending subtree work.
+	kids := ix.childIdx[ix.childOff[si]:ix.childOff[si+1]]
+	var rest []int32
+	shown := 0
+	for _, c := range kids {
+		switch {
+		case ix.critSub[c]:
+			b.expand(c, rel+1)
+		case rel < b.opt.Depth && shown < b.opt.Top:
+			b.expand(c, rel+1)
+			shown++
+		default:
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) > 0 {
+		var work, probs int64
+		var nodes, tasks int32
+		var start, end profile.Time
+		for _, c := range rest {
+			work += ix.subWork[c]
+			probs += int64(ix.subProbs[c])
+			nodes += ix.subNodes[c]
+			tasks += ix.subTasks[c]
+			if s := ix.startMin[c]; s != 0 && (start == 0 || s < start) {
+				start = s
+			}
+			if e := ix.endMax[c]; e > end {
+				end = e
+			}
+		}
+		label := fmt.Sprintf("%d subtrees of %s · %d tasks · %d nodes · work %d",
+			len(rest), ix.ids[si], tasks, nodes, work)
+		if probs > 0 {
+			label += fmt.Sprintf(" · %d problems", probs)
+		}
+		nid := b.out.AddNode(core.Node{
+			Kind:    core.NodeFragment,
+			Grain:   ix.ids[si],
+			Label:   label,
+			Start:   start,
+			End:     end,
+			Weight:  profile.Time(work),
+			Members: int(nodes),
+		})
+		for _, c := range rest {
+			b.regionRep[c] = int32(nid)
+		}
+		b.stats.SuperNodes++
+	}
+}
+
+// copyNode includes one original node verbatim (modulo layout, recomputed
+// later) and maintains the grain entry/exit maps of the windowed graph.
+func (b *windowBuild) copyNode(n core.NodeID) {
+	row := b.ix.g.NodeAt(n)
+	row.X, row.Y, row.W, row.H = 0, 0, 0, 0
+	nid := b.out.AddNode(row)
+	b.nodeMap[n] = int32(nid) + 1
+	b.included = append(b.included, n)
+	if _, ok := b.out.FirstNode[row.Grain]; !ok {
+		b.out.FirstNode[row.Grain] = nid
+	}
+	b.out.LastNode[row.Grain] = nid
+}
+
+// rep resolves an original node to its windowed representative: itself when
+// shown, its loop's rest super-node for collapsed chunks, else the
+// super-node absorbing the nearest collapsed ancestor subtree; -1 when the
+// node is outside the window entirely.
+func (b *windowBuild) rep(n core.NodeID) int32 {
+	if m := b.nodeMap[n]; m > 0 {
+		return m - 1
+	}
+	if b.ix.g.Kind(n) == core.NodeChunk {
+		if r, ok := b.loopRest[b.ix.g.Loop(n)]; ok {
+			return r
+		}
+	}
+	for si := b.ix.ownerOf[n]; si >= 0; si = b.ix.par[si] {
+		if r := b.regionRep[si]; r >= 0 {
+			return r
+		}
+	}
+	return -1
+}
+
+// emitEdges walks the shown nodes — only those; window cost must not scale
+// with the source graph — and maps each adjacent edge through rep,
+// deduplicating parallel edges between the same windowed endpoints
+// (critical-path membership ORs across the merged set). Edges wholly inside
+// one collapsed region vanish with it. The walk follows expand's emission
+// order, which is deterministic, so edge order is too.
+func (b *windowBuild) emitEdges() {
+	g := b.ix.g
+	type key struct {
+		from, to int32
+		kind     core.EdgeKind
+	}
+	seen := make(map[key]int)
+	add := func(from, to int32, kind core.EdgeKind, critical bool) {
+		if from < 0 || to < 0 || from == to {
+			return
+		}
+		k := key{from, to, kind}
+		if ei, ok := seen[k]; ok {
+			if critical && !b.out.EdgeCritical(ei) {
+				b.out.SetEdgeCritical(ei, true)
+			}
+			return
+		}
+		b.out.AddEdge(core.NodeID(from), core.NodeID(to), kind)
+		ei := b.out.NumEdges() - 1
+		if critical {
+			b.out.SetEdgeCritical(ei, true)
+		}
+		seen[key{from, to, kind}] = ei
+	}
+	for _, n := range b.included {
+		nid := b.nodeMap[n] - 1
+		for _, ei := range g.Out(n) {
+			e := int(ei)
+			add(nid, b.rep(g.EdgeTo(e)), g.EdgeKindAt(e), g.EdgeCritical(e))
+		}
+		for _, ei := range g.In(n) {
+			e := int(ei)
+			from := g.EdgeFrom(e)
+			if b.nodeMap[from] > 0 {
+				continue // emitted by the source's own out-pass
+			}
+			add(b.rep(from), nid, g.EdgeKindAt(e), g.EdgeCritical(e))
+		}
+	}
+}

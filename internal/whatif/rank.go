@@ -1,9 +1,10 @@
 package whatif
 
 import (
+	"fmt"
+	"math"
 	"sort"
 
-	"graingraph/internal/core"
 	"graingraph/internal/highlight"
 	"graingraph/internal/profile"
 	"graingraph/internal/runpool"
@@ -36,6 +37,30 @@ func (o RankOptions) withDefaults() RankOptions {
 	return o
 }
 
+// MaxScaleFactor bounds hypothetical scale factors: beyond it a projection
+// is numeric noise, not a plausible "optimize this region" probe. Specs and
+// RankOptions sharing the bound keeps CLI and API behavior aligned.
+const MaxScaleFactor = 1e6
+
+// Validate rejects option values that would silently produce nonsense
+// projections: negative (or absurdly large, or non-finite) scale factors
+// and negative depth/count limits. Zero values remain "use the default".
+func (o RankOptions) Validate() error {
+	if o.TopN < 0 {
+		return fmt.Errorf("whatif: negative TopN %d", o.TopN)
+	}
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("whatif: negative MaxDepth %d", o.MaxDepth)
+	}
+	if o.PerProblem < 0 {
+		return fmt.Errorf("whatif: negative PerProblem %d", o.PerProblem)
+	}
+	if o.ScaleFactor < 0 || o.ScaleFactor > MaxScaleFactor || math.IsNaN(o.ScaleFactor) {
+		return fmt.Errorf("whatif: scale factor %v out of range [0, %g]", o.ScaleFactor, MaxScaleFactor)
+	}
+	return nil
+}
+
 // Candidates generates the hypothesis set the ranking pass evaluates, in a
 // deterministic order:
 //
@@ -52,14 +77,10 @@ func (e *Engine) Candidates(a *highlight.Assessment, opt RankOptions) []Hypothes
 	opt = opt.withDefaults()
 	hs := []Hypothesis{InfiniteCores{}}
 
-	// Perfect cutoffs: one per depth that still has tasks below it.
-	maxDepth := 0
-	for n := 0; n < e.G.NumNodes(); n++ {
-		if d, ok := taskDepth(e.G.Grain(core.NodeID(n))); ok && d > maxDepth {
-			maxDepth = d
-		}
-	}
-	limit := maxDepth - 1 // collapsing at the deepest level is a no-op
+	// Perfect cutoffs: one per depth that still has tasks below it. The
+	// deepest populated depth was computed once in New — Candidates used to
+	// re-scan every node here on each Rank call.
+	limit := e.maxTaskDepth - 1 // collapsing at the deepest level is a no-op
 	if limit > opt.MaxDepth {
 		limit = opt.MaxDepth
 	}
@@ -68,17 +89,9 @@ func (e *Engine) Candidates(a *highlight.Assessment, opt RankOptions) []Hypothes
 	}
 
 	if a != nil {
-		// Work-inflation removal, when deviations were measured.
-		inflated := false
-		if e.Rep != nil {
-			for _, gm := range e.Rep.Grains {
-				if gm.WorkDeviation > 1 {
-					inflated = true
-					break
-				}
-			}
-		}
-		if inflated {
+		// Work-inflation removal, when deviations were measured (the engine
+		// caches the >1 deviations at construction).
+		if len(e.deviation) > 0 {
 			hs = append(hs, ZeroInflation{All: true})
 			for _, ga := range a.TopOffenders(highlight.WorkInflation, opt.PerProblem) {
 				hs = append(hs, ZeroInflation{Grain: ga.Metrics.Grain.ID})
@@ -104,8 +117,13 @@ func (e *Engine) Candidates(a *highlight.Assessment, opt RankOptions) []Hypothes
 // Rank generates candidates from the highlighted assessment, evaluates them
 // in parallel across the pool, and returns projections ordered by projected
 // makespan reduction (largest first; label breaks ties), truncated to
-// opt.TopN. The result is deterministic at every pool size.
-func (e *Engine) Rank(a *highlight.Assessment, pool *runpool.Runner, opt RankOptions) []Projection {
+// opt.TopN. The result is deterministic at every pool size. Invalid options
+// (negative limits, out-of-range scale factor) return an error instead of
+// silently producing nonsense projections.
+func (e *Engine) Rank(a *highlight.Assessment, pool *runpool.Runner, opt RankOptions) ([]Projection, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	ps := e.EvalAll(pool, e.Candidates(a, opt))
 	sort.Slice(ps, func(i, j int) bool {
@@ -117,5 +135,5 @@ func (e *Engine) Rank(a *highlight.Assessment, pool *runpool.Runner, opt RankOpt
 	if opt.TopN > 0 && len(ps) > opt.TopN {
 		ps = ps[:opt.TopN]
 	}
-	return ps
+	return ps, nil
 }

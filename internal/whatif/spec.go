@@ -49,8 +49,8 @@ func parseSpec(spec string) (Hypothesis, error) {
 			return nil, fmt.Errorf("whatif: %q: want %s:<grain>:<factor>", spec, parts[0])
 		}
 		f, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil || f < 0 {
-			return nil, fmt.Errorf("whatif: %q: bad factor %q", spec, parts[2])
+		if err != nil || f < 0 || f > MaxScaleFactor || f != f {
+			return nil, fmt.Errorf("whatif: %q: bad factor %q (want 0..%g)", spec, parts[2], MaxScaleFactor)
 		}
 		return ScaleGrain{
 			Grain:   profile.GrainID(parts[1]),

@@ -8,6 +8,15 @@
 // the programmer where to act; this layer estimates how much each candidate
 // fix would pay, so it answers "fix this first".
 //
+// Evaluation is incremental: a hypothesis edits a sparse overlay over the
+// baseline weight vector instead of copying it, projected work is tracked
+// as BaseWork + Δ, and the projected span is recomputed by a delta-aware
+// critical-path DP (metrics.CriticalPathDelta) that relaxes only the edited
+// nodes' downstream cone against the baseline distances. Hypotheses whose
+// edit set or dirty cone covers too much of the graph spill to a dense
+// vector and take the exact full DP — the same path EvalFull always takes,
+// kept as the bit-exact oracle the sparse path is tested against.
+//
 // Soundness: weight transformations (ScaleGrain, ZeroInflation) are exact
 // with respect to the model — the graph's structure is unchanged, so the
 // recomputed critical path is the true critical path of the transformed
@@ -15,15 +24,18 @@
 // evenly across cores. Structural transformations (CollapseSubtree,
 // CollapseAtDepth) are approximate: serializing a subtree into its root
 // changes scheduling in ways a fixed DAG cannot fully capture, so their
-// projections carry Approximate=true. See DESIGN.md §7.
+// projections carry Approximate=true. See DESIGN.md §7 and §11.
 package whatif
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"graingraph/internal/core"
 	"graingraph/internal/metrics"
+	"graingraph/internal/obs"
 	"graingraph/internal/profile"
 	"graingraph/internal/runpool"
 )
@@ -37,9 +49,9 @@ type Hypothesis interface {
 	// Approximate reports whether the projection changes graph structure
 	// (serialization) rather than applying sound weight algebra.
 	Approximate() bool
-	// apply mutates the weight vector in place and reports whether the
-	// hypothesis models an unbounded core count.
-	apply(e *Engine, w []profile.Time) (infiniteCores bool)
+	// apply writes the hypothesis's weight edits into the overlay and
+	// reports whether the hypothesis models an unbounded core count.
+	apply(e *Engine, w *weightOverlay) (infiniteCores bool)
 }
 
 // Projection is the outcome of evaluating one hypothesis.
@@ -69,10 +81,38 @@ func (p Projection) WorkDelta() float64 {
 	return (float64(p.BaseWork) - float64(p.Work)) / float64(p.BaseWork)
 }
 
+// Sparse-evaluation thresholds. Below spillMinEdits the overlay never
+// spills and the delta DP never declines, so small graphs (every unit test)
+// take the sparse path unconditionally — the oracle tests pin it to the
+// full DP bit for bit. On large graphs a hypothesis editing more than
+// 1/spillFraction of the nodes materializes a dense vector up front (map
+// overhead would dwarf the DP), and a sparse evaluation whose dirty cone
+// exceeds 1/dirtyFraction of the nodes abandons the delta DP for the exact
+// full relaxation.
+const (
+	spillMinEdits = 4096
+	spillFraction = 16
+	dirtyFraction = 128
+)
+
+// EvalStats counts how evaluations were satisfied since engine creation.
+type EvalStats struct {
+	// Sparse evaluations completed on the delta DP alone.
+	Sparse uint64
+	// Full evaluations that ran the dense full DP (EvalFull calls plus
+	// sparse fallbacks).
+	Full uint64
+	// Fallback counts the subset of Full where Eval started sparse but the
+	// edit set spilled or the dirty cone exceeded the fallback fraction.
+	Fallback uint64
+}
+
 // Engine evaluates hypotheses against one recorded run. Construction
-// precomputes the baseline and forces the graph's adjacency index, so Eval
-// is safe to call concurrently from EvalAll's worker pool: every evaluation
-// works on its own weight vector and only reads the shared graph.
+// precomputes the baseline — work, the critical-path DP state reused by
+// every sparse evaluation, the loop-owner map and the deepest task depth —
+// and forces the graph's adjacency and level indexes, so Eval is safe to
+// call concurrently from EvalAll's worker pool: every evaluation works on
+// its own sparse overlay and only reads the shared baseline.
 type Engine struct {
 	G   *core.Graph
 	Rep *metrics.Report // optional; required for inflation hypotheses
@@ -82,10 +122,87 @@ type Engine struct {
 	BaseWork     profile.Time
 	BaseSpan     profile.Time
 
+	// Obs, when set, receives child spans for every evaluation
+	// ("whatif:eval", with "whatif:eval:fulldp" nested under full-DP
+	// evaluations), feeding the -phases/-benchjson accounting. May be nil.
+	Obs *obs.Span
+
+	// baseW is the immutable baseline weight vector shared by all
+	// evaluations; cpBase is the settled critical-path DP over it.
+	baseW  []profile.Time
+	cpBase *metrics.CPBaseline
+
 	// loopOwner maps each loop to the task that executed it, resolved from
 	// the graph's book-keeping nodes (chunk nodes carry chunk grain IDs, so
 	// subtree membership for chunks goes through their loop's owner).
 	loopOwner map[profile.LoopID]profile.GrainID
+
+	// deviation holds each grain's measured work deviation above 1, pulled
+	// from the report once — inflation hypotheses used to rebuild this map
+	// on every evaluation, which dominated their cost on million-grain
+	// reports.
+	deviation map[profile.GrainID]float64
+
+	// maxTaskDepth is the deepest spawn-tree depth among task grains,
+	// computed once here so Candidates does not re-scan the node table per
+	// Rank call.
+	maxTaskDepth int
+
+	// Interned owner-task table: collapse hypotheses touch every node, so
+	// their per-node owner resolution must be array reads, not string or
+	// map work. ownerOf maps each node to the slot of its owning task
+	// (chunks resolve through loopOwner); per slot, the table records the
+	// task's grain ID, spawn-tree depth (-1 for non-task owners), parent
+	// task slot (-1 at the root; the closure interns ancestors that own no
+	// nodes themselves) and entry fragment (-1 when the task has none).
+	ownerOf     []int32
+	ownerIDs    []profile.GrainID
+	ownerDepth  []int32
+	ownerParent []int32
+	ownerEntry  []int32
+
+	// Scratch pools for the two node-sized per-evaluation buffers (the
+	// spilled dense weight vector and the collapse moved-work accumulator).
+	// A ranking pass runs ~20 dense evaluations back to back; without
+	// reuse each one allocates tens of MB that the collector has to chase.
+	densePool sync.Pool
+	movedPool sync.Pool
+
+	sparseEvals, fullEvals, fallbackEvals atomic.Uint64
+}
+
+// getDense returns a node-sized weight buffer with arbitrary contents
+// (spill overwrites every element); putDense recycles it.
+func (e *Engine) getDense() []profile.Time {
+	if b, ok := e.densePool.Get().(*[]profile.Time); ok && len(*b) == e.G.NumNodes() {
+		return *b
+	}
+	return make([]profile.Time, e.G.NumNodes())
+}
+
+func (e *Engine) putDense(b []profile.Time) {
+	if len(b) == e.G.NumNodes() {
+		e.densePool.Put(&b)
+	}
+}
+
+// getMoved returns a zeroed node-sized accumulator; putMoved recycles it
+// (clearing on get keeps the put path free even on error exits).
+func (e *Engine) getMoved() []int64 {
+	if b, ok := e.movedPool.Get().(*[]int64); ok && len(*b) == e.G.NumNodes() {
+		m := *b
+		for i := range m {
+			m[i] = 0
+		}
+		return m
+	}
+	return make([]int64, e.G.NumNodes())
+}
+
+func (e *Engine) putMoved(b []int64) {
+	if len(b) == e.G.NumNodes() {
+		e.movedPool.Put(&b)
+	}
 }
 
 // New builds an engine over a grain graph and its (optional) metric report.
@@ -100,18 +217,23 @@ func New(g *core.Graph, rep *metrics.Report) *Engine {
 		e.BaseMakespan = g.Trace.Makespan()
 	}
 	if g.NumNodes() > 0 {
-		// Force every lazy index Eval touches (out/in adjacency and the
-		// topological level index used by the critical-path DP) before
+		// Force every lazy index evaluation touches (out/in adjacency and
+		// the topological level index used by the critical-path DPs) before
 		// EvalAll fans evaluations across the pool: building them is not
 		// goroutine-safe, reading them is.
 		g.Out(0)
 		g.In(0)
 		g.NumLevels()
 	}
-	for _, w := range g.Weights() {
+	// One DP run settles the baseline distances every sparse evaluation
+	// relaxes against; its weight copy doubles as the shared baseline
+	// vector.
+	e.cpBase = metrics.NewCPBaseline(g, nil, nil)
+	e.baseW = e.cpBase.Weights()
+	for _, w := range e.baseW {
 		e.BaseWork += w
 	}
-	e.BaseSpan, _ = metrics.CriticalPathOver(g, nil)
+	e.BaseSpan = e.cpBase.Span()
 	if e.BaseMakespan == 0 {
 		// No recorded timing (synthetic graph): Brent's bound as baseline.
 		e.BaseMakespan = e.BaseSpan
@@ -125,22 +247,252 @@ func New(g *core.Graph, rep *metrics.Report) *Engine {
 			e.loopOwner[g.Loop(n)] = g.Grain(n)
 		}
 	}
+	if rep != nil {
+		e.deviation = make(map[profile.GrainID]float64)
+		for _, gm := range rep.Grains {
+			if gm.WorkDeviation > 1 {
+				e.deviation[gm.Grain.ID] = gm.WorkDeviation
+			}
+		}
+	}
+	e.internOwners()
+	// The deepest populated spawn depth falls out of the slot table — owner
+	// depths cover every task grain (chunk grains are not tasks and never
+	// carry a depth).
+	for _, d := range e.ownerDepth {
+		if int(d) > e.maxTaskDepth {
+			e.maxTaskDepth = int(d)
+		}
+	}
 	return e
 }
 
-// Eval projects one hypothesis: copy the weight vector, apply the
-// transformation, recompute work and critical path, and model the makespan
-// as max(new span, observed makespan minus the removed work spread evenly
-// over the cores). Infinite-core hypotheses collapse to the span.
-func (e *Engine) Eval(h Hypothesis) Projection {
-	w := e.G.Weights()
-	inf := h.apply(e, w)
-
-	var work profile.Time
-	for _, v := range w {
-		work += v
+// internOwners builds the owner-task slot table. Two passes: assign every
+// node its owner slot (a run cache skips the map for consecutive nodes of
+// one task, the common layout), then close the table over parents — the
+// slice grows while the loop walks it, interning spawn-tree ancestors that
+// own no nodes — and resolve each slot's entry fragment: the grain's
+// FirstNode when recorded, else its first fragment in node order (the same
+// resolution entryNode falls back to).
+func (e *Engine) internOwners() {
+	g := e.G
+	numNodes := core.NodeID(g.NumNodes())
+	slots := make(map[profile.GrainID]int32)
+	intern := func(id profile.GrainID) int32 {
+		if si, ok := slots[id]; ok {
+			return si
+		}
+		si := int32(len(e.ownerIDs))
+		slots[id] = si
+		e.ownerIDs = append(e.ownerIDs, id)
+		d := int32(-1)
+		if td, ok := taskDepth(id); ok {
+			d = int32(td)
+		}
+		e.ownerDepth = append(e.ownerDepth, d)
+		e.ownerEntry = append(e.ownerEntry, -1)
+		return si
 	}
-	span, _ := metrics.CriticalPathOver(e.G, w)
+
+	e.ownerOf = make([]int32, numNodes)
+	var lastOwner profile.GrainID
+	lastSlot := int32(-1)
+	for n := core.NodeID(0); n < numNodes; n++ {
+		owner := g.Grain(n)
+		if g.Kind(n) == core.NodeChunk {
+			owner = e.loopOwner[g.Loop(n)]
+		}
+		if lastSlot < 0 || owner != lastOwner {
+			lastOwner, lastSlot = owner, intern(owner)
+		}
+		e.ownerOf[n] = lastSlot
+	}
+
+	for si := int32(0); si < int32(len(e.ownerIDs)); si++ {
+		p := int32(-1)
+		if d := e.ownerDepth[si]; d > 0 {
+			p = intern(ancestorAt(e.ownerIDs[si], int(d)-1))
+		}
+		e.ownerParent = append(e.ownerParent, p)
+	}
+
+	for n := core.NodeID(0); n < numNodes; n++ {
+		if g.Kind(n) != core.NodeFragment {
+			continue
+		}
+		if si := e.ownerOf[n]; e.ownerEntry[si] < 0 {
+			e.ownerEntry[si] = int32(n)
+		}
+	}
+	for si, id := range e.ownerIDs {
+		if n, ok := g.FirstNode[id]; ok {
+			e.ownerEntry[si] = int32(n)
+		}
+	}
+}
+
+// Stats reports how many evaluations ran sparse versus full since the
+// engine was built. Safe to call concurrently with evaluations.
+func (e *Engine) Stats() EvalStats {
+	return EvalStats{
+		Sparse:   e.sparseEvals.Load(),
+		Full:     e.fullEvals.Load(),
+		Fallback: e.fallbackEvals.Load(),
+	}
+}
+
+// weightOverlay collects a hypothesis's weight edits as a sparse map over
+// the shared baseline vector, spilling to a private dense copy when the
+// edit set grows past spillAt. workDelta tracks Σ(new − old) so projected
+// work is BaseWork + Δ with no re-summation.
+type weightOverlay struct {
+	base    []profile.Time
+	edits   map[core.NodeID]profile.Time
+	dense   []profile.Time // non-nil once spilled: the full edited vector
+	spillAt int
+	delta   int64
+	// alloc, when set, supplies the dense buffer on spill (pooled scratch
+	// from the engine); nil allocates fresh.
+	alloc func() []profile.Time
+}
+
+func newOverlay(base []profile.Time, spillAt int) *weightOverlay {
+	return &weightOverlay{base: base, spillAt: spillAt}
+}
+
+// At returns node n's effective weight under the edits so far.
+func (v *weightOverlay) At(n core.NodeID) profile.Time {
+	if v.dense != nil {
+		return v.dense[n]
+	}
+	if w, ok := v.edits[n]; ok {
+		return w
+	}
+	return v.base[n]
+}
+
+// Set records node n's new weight. No-op writes (new value == effective
+// current value) are dropped so zeroing an already-zero overhead node does
+// not grow the edit set.
+func (v *weightOverlay) Set(n core.NodeID, w profile.Time) {
+	old := v.At(n)
+	if w == old {
+		return
+	}
+	v.delta += int64(w) - int64(old)
+	if v.dense != nil {
+		v.dense[n] = w
+		return
+	}
+	if v.edits == nil {
+		v.edits = make(map[core.NodeID]profile.Time)
+	}
+	v.edits[n] = w
+	if len(v.edits) > v.spillAt {
+		v.spill()
+	}
+}
+
+// spill materializes the dense edited vector; subsequent edits write
+// through directly.
+func (v *weightOverlay) spill() {
+	if v.dense != nil {
+		return
+	}
+	if v.alloc != nil {
+		v.dense = v.alloc()
+	} else {
+		v.dense = make([]profile.Time, len(v.base))
+	}
+	copy(v.dense, v.base)
+	for n, w := range v.edits {
+		v.dense[n] = w
+	}
+	v.edits = nil
+}
+
+// Eval projects one hypothesis incrementally: the hypothesis writes its
+// edits into a sparse overlay, projected work is BaseWork + Δ, and the
+// projected span comes from the delta-aware critical-path DP seeded at the
+// edited nodes. When the edit set spills or the dirty cone exceeds the
+// fallback fraction, the evaluation completes on the exact full DP instead
+// — the result is identical either way (see the oracle tests), only the
+// cost differs. The makespan model is unchanged: max(new span, observed
+// makespan minus the removed work spread evenly over the cores); infinite-
+// core hypotheses collapse to the span.
+func (e *Engine) Eval(h Hypothesis) Projection {
+	return e.eval(h, false)
+}
+
+// EvalFull is the oracle path: it materializes the full edited weight
+// vector up front, recomputes work by summation and the span by the exact
+// full critical-path DP — the evaluation strategy Eval had before sparse
+// evaluation existed. The sparse path is tested against it bit for bit.
+func (e *Engine) EvalFull(h Hypothesis) Projection {
+	return e.eval(h, true)
+}
+
+func (e *Engine) eval(h Hypothesis, forceFull bool) Projection {
+	sp := e.Obs.Child("whatif:eval")
+	defer sp.End()
+
+	n := e.G.NumNodes()
+	spillAt := n / spillFraction
+	if spillAt < spillMinEdits {
+		spillAt = spillMinEdits
+	}
+	maxDirty := n / dirtyFraction
+	if maxDirty < spillMinEdits {
+		maxDirty = spillMinEdits
+	}
+
+	v := newOverlay(e.baseW, spillAt)
+	v.alloc = e.getDense
+	if forceFull {
+		v.spill()
+	}
+	if dh, ok := h.(denseHint); ok && dh.likelyDense(e) {
+		v.spill()
+	}
+	inf := h.apply(e, v)
+
+	var work, span profile.Time
+	sparse := false
+	if v.dense == nil {
+		if s, ok := metrics.CriticalPathDelta(e.cpBase, v.edits, maxDirty); ok {
+			span = s
+			sparse = true
+		} else {
+			v.spill()
+		}
+	}
+	if sparse {
+		work = profile.Time(int64(e.BaseWork) + v.delta)
+		e.sparseEvals.Add(1)
+	} else {
+		fsp := sp.Child("whatif:eval:fulldp")
+		if forceFull {
+			// The oracle recomputes work by summation; the incremental
+			// BaseWork + Δ accounting is one of the things it checks.
+			for _, w := range v.dense {
+				work += w
+			}
+		} else {
+			work = profile.Time(int64(e.BaseWork) + v.delta)
+		}
+		dist := e.getDense()
+		span = metrics.CriticalSpanOver(e.G, v.dense, dist, nil)
+		e.putDense(dist)
+		fsp.End()
+		e.fullEvals.Add(1)
+		if !forceFull {
+			e.fallbackEvals.Add(1)
+		}
+	}
+	if v.dense != nil {
+		e.putDense(v.dense)
+		v.dense = nil
+	}
 
 	cores := int64(e.Cores)
 	if cores < 1 {
@@ -203,13 +555,22 @@ func inSubtree(id, root profile.GrainID) bool {
 }
 
 // ancestorAt truncates a task grain ID to its spawn-tree ancestor at depth
-// d ("R.a.b.c" at depth 1 → "R.a").
+// d ("R.a.b.c" at depth 1 → "R.a"). The result is a substring of id — no
+// allocation — because path IDs place one dot per level: the ancestor at
+// depth d ends where the (d+1)-th dot begins.
 func ancestorAt(id profile.GrainID, d int) profile.GrainID {
-	parts := strings.Split(string(id), ".")
-	if d+1 >= len(parts) {
-		return id
+	s := string(id)
+	dots := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			continue
+		}
+		if dots == d {
+			return profile.GrainID(s[:i])
+		}
+		dots++
 	}
-	return profile.GrainID(strings.Join(parts[:d+1], "."))
+	return id
 }
 
 // entryNode returns the node that absorbs serialized work for a task grain:
@@ -246,14 +607,14 @@ func (h ScaleGrain) Label() string {
 // Approximate implements Hypothesis: pure weight algebra is exact.
 func (h ScaleGrain) Approximate() bool { return false }
 
-func (h ScaleGrain) apply(e *Engine, w []profile.Time) bool {
+func (h ScaleGrain) apply(e *Engine, v *weightOverlay) bool {
 	g := e.G
 	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
 		if k := g.Kind(n); k != core.NodeFragment && k != core.NodeChunk {
 			continue
 		}
 		if id := g.Grain(n); id == h.Grain || (h.Subtree && inSubtree(id, h.Grain)) {
-			w[n] = profile.Time(float64(w[n])*h.Factor + 0.5)
+			v.Set(n, profile.Time(float64(v.At(n))*h.Factor+0.5))
 		}
 	}
 	return false
@@ -283,21 +644,15 @@ func (h ZeroInflation) Label() string {
 // with respect to the measured baseline.
 func (h ZeroInflation) Approximate() bool { return false }
 
-func (h ZeroInflation) apply(e *Engine, w []profile.Time) bool {
+// likelyDense reports that whole-report de-inflation on a large graph edits
+// most weighted nodes; single-grain de-inflation stays sparse.
+func (h ZeroInflation) likelyDense(e *Engine) bool {
+	return h.All && e.G.NumNodes() > 8*spillMinEdits
+}
+
+func (h ZeroInflation) apply(e *Engine, v *weightOverlay) bool {
 	if e.Rep == nil {
 		return false
-	}
-	deviation := make(map[profile.GrainID]float64, len(e.Rep.Grains))
-	for _, gm := range e.Rep.Grains {
-		if gm.WorkDeviation > 1 {
-			deviation[gm.Grain.ID] = gm.WorkDeviation
-		}
-	}
-	deflate := func(id profile.GrainID) float64 {
-		if wd, ok := deviation[id]; ok {
-			return wd
-		}
-		return 1
 	}
 	g := e.G
 	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
@@ -307,8 +662,8 @@ func (h ZeroInflation) apply(e *Engine, w []profile.Time) bool {
 		if !h.All && g.Grain(n) != h.Grain {
 			continue
 		}
-		if wd := deflate(g.Grain(n)); wd > 1 {
-			w[n] = profile.Time(float64(w[n])/wd + 0.5)
+		if wd, ok := e.deviation[g.Grain(n)]; ok {
+			v.Set(n, profile.Time(float64(v.At(n))/wd+0.5))
 		}
 	}
 	return false
@@ -325,7 +680,7 @@ func (InfiniteCores) Label() string { return "infinite cores (span bound)" }
 // Approximate implements Hypothesis.
 func (InfiniteCores) Approximate() bool { return false }
 
-func (InfiniteCores) apply(e *Engine, w []profile.Time) bool { return true }
+func (InfiniteCores) apply(e *Engine, v *weightOverlay) bool { return true }
 
 // CollapseSubtree models a perfect cutoff at one task: the entire spawn
 // subtree below Root executes inline in Root — all fork/join/book-keeping
@@ -344,12 +699,26 @@ func (h CollapseSubtree) Label() string { return fmt.Sprintf("perfect cutoff at 
 // Approximate implements Hypothesis: serialization changes structure.
 func (h CollapseSubtree) Approximate() bool { return true }
 
-func (h CollapseSubtree) apply(e *Engine, w []profile.Time) bool {
-	collapseRoots(e, w, func(id profile.GrainID) (profile.GrainID, bool) {
-		if inSubtree(id, h.Root) {
-			return h.Root, true
+func (h CollapseSubtree) apply(e *Engine, v *weightOverlay) bool {
+	entry := int32(-1)
+	if en, ok := e.entryNode(h.Root); ok {
+		entry = int32(en)
+	}
+	rootDepth := int32(-1)
+	if d, ok := taskDepth(h.Root); ok {
+		rootDepth = int32(d)
+	}
+	rootEntry := newRootEntryCache(len(e.ownerIDs))
+	collapseInto(e, v, rootDepth, func(si int32) int32 {
+		if r := rootEntry[si]; r != entryUnresolved {
+			return r
 		}
-		return "", false
+		r := int32(-1)
+		if entry >= 0 && inSubtree(e.ownerIDs[si], h.Root) {
+			r = entry
+		}
+		rootEntry[si] = r
+		return r
 	})
 	return false
 }
@@ -367,77 +736,112 @@ func (h CollapseAtDepth) Label() string { return fmt.Sprintf("perfect cutoff at 
 // Approximate implements Hypothesis.
 func (h CollapseAtDepth) Approximate() bool { return true }
 
-func (h CollapseAtDepth) apply(e *Engine, w []profile.Time) bool {
-	collapseRoots(e, w, func(id profile.GrainID) (profile.GrainID, bool) {
-		d, ok := taskDepth(id)
-		if !ok || d < h.Depth {
-			return "", false
+func (h CollapseAtDepth) apply(e *Engine, v *weightOverlay) bool {
+	d := int32(h.Depth)
+	rootEntry := newRootEntryCache(len(e.ownerIDs))
+	var resolve func(si int32) int32
+	resolve = func(si int32) int32 {
+		if r := rootEntry[si]; r != entryUnresolved {
+			return r
 		}
-		return ancestorAt(id, h.Depth), true
-	})
+		r := int32(-1)
+		switch dep := e.ownerDepth[si]; {
+		case dep < d:
+			// Above the cutoff, or not on a task path at all: untouched.
+		case dep == d:
+			r = e.ownerEntry[si]
+		default:
+			// Strict descendant: its root is its ancestor's root. The parent
+			// closure guarantees the chain up to depth d exists.
+			if p := e.ownerParent[si]; p >= 0 {
+				r = resolve(p)
+			}
+		}
+		rootEntry[si] = r
+		return r
+	}
+	collapseInto(e, v, d, resolve)
 	return false
 }
 
-// collapseRoots is the shared serialization machinery: rootOf maps a task
-// grain to the collapse root owning it (ok=false for tasks outside every
-// collapsed subtree). For every owned task, fork/join/book-keeping weights
-// vanish; fragment weights of strict descendants (and chunk weights of
-// owned loops) accumulate into the root's first fragment. Roots without an
-// entry node keep their subtree unmodified rather than dropping its work.
-func collapseRoots(e *Engine, w []profile.Time,
-	rootOf func(profile.GrainID) (profile.GrainID, bool)) {
+// denseHint lets a hypothesis declare up front that its edit set will cover
+// a large fraction of the graph, so evaluation materializes the dense
+// vector immediately instead of churning the sparse map until it spills.
+// Purely a cost hint: the dense path computes the exact full DP either way,
+// so a wrong guess costs time, never correctness.
+type denseHint interface {
+	likelyDense(e *Engine) bool
+}
 
-	type change struct {
-		zero  []core.NodeID
-		moved profile.Time
-	}
-	pending := make(map[profile.GrainID]*change)
-	get := func(root profile.GrainID) *change {
-		c := pending[root]
-		if c == nil {
-			c = &change{}
-			pending[root] = c
-		}
-		return c
-	}
+// likelyDense reports that cutoff collapses on large graphs edit most of
+// the node table: every candidate the ranking pass generates on the giant
+// artifact spills regardless of depth, so skip the map phase entirely.
+// Small graphs stay sparse, keeping the delta DP exercised by tests.
+func (h CollapseAtDepth) likelyDense(e *Engine) bool {
+	return e.G.NumNodes() > 8*spillMinEdits
+}
 
+// entryUnresolved marks a rootEntry cache slot whose collapse root has not
+// been resolved yet; resolved slots hold the root's entry node or -1 for
+// "leave this owner's nodes untouched" (outside every collapsed region, or
+// the region's root has no entry fragment to absorb the work).
+const entryUnresolved = int32(-2)
+
+func newRootEntryCache(n int) []int32 {
+	c := make([]int32, n)
+	for i := range c {
+		c[i] = entryUnresolved
+	}
+	return c
+}
+
+// collapseInto is the shared serialization machinery behind both collapse
+// hypotheses: rootEntryOf resolves an owner-task slot to the entry fragment
+// absorbing its collapsed region (-1: untouched). Within a region, fork/
+// join/book-keeping weights vanish; fragment weights of strict descendants
+// — recognized by depth, since inside a region only the root itself sits at
+// rootDepth — and chunk weights of owned loops accumulate into the entry.
+// Roots without an entry keep their subtree unmodified rather than dropping
+// its work (rootEntryOf already returns -1 for them).
+//
+// One pass over the node table with nothing but array reads per node, plus
+// a dense moved-work accumulator indexed by entry node: the overlay read of
+// a node precedes its own write, so moved sums see baseline weights exactly
+// as a one-shot vector edit would.
+func collapseInto(e *Engine, v *weightOverlay, rootDepth int32, rootEntryOf func(si int32) int32) {
 	g := e.G
-	for n := core.NodeID(0); n < core.NodeID(g.NumNodes()); n++ {
-		// Resolve the task grain that owns this node: chunks go through
-		// their loop's executing task, everything else carries it directly.
-		kind := g.Kind(n)
-		owner := g.Grain(n)
-		if kind == core.NodeChunk {
-			owner = e.loopOwner[g.Loop(n)]
-		}
-		root, ok := rootOf(owner)
-		if !ok {
+	numNodes := core.NodeID(g.NumNodes())
+	moved := e.getMoved()
+	defer e.putMoved(moved)
+	any := false
+	for n := core.NodeID(0); n < numNodes; n++ {
+		si := e.ownerOf[n]
+		entry := rootEntryOf(si)
+		if entry < 0 {
 			continue
 		}
-		c := get(root)
-		switch kind {
+		switch g.Kind(n) {
 		case core.NodeFork, core.NodeJoin, core.NodeBookkeep:
 			// Parallelization overhead inside the collapsed region vanishes.
-			c.zero = append(c.zero, n)
+			v.Set(n, 0)
 		case core.NodeFragment:
-			if g.Grain(n) != root {
-				c.zero = append(c.zero, n)
-				c.moved += w[n]
+			if e.ownerDepth[si] != rootDepth {
+				moved[entry] += int64(v.At(n))
+				v.Set(n, 0)
+				any = true
 			}
 		case core.NodeChunk:
-			c.zero = append(c.zero, n)
-			c.moved += w[n]
+			moved[entry] += int64(v.At(n))
+			v.Set(n, 0)
+			any = true
 		}
 	}
-
-	for root, c := range pending {
-		entry, ok := e.entryNode(root)
-		if !ok {
-			continue
+	if !any {
+		return
+	}
+	for n := core.NodeID(0); n < numNodes; n++ {
+		if m := moved[n]; m != 0 {
+			v.Set(n, v.At(n)+profile.Time(m))
 		}
-		for _, id := range c.zero {
-			w[id] = 0
-		}
-		w[entry] += c.moved
 	}
 }

@@ -156,7 +156,10 @@ func TestEvalAllDeterministicAcrossPoolSizes(t *testing.T) {
 
 func TestRankOrdersByProjectedMakespan(t *testing.T) {
 	e := New(overheadGraph(), nil)
-	ps := e.Rank(nil, nil, RankOptions{})
+	ps, err := e.Rank(nil, nil, RankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ps) == 0 {
 		t.Fatal("no candidates ranked")
 	}
@@ -165,7 +168,10 @@ func TestRankOrdersByProjectedMakespan(t *testing.T) {
 			t.Fatalf("rank not ordered at %d: %d before %d", i, ps[i-1].Makespan, ps[i].Makespan)
 		}
 	}
-	top := e.Rank(nil, nil, RankOptions{TopN: 2})
+	top, err := e.Rank(nil, nil, RankOptions{TopN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(top) != 2 {
 		t.Errorf("TopN=2 returned %d rows", len(top))
 	}
@@ -196,7 +202,10 @@ func TestBrokenCutoffFibShapeProjectsPositiveSpeedup(t *testing.T) {
 	rep := metrics.Analyze(tr, g, nil, metrics.Options{})
 	a := highlight.Evaluate(rep, highlight.Defaults(tr.Cores, 4))
 	e := New(g, rep)
-	ps := e.Rank(a, runpool.New(4), RankOptions{})
+	ps, err := e.Rank(a, runpool.New(4), RankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	best := 0.0
 	for _, p := range ps {
@@ -253,5 +262,125 @@ func TestWriteTableGolden(t *testing.T) {
 		"-  baseline (observed)          200            1.00x    +0.0%   140        measured\n"
 	if got := buf.String(); got != golden {
 		t.Errorf("table mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// oracleSubjects builds the workload shapes the sparse/full oracle test
+// runs over: the hand-built overhead graph, a broken-cutoff fib tree, and a
+// chunked parallel-loop run (so chunk nodes and loop ownership are covered).
+func oracleSubjects(t *testing.T) map[string]struct {
+	g   *core.Graph
+	rep *metrics.Report
+	a   *highlight.Assessment
+} {
+	t.Helper()
+	subjects := make(map[string]struct {
+		g   *core.Graph
+		rep *metrics.Report
+		a   *highlight.Assessment
+	})
+	add := func(name string, tr *profile.Trace) {
+		g := core.Build(tr)
+		rep := metrics.Analyze(tr, g, nil, metrics.Options{})
+		a := highlight.Evaluate(rep, highlight.Defaults(tr.Cores, 4))
+		subjects[name] = struct {
+			g   *core.Graph
+			rep *metrics.Report
+			a   *highlight.Assessment
+		}{g, rep, a}
+	}
+
+	fibTr := rts.Run(rts.Config{Program: "fib-broken", Cores: 8, Seed: 1}, func(c rts.Ctx) {
+		var fib func(c rts.Ctx, n int) int
+		fib = func(c rts.Ctx, n int) int {
+			if n < 2 {
+				c.Compute(20)
+				return n
+			}
+			var a, b int
+			c.Spawn(profile.Loc("fib.go", 1, "fib"), func(c rts.Ctx) { a = fib(c, n-1) })
+			c.Spawn(profile.Loc("fib.go", 2, "fib"), func(c rts.Ctx) { b = fib(c, n-2) })
+			c.TaskWait()
+			c.Compute(20)
+			return a + b
+		}
+		fib(c, 11)
+	})
+	add("fib-broken", fibTr)
+
+	loopTr := rts.Run(rts.Config{Program: "loop", Cores: 8, Seed: 1}, func(c rts.Ctx) {
+		c.Compute(50)
+		c.For(profile.Loc("loop.go", 1, "main"), 0, 64,
+			rts.ForOpt{Schedule: profile.ScheduleStatic, Chunk: 4},
+			func(c rts.Ctx, lo, hi int) {
+				c.Compute(profile.Time(10 * (hi - lo)))
+			})
+		c.Compute(50)
+	})
+	add("loop", loopTr)
+
+	og := overheadGraph()
+	subjects["overhead"] = struct {
+		g   *core.Graph
+		rep *metrics.Report
+		a   *highlight.Assessment
+	}{og, nil, nil}
+	return subjects
+}
+
+// TestEvalMatchesFullOracle is the tentpole's exactness guarantee: for every
+// generated candidate on every subject shape, the sparse path (overlay edits
+// + delta work accounting + delta critical-path DP) must produce the same
+// projection — bit for bit, every field — as the materialize-and-rescan
+// oracle path the engine used before sparse evaluation existed.
+func TestEvalMatchesFullOracle(t *testing.T) {
+	for name, s := range oracleSubjects(t) {
+		e := New(s.g, s.rep)
+		hs := e.Candidates(s.a, RankOptions{})
+		// Explicit hypotheses beyond the generated set: subtree scaling and
+		// single-grain collapse have no candidate generator.
+		hs = append(hs,
+			ScaleGrain{Grain: "R.0", Factor: 0.25, Subtree: true},
+			ScaleGrain{Grain: "R.0", Factor: 3.0},
+			CollapseSubtree{Root: "R.0"},
+			CollapseSubtree{Root: "R"},
+			CollapseSubtree{Root: "R.does-not-exist"},
+			ZeroInflation{All: true},
+		)
+		for _, h := range hs {
+			sparse := e.Eval(h)
+			full := e.EvalFull(h)
+			if !reflect.DeepEqual(sparse, full) {
+				t.Errorf("%s: %q: sparse projection differs from full oracle:\nsparse: %+v\nfull:   %+v",
+					name, h.Label(), sparse, full)
+			}
+		}
+		st := e.Stats()
+		if st.Sparse == 0 {
+			t.Errorf("%s: no evaluation took the sparse path (stats %+v)", name, st)
+		}
+		if st.Full == 0 {
+			t.Errorf("%s: no evaluation took the full oracle path (stats %+v)", name, st)
+		}
+	}
+}
+
+// TestRankOptionValidation pins the error contract for out-of-range options.
+func TestRankOptionValidation(t *testing.T) {
+	e := New(overheadGraph(), nil)
+	bad := []RankOptions{
+		{TopN: -1},
+		{MaxDepth: -2},
+		{PerProblem: -1},
+		{ScaleFactor: -0.5},
+		{ScaleFactor: 2e6},
+	}
+	for _, opt := range bad {
+		if _, err := e.Rank(nil, nil, opt); err == nil {
+			t.Errorf("Rank accepted invalid options %+v", opt)
+		}
+	}
+	if _, err := e.Rank(nil, nil, RankOptions{TopN: 3, ScaleFactor: 0.5}); err != nil {
+		t.Errorf("Rank rejected valid options: %v", err)
 	}
 }
