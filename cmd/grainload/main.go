@@ -1,0 +1,190 @@
+// Command grainload drives a grainserved instance at a constant request
+// rate and reports latency percentiles — the measurement harness behind the
+// serving numbers in EXPERIMENTS.md.
+//
+//	grainload -server http://localhost:8080 -artifact run.ggp \
+//	          -rate 200 -duration 10s -c 8 -tenants 4
+//
+// The driver first uploads the artifact (its content address becomes the
+// target id), optionally issues one warmup query per endpoint so steady-state
+// numbers measure the cache rather than the first analysis, then runs a
+// closed loop: a constant-rate ticker releases requests round-robin across
+// the endpoints, but never more than -c in flight — if the server falls
+// behind, the loop applies backpressure instead of piling up requests.
+// Requests carry X-Tenant headers spread across -tenants synthetic tenants.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+type result struct {
+	endpoint string
+	dur      time.Duration
+	err      bool
+}
+
+func main() {
+	var (
+		server   = flag.String("server", "http://127.0.0.1:8080", "grainserved base URL")
+		artifact = flag.String("artifact", "", ".ggp artifact to upload and query (required)")
+		rate     = flag.Float64("rate", 100, "target request rate per second")
+		duration = flag.Duration("duration", 10*time.Second, "measurement duration")
+		workers  = flag.Int("c", 8, "max in-flight requests (closed-loop bound)")
+		tenants  = flag.Int("tenants", 4, "synthetic tenant count for X-Tenant")
+		warmup   = flag.Bool("warmup", true, "query each endpoint once before measuring")
+		seed     = flag.Int64("seed", 1, "endpoint-shuffle seed")
+		eps      = flag.String("endpoints", "summary,highlight,whatif,window", "comma-separated endpoints to drive")
+	)
+	flag.Parse()
+	if *artifact == "" {
+		fmt.Fprintln(os.Stderr, "grainload: -artifact is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	body, err := os.ReadFile(*artifact)
+	if err != nil {
+		fatal(err)
+	}
+	id, err := uploadArtifact(*server, body)
+	if err != nil {
+		fatal(fmt.Errorf("upload: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "grainload: artifact %s (%d bytes)\n", id, len(body))
+
+	endpoints := strings.Split(*eps, ",")
+	paths := make([]string, len(endpoints))
+	for i, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		endpoints[i] = ep
+		paths[i] = fmt.Sprintf("%s/artifacts/%s/%s", *server, id, ep)
+		if ep == "window" {
+			paths[i] += "?depth=2&top=8&format=dot"
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if *warmup {
+		for i, p := range paths {
+			if _, err := get(client, p, "warmup"); err != nil {
+				fatal(fmt.Errorf("warmup %s: %w", endpoints[i], err))
+			}
+		}
+	}
+
+	// Closed loop: the ticker paces departures, the semaphore bounds
+	// concurrency, and results stream into the collector.
+	var (
+		sem     = make(chan struct{}, max(1, *workers))
+		results = make(chan result, 1024)
+		wg      sync.WaitGroup
+		rng     = rand.New(rand.NewSource(*seed))
+	)
+	done := make(chan struct{})
+	samples := make(map[string][]time.Duration, len(endpoints))
+	errorsBy := make(map[string]int, len(endpoints))
+	go func() {
+		defer close(done)
+		for r := range results {
+			if r.err {
+				errorsBy[r.endpoint]++
+				continue
+			}
+			samples[r.endpoint] = append(samples[r.endpoint], r.dur)
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	for time.Since(start) < *duration {
+		<-ticker.C
+		sem <- struct{}{} // backpressure: wait for a free slot
+		i := rng.Intn(len(paths))
+		tenant := fmt.Sprintf("tenant-%d", rng.Intn(max(1, *tenants)))
+		wg.Add(1)
+		go func(endpoint, url, tenant string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			_, err := get(client, url, tenant)
+			results <- result{endpoint: endpoint, dur: time.Since(t0), err: err != nil}
+		}(endpoints[i], paths[i], tenant)
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+	<-done
+
+	sums := make([]summary, 0, len(endpoints))
+	for _, ep := range endpoints {
+		sums = append(sums, summarize(ep, samples[ep], errorsBy[ep]))
+	}
+	writeSummaries(os.Stdout, elapsed, sums)
+
+	if stats, err := get(client, *server+"/statsz", "grainload"); err == nil {
+		fmt.Printf("\nserver /statsz:\n%s", stats)
+	}
+}
+
+// uploadArtifact posts the artifact and returns its content address.
+func uploadArtifact(server string, body []byte) (string, error) {
+	resp, err := http.Post(server+"/artifacts", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	// Minimal decode: the id field of the JSON response.
+	var fields struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b, &fields); err != nil || fields.ID == "" {
+		return "", fmt.Errorf("bad upload response: %s", b)
+	}
+	return fields.ID, nil
+}
+
+func get(client *http.Client, url, tenant string) ([]byte, error) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "grainload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
+// sorted, which must be ascending. An empty slice yields 0.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100 + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// summary is one endpoint's aggregated load-test outcome.
+type summary struct {
+	Endpoint string
+	Count    int
+	Errors   int
+	P50      time.Duration
+	P90      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// summarize computes the latency summary for one endpoint's samples.
+func summarize(endpoint string, samples []time.Duration, errors int) summary {
+	s := summary{Endpoint: endpoint, Count: len(samples), Errors: errors}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = percentile(sorted, 50)
+	s.P90 = percentile(sorted, 90)
+	s.P99 = percentile(sorted, 99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// writeSummaries renders per-endpoint rows plus a total row.
+func writeSummaries(w io.Writer, elapsed time.Duration, sums []summary) {
+	total, errors := 0, 0
+	fmt.Fprintf(w, "%-12s %8s %7s %10s %10s %10s %10s\n",
+		"endpoint", "requests", "errors", "p50", "p90", "p99", "max")
+	for _, s := range sums {
+		total += s.Count
+		errors += s.Errors
+		fmt.Fprintf(w, "%-12s %8d %7d %10s %10s %10s %10s\n",
+			s.Endpoint, s.Count, s.Errors,
+			round(s.P50), round(s.P90), round(s.P99), round(s.Max))
+	}
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Fprintf(w, "total: %d requests, %d errors in %s (%.1f req/s achieved)\n",
+		total, errors, round(elapsed), rate)
+}
+
+// round trims durations to a readable precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	}
+	return d.Round(time.Microsecond)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, ms(5)},  // ceil(0.50*10) = 5th
+		{90, ms(9)},  // ceil(0.90*10) = 9th
+		{99, ms(10)}, // ceil(0.99*10) = 10th
+		{100, ms(10)},
+		{10, ms(1)},
+		{1, ms(1)},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(%.0f) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	one := []time.Duration{ms(7)}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := percentile(one, p); got != ms(7) {
+			t.Errorf("percentile(single, %.0f) = %v, want 7ms", p, got)
+		}
+	}
+}
+
+func TestSummarizeSortsAndCounts(t *testing.T) {
+	// Deliberately unsorted input: summarize must not depend on order.
+	samples := []time.Duration{ms(9), ms(1), ms(5), ms(3), ms(7), ms(2), ms(8), ms(4), ms(6), ms(10)}
+	s := summarize("summary", samples, 2)
+	if s.Count != 10 || s.Errors != 2 {
+		t.Errorf("count/errors = %d/%d, want 10/2", s.Count, s.Errors)
+	}
+	if s.P50 != ms(5) || s.P90 != ms(9) || s.P99 != ms(10) || s.Max != ms(10) {
+		t.Errorf("p50/p90/p99/max = %v/%v/%v/%v, want 5ms/9ms/10ms/10ms", s.P50, s.P90, s.P99, s.Max)
+	}
+	// summarize must not mutate the caller's slice.
+	if samples[0] != ms(9) {
+		t.Error("summarize sorted the caller's sample slice in place")
+	}
+
+	empty := summarize("whatif", nil, 1)
+	if empty.Count != 0 || empty.Errors != 1 || empty.P99 != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestWriteSummaries(t *testing.T) {
+	var buf bytes.Buffer
+	sums := []summary{
+		summarize("summary", []time.Duration{ms(2), ms(4)}, 0),
+		summarize("whatif", []time.Duration{ms(3)}, 1),
+	}
+	writeSummaries(&buf, 2*time.Second, sums)
+	out := buf.String()
+	for _, want := range []string{"endpoint", "summary", "whatif", "total: 3 requests, 1 errors", "1.5 req/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fairGate is the per-tenant fair admission queue in front of the analysis
+// stack: at most slots requests hold an analysis slot at once, and when
+// requests queue, freed slots are granted round-robin across tenants — a
+// tenant replaying one hot artifact in a tight loop cannot starve another
+// tenant's first request, whatever the arrival order.
+//
+// Tenancy is declared, not authenticated (the X-Tenant header): the queue
+// is a fairness mechanism, not a security boundary.
+type fairGate struct {
+	mu     sync.Mutex
+	free   int
+	queues map[string][]chan struct{}
+	// ring holds tenants with waiters, in first-wait order; next is the
+	// round-robin cursor into it.
+	ring []string
+	next int
+
+	waits  atomic.Int64
+	waitNS atomic.Int64
+}
+
+// newFairGate admits at most slots concurrent holders; slots < 1 is
+// normalized to 1.
+func newFairGate(slots int) *fairGate {
+	if slots < 1 {
+		slots = 1
+	}
+	return &fairGate{free: slots, queues: make(map[string][]chan struct{})}
+}
+
+// acquire blocks until tenant is granted a slot and returns the release
+// function. Slots free with no one queued are granted immediately;
+// otherwise the request joins its tenant's FIFO queue and waits for the
+// round-robin grant.
+func (g *fairGate) acquire(tenant string) (release func()) {
+	g.mu.Lock()
+	if g.free > 0 && len(g.ring) == 0 {
+		g.free--
+		g.mu.Unlock()
+		return g.release
+	}
+	ch := make(chan struct{})
+	if len(g.queues[tenant]) == 0 {
+		g.ring = append(g.ring, tenant)
+	}
+	g.queues[tenant] = append(g.queues[tenant], ch)
+	g.mu.Unlock()
+
+	start := time.Now()
+	<-ch
+	g.waits.Add(1)
+	g.waitNS.Add(int64(time.Since(start)))
+	return g.release
+}
+
+// release frees the caller's slot, handing it to the next queued tenant in
+// round-robin order when anyone is waiting.
+func (g *fairGate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.ring) == 0 {
+		g.free++
+		return
+	}
+	if g.next >= len(g.ring) {
+		g.next = 0
+	}
+	tenant := g.ring[g.next]
+	q := g.queues[tenant]
+	ch := q[0]
+	if len(q) == 1 {
+		delete(g.queues, tenant)
+		g.ring = append(g.ring[:g.next], g.ring[g.next+1:]...)
+		// next now points at the tenant after the removed one; wrap is
+		// handled on the next release.
+	} else {
+		g.queues[tenant] = q[1:]
+		g.next++
+	}
+	close(ch) // the slot transfers to the waiter
+}
+
+// queueStats returns how many waits completed and their total duration.
+func (g *fairGate) queueStats() (waits int64, waited time.Duration) {
+	return g.waits.Load(), time.Duration(g.waitNS.Load())
+}

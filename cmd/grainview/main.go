@@ -32,8 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 
 	"graingraph/internal/core"
@@ -50,12 +48,6 @@ import (
 	"graingraph/internal/workloads"
 )
 
-// hugeExportNodes is the full-export refusal threshold: past it a DOT/JSON/
-// GraphML emission of every node is hundreds of MB no viewer opens, so
-// grainview demands an explicit -window (the useful view) or -full-export
-// (the old behavior) instead of silently writing one.
-const hugeExportNodes = 500_000
-
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available workloads")
@@ -70,6 +62,7 @@ func main() {
 		reduce   = flag.Bool("reduce", false, "apply the paper's node-grouping reductions before export")
 		baseline = flag.Bool("baseline", true, "also run a 1-core baseline for work deviation")
 		summary  = flag.Bool("summary", false, "print the problem summary and timeline instead of exporting")
+		highTab  = flag.Bool("highlight", false, "print the highlight table (per-problem counts, worst offenders, hot definitions) instead of exporting")
 		out      = flag.String("o", "", "output file (default stdout)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		whatIf   = flag.String("whatif", "", "what-if analysis: \"rank\" for the auto-ranked opportunity table, or a spec list like \"cutoff:4,scale:R.0:0.5,infcores\" (see internal/whatif); projections are printed and attached to DOT/JSON exports")
@@ -140,11 +133,7 @@ func main() {
 	// Two input modes: a positional .ggp artifact analyzes a saved trace
 	// (no simulation, byte-identical analysis); otherwise the named
 	// workload is simulated live.
-	var (
-		res    *expt.Result
-		name   string
-		ncores int
-	)
+	var res *expt.Result
 	if flag.NArg() > 0 {
 		if *traceOut != "" || *stats {
 			die(fmt.Errorf("-trace/-stats need a live simulation; they are unavailable when analyzing a saved artifact"))
@@ -162,7 +151,6 @@ func main() {
 		}
 		isp.End()
 		res = expt.AnalyzeTraceSpan(tr, base, expt.Config{}, rootSp)
-		name, ncores = tr.Program, tr.Cores
 	} else {
 		inst, err := workloads.Get(*workload, workloads.Variant(*variant))
 		die(err)
@@ -205,7 +193,6 @@ func main() {
 		res, err = expt.RunSpan(inst, cfg, rsp)
 		rsp.End()
 		die(err)
-		name, ncores = inst.Name(), *cores
 	}
 
 	if *recOut != "" {
@@ -222,26 +209,25 @@ func main() {
 	var projections []whatif.Projection
 	if *whatIf != "" {
 		wsp := rootSp.Child("whatif")
-		nsp := wsp.Child("whatif:new")
-		eng := whatif.New(res.Graph, res.Report)
-		nsp.End()
-		eng.Obs = wsp
 		if *whatIf == "rank" {
 			var err error
-			projections, err = eng.Rank(res.Assessment, expt.Pool(), whatif.RankOptions{TopN: 10})
+			projections, err = expt.WhatIfRank(res, expt.Pool(), wsp)
 			die(err)
 		} else {
+			nsp := wsp.Child("whatif:new")
+			eng := whatif.New(res.Graph, res.Report)
+			nsp.End()
+			eng.Obs = wsp
 			hs, err := whatif.ParseSpecs(*whatIf)
 			die(err)
 			projections = eng.EvalAll(expt.Pool(), hs)
 		}
 		wsp.End()
 		tableW := os.Stdout
-		if !*summary && *out == "" {
+		if !*summary && !*highTab && *out == "" {
 			tableW = os.Stderr
 		}
-		title := fmt.Sprintf("what-if: %s (%d cores)", name, ncores)
-		die(whatif.WriteTable(tableW, title, projections))
+		die(expt.WriteWhatIfTable(tableW, res, projections))
 	}
 
 	if *traceOut != "" {
@@ -252,15 +238,22 @@ func main() {
 	}
 	if *summary {
 		ssp := rootSp.Child("summary")
-		printSummary(res)
+		die(expt.WriteSummary(os.Stdout, res))
 		ssp.End()
+		finishProfile()
+		return
+	}
+	if *highTab {
+		hsp := rootSp.Child("highlight:table")
+		die(expt.WriteHighlight(os.Stdout, res))
+		hsp.End()
 		finishProfile()
 		return
 	}
 
 	g := res.Graph
 	if *window != "" {
-		wopt, err := parseWindow(*window)
+		wopt, err := lod.ParseWindow(*window)
 		die(err)
 		isp := rootSp.Child("lod:index")
 		ix := lod.Build(res.Graph, res.Assessment)
@@ -272,8 +265,11 @@ func main() {
 		g = wg
 		fmt.Fprintf(os.Stderr, "grainview: window %s: %d tasks expanded, %d super-nodes — %d nodes, %d edges (of %d source nodes)\n",
 			*window, wstats.Expanded, wstats.SuperNodes, wstats.Nodes, wstats.Edges, wstats.SourceSize)
-	} else if !*fullExp && g.NumNodes() > hugeExportNodes {
-		die(fmt.Errorf("graph has %d nodes — a full export would be unusable and enormous; pass -window (e.g. -window depth=2,top=8) for a level-of-detail view, or -full-export to force the old behavior", g.NumNodes()))
+	} else if err := export.SizeGate(g, *fullExp); err != nil {
+		// The gate itself lives in the export layer (every exporter enforces
+		// it); checking here too fails fast, before layout touches millions
+		// of nodes.
+		die(fmt.Errorf("%w — pass -window (e.g. -window depth=2,top=8) for a level-of-detail view, or -full-export to force the old behavior", err))
 	}
 
 	lsp := rootSp.Child("layout")
@@ -313,11 +309,23 @@ func main() {
 	esp := rootSp.Child("export:" + *format)
 	switch *format {
 	case "graphml":
-		die(export.GraphML(w, g, res.Assessment, v))
+		if *fullExp {
+			die(export.FullGraphML(w, g, res.Assessment, v))
+		} else {
+			die(export.GraphML(w, g, res.Assessment, v))
+		}
 	case "dot":
-		die(export.DOTWithWhatIfPool(w, g, res.Assessment, v, projections, expt.Pool()))
+		if *fullExp {
+			die(export.FullDOT(w, g, res.Assessment, v, projections, expt.Pool()))
+		} else {
+			die(export.DOTWithWhatIfPool(w, g, res.Assessment, v, projections, expt.Pool()))
+		}
 	case "json":
-		die(export.JSONWithWhatIfPool(w, g, res.Assessment, projections, expt.Pool()))
+		if *fullExp {
+			die(export.FullJSON(w, g, res.Assessment, projections, expt.Pool()))
+		} else {
+			die(export.JSONWithWhatIfPool(w, g, res.Assessment, projections, expt.Pool()))
+		}
 	default:
 		die(fmt.Errorf("unknown format %q", *format))
 	}
@@ -363,62 +371,6 @@ func printStats(res *expt.Result) {
 		}
 		fmt.Println()
 	}
-}
-
-func printSummary(res *expt.Result) {
-	s := res.Assessment.Summarize()
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "program\t%s\n", s.Program)
-	fmt.Fprintf(tw, "cores\t%d\n", s.Cores)
-	fmt.Fprintf(tw, "grains\t%d\n", s.TotalGrains)
-	fmt.Fprintf(tw, "makespan\t%d cycles\n", s.Makespan)
-	fmt.Fprintf(tw, "critical path\t%d cycles (%.1f%% of makespan)\n",
-		s.CriticalLen, 100*float64(s.CriticalLen)/float64(s.Makespan))
-	if s.WorstLoopLB > 0 {
-		fmt.Fprintf(tw, "worst loop load balance\t%.2f (loop %d)\n", s.WorstLoopLB, s.WorstLoopLBLoop)
-	}
-	fmt.Fprintln(tw, "\nproblem\tgrains\taffected")
-	for _, row := range s.Rows {
-		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", row.Problem, row.Count, 100*row.Affected)
-	}
-	tw.Flush()
-	fmt.Println("\nthread timeline (what conventional tools show):")
-	die(timeline.FromTrace(res.Trace).Render(os.Stdout))
-}
-
-// parseWindow parses the -window flag's "root=R.3,depth=2,top=8" syntax
-// into lod.WindowOptions; every key is optional (lod supplies defaults).
-func parseWindow(s string) (lod.WindowOptions, error) {
-	var o lod.WindowOptions
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		k, v, ok := strings.Cut(part, "=")
-		if !ok {
-			return o, fmt.Errorf("window: %q is not key=value (want root=..,depth=..,top=..)", part)
-		}
-		switch k {
-		case "root":
-			o.Root = profile.GrainID(v)
-		case "depth":
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return o, fmt.Errorf("window depth %q: not a number", v)
-			}
-			o.Depth = n
-		case "top":
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return o, fmt.Errorf("window top %q: not a number", v)
-			}
-			o.Top = n
-		default:
-			return o, fmt.Errorf("unknown window key %q (want root, depth, top)", k)
-		}
-	}
-	return o, nil
 }
 
 func die(err error) {

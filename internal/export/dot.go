@@ -22,8 +22,17 @@ func DOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
 // line of the body depends only on its own node or edge row, so fixed
 // chunks render into per-worker buffers concurrently and are assembled in
 // chunk order — byte-identical output at every worker count, including the
-// nil (serial) pool.
+// nil (serial) pool. Graphs past MaxExportNodes are refused with a
+// *HugeGraphError; FullDOT is the explicit opt-in.
 func DOTPool(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, pool *runpool.Runner) error {
+	if err := SizeGate(g, false); err != nil {
+		return err
+	}
+	return dotPool(w, g, a, v, pool)
+}
+
+// dotPool is the ungated DOT body emitter.
+func dotPool(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, pool *runpool.Runner) error {
 	bw := bufio.NewWriter(w)
 	defColors := DefinitionColors(g)
 

@@ -1,0 +1,45 @@
+package export
+
+import (
+	"fmt"
+
+	"graingraph/internal/core"
+)
+
+// MaxExportNodes is the full-export refusal threshold: past it a DOT/JSON/
+// GraphML emission of every node is hundreds of MB no viewer opens. The
+// gate lives here, in the export layer, so every caller — grainview, the
+// grainserved window/export handlers, future tools — hits it by default
+// instead of each having to remember its own check; the Full* entry points
+// are the explicit opt-in for callers that really want the whole graph.
+const MaxExportNodes = 500_000
+
+// HugeGraphError is the structured "use a window" refusal: the graph has
+// more nodes than a full export can usefully carry. Callers that can offer
+// an alternative (an HTTP handler suggesting the window endpoint, a CLI
+// suggesting -window) match it with errors.As and translate the fields.
+type HugeGraphError struct {
+	Nodes int // nodes in the graph
+	Limit int // the gate (MaxExportNodes)
+}
+
+func (e *HugeGraphError) Error() string {
+	return fmt.Sprintf("graph has %d nodes (full-export limit %d): the export would be unusable and enormous; request a level-of-detail window (e.g. depth=2,top=8) instead, or explicitly opt in to a full export", e.Nodes, e.Limit)
+}
+
+// SizeGate checks g against the full-export gate: nil when the graph is
+// exportable (or full is true, the explicit opt-in), a *HugeGraphError
+// otherwise. The exporters call it themselves; it is exported so callers
+// can fail fast before spending time on layout or reductions.
+func SizeGate(g *core.Graph, full bool) error {
+	return gateNodes(g.NumNodes(), full)
+}
+
+// gateNodes is SizeGate on a raw node count (separable for tests: nobody
+// wants to build a 500k-node graph to exercise an if statement).
+func gateNodes(n int, full bool) error {
+	if full || n <= MaxExportNodes {
+		return nil
+	}
+	return &HugeGraphError{Nodes: n, Limit: MaxExportNodes}
+}

@@ -1,0 +1,27 @@
+package export
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGateNodes(t *testing.T) {
+	if err := gateNodes(MaxExportNodes, false); err != nil {
+		t.Errorf("gateNodes(limit, false) = %v, want nil: the limit itself is exportable", err)
+	}
+	if err := gateNodes(MaxExportNodes+1, true); err != nil {
+		t.Errorf("gateNodes(limit+1, true) = %v, want nil: full is the explicit opt-in", err)
+	}
+
+	err := gateNodes(MaxExportNodes+1, false)
+	if err == nil {
+		t.Fatal("gateNodes(limit+1, false) = nil, want *HugeGraphError")
+	}
+	var huge *HugeGraphError
+	if !errors.As(err, &huge) {
+		t.Fatalf("gateNodes error is %T, want *HugeGraphError", err)
+	}
+	if huge.Nodes != MaxExportNodes+1 || huge.Limit != MaxExportNodes {
+		t.Errorf("HugeGraphError = %+v, want Nodes=%d Limit=%d", huge, MaxExportNodes+1, MaxExportNodes)
+	}
+}

@@ -17,7 +17,24 @@ import (
 //
 // Call core.Layout(g) first if node positions matter; un-laid-out graphs
 // still load, with yEd able to re-layout them.
+//
+// Graphs past MaxExportNodes are refused with a *HugeGraphError;
+// FullGraphML is the explicit opt-in.
 func GraphML(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
+	if err := SizeGate(g, false); err != nil {
+		return err
+	}
+	return graphML(w, g, a, v)
+}
+
+// FullGraphML is GraphML with the huge-graph gate explicitly disabled
+// (grainview -full-export).
+func FullGraphML(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
+	return graphML(w, g, a, v)
+}
+
+// graphML is the ungated GraphML emitter.
+func graphML(w io.Writer, g *core.Graph, a *highlight.Assessment, v View) error {
 	bw := bufio.NewWriter(w)
 	defColors := DefinitionColors(g)
 

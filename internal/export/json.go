@@ -1,8 +1,8 @@
 package export
 
 import (
-	"bytes"
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -64,7 +64,12 @@ func JSON(w io.Writer, g *core.Graph, a *highlight.Assessment) error {
 // only on its own graph columns, so fixed chunks marshal concurrently into
 // per-worker buffers and assemble in chunk order — byte-identical at every
 // worker count.
+// Graphs past MaxExportNodes are refused with a *HugeGraphError; FullJSON
+// is the explicit opt-in.
 func JSONPool(w io.Writer, g *core.Graph, a *highlight.Assessment, pool *runpool.Runner) error {
+	if err := SizeGate(g, false); err != nil {
+		return err
+	}
 	return jsonDump(w, g, a, nil, pool)
 }
 

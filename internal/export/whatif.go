@@ -30,8 +30,19 @@ func JSONWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, ps []wh
 }
 
 // JSONWithWhatIfPool is JSONWithWhatIf with node/edge emission sharded
-// across the pool (see JSONPool).
+// across the pool (see JSONPool). Graphs past MaxExportNodes are refused
+// with a *HugeGraphError; FullJSON is the explicit opt-in.
 func JSONWithWhatIfPool(w io.Writer, g *core.Graph, a *highlight.Assessment, ps []whatif.Projection, pool *runpool.Runner) error {
+	if err := SizeGate(g, false); err != nil {
+		return err
+	}
+	return jsonDump(w, g, a, whatIfAnnotations(ps), pool)
+}
+
+// FullJSON is JSONWithWhatIfPool with the huge-graph gate explicitly
+// disabled: the caller asserts it really wants every node of an arbitrarily
+// large graph (grainview -full-export).
+func FullJSON(w io.Writer, g *core.Graph, a *highlight.Assessment, ps []whatif.Projection, pool *runpool.Runner) error {
 	return jsonDump(w, g, a, whatIfAnnotations(ps), pool)
 }
 
@@ -43,8 +54,24 @@ func DOTWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, 
 }
 
 // DOTWithWhatIfPool is DOTWithWhatIf with body emission sharded across the
-// pool (see DOTPool).
+// pool (see DOTPool). Graphs past MaxExportNodes are refused with a
+// *HugeGraphError before anything is written; FullDOT is the explicit
+// opt-in.
 func DOTWithWhatIfPool(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, ps []whatif.Projection, pool *runpool.Runner) error {
+	if err := SizeGate(g, false); err != nil {
+		return err
+	}
+	return dotWithWhatIf(w, g, a, v, ps, pool)
+}
+
+// FullDOT is DOTWithWhatIfPool with the huge-graph gate explicitly
+// disabled (grainview -full-export).
+func FullDOT(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, ps []whatif.Projection, pool *runpool.Runner) error {
+	return dotWithWhatIf(w, g, a, v, ps, pool)
+}
+
+// dotWithWhatIf is the ungated annotated-DOT emitter.
+func dotWithWhatIf(w io.Writer, g *core.Graph, a *highlight.Assessment, v View, ps []whatif.Projection, pool *runpool.Runner) error {
 	bw := bufio.NewWriter(w)
 	for _, ann := range whatIfAnnotations(ps) {
 		fmt.Fprintf(bw, "// what-if #%d: %s -> makespan %d (%.2fx", ann.Rank, ann.Hypothesis, ann.Makespan, ann.Speedup)
@@ -56,7 +83,7 @@ func DOTWithWhatIfPool(w io.Writer, g *core.Graph, a *highlight.Assessment, v Vi
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return DOTPool(w, g, a, v, pool)
+	return dotPool(w, g, a, v, pool)
 }
 
 func whatIfAnnotations(ps []whatif.Projection) []jsonWhatIf {

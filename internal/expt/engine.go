@@ -43,8 +43,15 @@ var simMemo = runpool.NewCache[*simResult]()
 
 // SetParallelism bounds how many simulations run concurrently: the -j flag.
 // j == 1 is the strict serial fallback (runs execute in submission order on
-// the calling goroutine); j <= 0 selects GOMAXPROCS. Set it before
-// regenerating figures, not concurrently with them.
+// the calling goroutine); j <= 0 selects GOMAXPROCS.
+//
+// SetParallelism is a CLI-only convenience: it swaps the shared
+// package-level pool, so it must run once at startup, before regenerating
+// figures — never concurrently with analyses. Concurrent callers (servers,
+// parallel tests) must not touch it; they pass an explicit pool to
+// AnalyzeTraceOn (and to the pool-taking what-if/export entry points)
+// instead, which leaves the shared pool alone. A call racing with in-flight
+// work would strand chunked kernels mid-fan-out on the swapped-out pool.
 func SetParallelism(j int) {
 	poolMu.Lock()
 	if j == 1 {

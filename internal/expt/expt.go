@@ -23,6 +23,7 @@ import (
 	"graingraph/internal/obs"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
+	"graingraph/internal/runpool"
 	"graingraph/internal/trace"
 	"graingraph/internal/workloads"
 )
@@ -41,25 +42,29 @@ func ResetAnalyzeStats() { analyzeNS.Store(0) }
 
 // analyze is the shared analysis half of runOne and AnalyzeTrace: graph
 // build, metric derivation and highlighting, with the per-grain kernels
-// running on the experiment pool. It feeds the analyze-phase timer and,
-// when self-observability is enabled, reports one phase-span tree per
-// analysis — rooted under parent when the caller threaded one through, or
-// as its own root (the batch case, where analyses run on pool workers).
-func analyze(tr, baseline *profile.Trace, cores int, wdMax float64, parent *obs.Span) *Result {
+// running on pool (nil selects the shared experiment pool, the CLI
+// default). It feeds the analyze-phase timer and, when self-observability
+// is enabled, reports one phase-span tree per analysis — rooted under
+// parent when the caller threaded one through, or as its own root (the
+// batch case, where analyses run on pool workers).
+func analyze(tr, baseline *profile.Trace, cores int, wdMax float64, parent *obs.Span, pool *runpool.Runner) *Result {
 	start := time.Now()
 	defer func() { analyzeNS.Add(int64(time.Since(start))) }()
+	if pool == nil {
+		pool = currentPool()
+	}
 	sp := obs.Under(SelfProfiler(), parent, "analyze:"+tr.Program)
 	defer sp.End()
 
 	bsp := sp.Child("build")
 	g := core.Build(tr)
 	bsp.End()
-	rep := metrics.Analyze(tr, g, baseline, metrics.Options{Pool: currentPool(), Span: sp})
+	rep := metrics.Analyze(tr, g, baseline, metrics.Options{Pool: pool, Span: sp})
 	th := highlight.Defaults(cores, 12)
 	if wdMax > 0 {
 		th.WorkDeviationMax = wdMax
 	}
-	a := highlight.EvaluateObs(rep, th, currentPool(), sp)
+	a := highlight.EvaluateObs(rep, th, pool, sp)
 	return &Result{Trace: tr, Graph: g, Report: rep, Assessment: a}
 }
 
@@ -210,7 +215,7 @@ func runOne(inst workloads.Instance, cfg Config, parent *obs.Span) (*Result, []*
 	if err != nil {
 		return nil, iruns, fmt.Errorf("parallel run: %w", err)
 	}
-	res := analyze(tr, baseline, cfg.Cores, cfg.WorkDeviationMax, parent)
+	res := analyze(tr, baseline, cfg.Cores, cfg.WorkDeviationMax, parent, nil)
 	if irun != nil {
 		irun.Critical = res.Graph.CriticalGrains()
 	}
@@ -246,11 +251,24 @@ func AnalyzeTrace(tr, baseline *profile.Trace, cfg Config) *Result {
 // AnalyzeTraceSpan is AnalyzeTrace with the phase spans rooted under
 // parent (nil behaves exactly like AnalyzeTrace).
 func AnalyzeTraceSpan(tr, baseline *profile.Trace, cfg Config, parent *obs.Span) *Result {
+	return AnalyzeTraceOn(nil, tr, baseline, cfg, parent)
+}
+
+// AnalyzeTraceOn is AnalyzeTrace running its parallel kernels on an
+// explicit pool instead of the shared package-level one set by
+// SetParallelism. It is the re-entrant entry point for concurrent callers
+// (the grainserved artifact server analyzes independent requests on pools
+// it owns): the analysis touches no package-level pool state, so
+// concurrent AnalyzeTraceOn calls never race with each other or with a
+// CLI-style SetParallelism elsewhere in the process. A nil pool selects
+// the shared pool, which is only safe when nothing mutates it
+// concurrently. The output is byte-identical at every pool width.
+func AnalyzeTraceOn(pool *runpool.Runner, tr, baseline *profile.Trace, cfg Config, parent *obs.Span) *Result {
 	cores := cfg.Cores
 	if cores <= 0 {
 		cores = tr.Cores
 	}
-	return analyze(tr, baseline, cores, cfg.WorkDeviationMax, parent)
+	return analyze(tr, baseline, cores, cfg.WorkDeviationMax, parent, pool)
 }
 
 // makespanOne is Makespan without the instrumentation recording.

@@ -73,8 +73,8 @@ func SelfProfile() (*obs.Profile, error) {
 		sim := simMemo.Counters()
 		art := artifactMemo.Counters()
 		prof.Pool.Memos = append(prof.Pool.Memos,
-			obs.MemoCounters{Name: "simulate", Hits: sim.Hits, Misses: sim.Misses},
-			obs.MemoCounters{Name: "artifact", Hits: art.Hits, Misses: art.Misses},
+			obs.MemoCounters{Name: "simulate", Hits: sim.Hits, Misses: sim.Misses, Evictions: sim.Evictions},
+			obs.MemoCounters{Name: "artifact", Hits: art.Hits, Misses: art.Misses, Evictions: art.Evictions},
 		)
 	}
 	return prof, nil

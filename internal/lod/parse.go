@@ -1,0 +1,46 @@
+package lod
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graingraph/internal/profile"
+)
+
+// ParseWindow parses the "root=R.3,depth=2,top=8" window spec shared by
+// grainview's -window flag and grainserved's window endpoint into
+// WindowOptions. Every key is optional and order-free; Window supplies the
+// defaults for whatever is missing.
+func ParseWindow(s string) (WindowOptions, error) {
+	var o WindowOptions
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return o, fmt.Errorf("window: %q is not key=value (want root=..,depth=..,top=..)", part)
+		}
+		switch k {
+		case "root":
+			o.Root = profile.GrainID(v)
+		case "depth":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return o, fmt.Errorf("window depth %q: not a number", v)
+			}
+			o.Depth = n
+		case "top":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return o, fmt.Errorf("window top %q: not a number", v)
+			}
+			o.Top = n
+		default:
+			return o, fmt.Errorf("unknown window key %q (want root, depth, top)", k)
+		}
+	}
+	return o, nil
+}

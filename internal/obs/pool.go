@@ -148,11 +148,14 @@ type HistBucket struct {
 	Count int64         `json:"count"`
 }
 
-// MemoCounters is one memoization cache's hit/miss totals.
+// MemoCounters is one memoization cache's hit/miss totals. Evictions is
+// non-zero only for capacity-bounded caches (a long-running server's
+// analysis cache); the CLIs' unbounded memos never evict.
 type MemoCounters struct {
-	Name   string `json:"name"`
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Name      string `json:"name"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
 // PoolSnapshot is a point-in-time aggregate of pool telemetry.

@@ -93,8 +93,11 @@ func writePool(w io.Writer, s *PoolSnapshot) {
 		if total > 0 {
 			rate = 100 * float64(m.Hits) / float64(total)
 		}
-		fmt.Fprintf(w, "  memo %s: %d hits / %d misses (%.1f%% hit rate)\n",
-			m.Name, m.Hits, m.Misses, rate)
+		fmt.Fprintf(w, "  memo %s: %d hits / %d misses (%.1f%% hit rate)", m.Name, m.Hits, m.Misses, rate)
+		if m.Evictions > 0 {
+			fmt.Fprintf(w, ", %d evicted", m.Evictions)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -203,22 +203,114 @@ func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 // semantics: concurrent Do calls for the same key run compute exactly once
 // and share the outcome. Errors are cached too — the simulator is
 // deterministic, so a failed run would fail identically if repeated.
+//
+// By default the cache is unbounded: the CLIs regenerate a fixed figure set
+// and exit, so every distinct result is worth keeping for the life of the
+// process. Long-running processes (the grainserved artifact server) must
+// bound it with SetCapacity, which turns on least-recently-used eviction of
+// completed entries; in-flight computations are never evicted, so
+// single-flight waiters always receive the result they queued for.
 type Cache[V any] struct {
-	mu   sync.Mutex
-	m    map[Key]*cacheEntry[V]
-	hits atomic.Uint64
-	runs atomic.Uint64
+	mu  sync.Mutex
+	m   map[Key]*cacheEntry[V]
+	cap int // max entries; <= 0 means unbounded
+	// LRU list of entries, most recently used first. Only entries present
+	// in m are linked; eviction walks from the tail, skipping in-flight
+	// entries.
+	front, back *cacheEntry[V]
+
+	hits      atomic.Uint64
+	runs      atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type cacheEntry[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	key      Key
+	done     chan struct{}
+	val      V
+	err      error
+	inflight bool
+	// LRU links, guarded by Cache.mu.
+	prev, next *cacheEntry[V]
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty, unbounded cache.
 func NewCache[V any]() *Cache[V] {
 	return &Cache[V]{m: make(map[Key]*cacheEntry[V])}
+}
+
+// SetCapacity bounds the cache to at most n entries, evicting the least
+// recently used completed entries when the bound is exceeded; n <= 0
+// restores the default unbounded behaviour. In-flight computations are
+// never evicted, so the entry count may transiently exceed n while more
+// than n computations are running. Lowering the capacity evicts
+// immediately.
+func (c *Cache[V]) SetCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	c.evictLocked()
+}
+
+// Capacity returns the entry bound (0 = unbounded).
+func (c *Cache[V]) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// pushFront links e as the most recently used entry.
+func (c *Cache[V]) pushFront(e *cacheEntry[V]) {
+	e.prev = nil
+	e.next = c.front
+	if c.front != nil {
+		c.front.prev = e
+	}
+	c.front = e
+	if c.back == nil {
+		c.back = e
+	}
+}
+
+// unlink removes e from the LRU list.
+func (c *Cache[V]) unlink(e *cacheEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// touch marks e as most recently used.
+func (c *Cache[V]) touch(e *cacheEntry[V]) {
+	if c.front == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// is within capacity (or only in-flight entries remain). Callers hold mu.
+func (c *Cache[V]) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for e := c.back; e != nil && len(c.m) > c.cap; {
+		prev := e.prev
+		if !e.inflight {
+			c.unlink(e)
+			delete(c.m, e.key)
+			c.evictions.Add(1)
+		}
+		e = prev
+	}
 }
 
 // Do returns the cached outcome for key, computing it via compute on first
@@ -227,19 +319,43 @@ func NewCache[V any]() *Cache[V] {
 func (c *Cache[V]) Do(key Key, compute func() (V, error)) (v V, err error, hit bool) {
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
+		c.touch(e)
 		c.mu.Unlock()
 		<-e.done
 		c.hits.Add(1)
 		return e.val, e.err, true
 	}
-	e := &cacheEntry[V]{done: make(chan struct{})}
+	e := &cacheEntry[V]{key: key, done: make(chan struct{}), inflight: true}
 	c.m[key] = e
+	c.pushFront(e)
+	c.evictLocked()
 	c.mu.Unlock()
 
 	c.runs.Add(1)
 	e.val, e.err = compute()
 	close(e.done)
+	c.mu.Lock()
+	e.inflight = false
+	// The insert above may have left the cache over capacity when the tail
+	// was in flight; completing an entry is the other edge where eviction
+	// can make progress.
+	c.evictLocked()
+	c.mu.Unlock()
 	return e.val, e.err, false
+}
+
+// Forget drops key's completed entry, so the next Do recomputes. Use it to
+// invalidate outcomes that depend on external state (a file that did not
+// exist yet) rather than on the key's content. In-flight entries are left
+// alone — waiters that already joined still receive the outcome — and
+// explicit invalidation does not count as an eviction.
+func (c *Cache[V]) Forget(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok && !e.inflight {
+		c.unlink(e)
+		delete(c.m, key)
+	}
 }
 
 // Len returns the number of cached entries (including in-flight ones).
@@ -257,26 +373,35 @@ func (c *Cache[V]) Stats() (runs, hits uint64) {
 
 // CacheStats is a cache's lookup outcome counters: Hits counts Do calls
 // served from the cache (including waits on another goroutine's in-flight
-// computation), Misses counts Do calls that had to run the computation.
+// computation), Misses counts Do calls that had to run the computation,
+// Evictions counts entries dropped by the capacity bound (0 for the
+// default unbounded configuration).
 type CacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
-// Counters returns the hit/miss counters in the shape the observability
-// registry (internal/obs) reports: every Do call is exactly one hit or one
-// miss, so Hits+Misses is the total lookup count.
+// Evictions returns how many entries the capacity bound has dropped.
+func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }
+
+// Counters returns the hit/miss/eviction counters in the shape the
+// observability registry (internal/obs) reports: every Do call is exactly
+// one hit or one miss, so Hits+Misses is the total lookup count.
 func (c *Cache[V]) Counters() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.runs.Load()}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.runs.Load(), Evictions: c.evictions.Load()}
 }
 
-// Reset drops all cached entries and zeroes the counters. Entries still
-// being computed are abandoned to their current waiters: goroutines already
-// waiting on an in-flight entry get its result, later Do calls recompute.
+// Reset drops all cached entries and zeroes the counters (the capacity
+// bound is kept). Entries still being computed are abandoned to their
+// current waiters: goroutines already waiting on an in-flight entry get its
+// result, later Do calls recompute.
 func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	c.m = make(map[Key]*cacheEntry[V])
+	c.front, c.back = nil, nil
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.runs.Store(0)
+	c.evictions.Store(0)
 }

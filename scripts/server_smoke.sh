@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Smoke test for the grainserved artifact server: build everything, record a
+# real fixture artifact, start a server, upload the fixture, and verify every
+# endpoint serves bytes identical to the grainview CLI's output for the same
+# artifact. Finishes with a short grainload run against the live server.
+#
+# Usage: scripts/server_smoke.sh   (from the repo root)
+set -euo pipefail
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmp/grainview" ./cmd/grainview
+go build -o "$tmp/grainserved" ./cmd/grainserved
+go build -o "$tmp/grainload" ./cmd/grainload
+
+echo "== record fixture artifact"
+fixture="$tmp/fixture.ggp"
+"$tmp/grainview" -workload fib -record "$fixture" -summary >/dev/null 2>&1
+
+echo "== reference renderings via grainview"
+"$tmp/grainview" -summary "$fixture" >"$tmp/summary.cli"
+"$tmp/grainview" -highlight "$fixture" >"$tmp/highlight.cli"
+# With -o, the what-if table goes to stdout while the export goes to the file.
+"$tmp/grainview" -whatif rank -o "$tmp/ignored.dot" "$fixture" >"$tmp/whatif.cli" 2>/dev/null
+"$tmp/grainview" -window depth=2,top=8 -format dot "$fixture" >"$tmp/window.cli" 2>/dev/null
+
+echo "== start grainserved"
+addr=127.0.0.1:18080
+"$tmp/grainserved" -listen "$addr" -store "$tmp/store" 2>"$tmp/server.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null
+
+echo "== upload artifact"
+id=$(curl -fsS -X POST --data-binary @"$fixture" "http://$addr/artifacts" |
+    sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+[ -n "$id" ] || { echo "upload returned no id" >&2; exit 1; }
+echo "   id: $id"
+
+echo "== endpoint bytes vs grainview CLI"
+curl -fsS "http://$addr/artifacts/$id/summary" >"$tmp/summary.srv"
+curl -fsS "http://$addr/artifacts/$id/highlight" >"$tmp/highlight.srv"
+curl -fsS "http://$addr/artifacts/$id/whatif" >"$tmp/whatif.srv"
+curl -fsS "http://$addr/artifacts/$id/window?depth=2&top=8&format=dot" >"$tmp/window.srv"
+for ep in summary highlight whatif window; do
+    if ! diff -q "$tmp/$ep.cli" "$tmp/$ep.srv" >/dev/null; then
+        echo "FAIL: $ep endpoint differs from grainview output:" >&2
+        diff "$tmp/$ep.cli" "$tmp/$ep.srv" | head -20 >&2
+        exit 1
+    fi
+    echo "   $ep: byte-identical"
+done
+
+echo "== repeated upload is a memo hit"
+second=$(curl -fsS -X POST --data-binary @"$fixture" "http://$addr/artifacts")
+echo "$second" | grep -q '"existed": *true' || { echo "FAIL: re-upload not recognized: $second" >&2; exit 1; }
+
+echo "== grainload smoke (2s at 50 req/s)"
+"$tmp/grainload" -server "http://$addr" -artifact "$fixture" \
+    -rate 50 -duration 2s -c 4 -tenants 2
+
+echo "== statsz"
+curl -fsS "http://$addr/statsz" | head -30
+echo "server smoke: OK"
