@@ -22,6 +22,7 @@ import (
 	"graingraph/internal/lod"
 	"graingraph/internal/obs"
 	"graingraph/internal/profile"
+	"graingraph/internal/query"
 	"graingraph/internal/runpool"
 	"graingraph/internal/whatif"
 )
@@ -127,6 +128,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /artifacts/{id}/highlight", s.instrument("GET highlight", s.query("highlight")))
 	s.mux.HandleFunc("GET /artifacts/{id}/whatif", s.instrument("GET whatif", s.query("whatif")))
 	s.mux.HandleFunc("GET /artifacts/{id}/window", s.instrument("GET window", s.query("window")))
+	s.mux.HandleFunc("GET /artifacts/{id}/query", s.instrument("GET query", s.query("query")))
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -150,12 +152,15 @@ func errf(status int, format string, args ...any) *httpError {
 
 // writeErr renders err as a JSON error response. *httpError carries its own
 // status and fields; *export.HugeGraphError maps to 413 with the
-// structured "use a window" shape the satellite demands; anything else is
-// a 500.
+// structured "use a window" shape; *query.Error (a malformed or unbindable
+// query string) maps to 400 with the offending fragment — the client's
+// query is at fault, never the server, so it must not surface as a 500;
+// anything else is a 500.
 func writeErr(w http.ResponseWriter, err error) {
 	var (
 		he   *httpError
 		huge *export.HugeGraphError
+		qe   *query.Error
 	)
 	switch {
 	case errors.As(err, &he):
@@ -165,6 +170,13 @@ func writeErr(w http.ResponseWriter, err error) {
 			"nodes": huge.Nodes,
 			"limit": huge.Limit,
 			"hint":  "full exports past the limit are refused; use the window endpoint (or narrow depth/top) for a level-of-detail view",
+		}}
+	case errors.As(err, &qe):
+		he = &httpError{status: http.StatusBadRequest, body: map[string]any{
+			"error":  "bad-query",
+			"src":    qe.Src,
+			"detail": qe.Msg,
+			"hint":   "grammar: [from grains|tasks |] filter <expr> | groupby <cols> | agg <calls> | sort <col> [asc|desc] | topk <n> [by <col> [asc|desc]] | select <cols>",
 		}}
 	default:
 		he = errf(http.StatusInternalServerError, "%v", err)
@@ -384,12 +396,20 @@ func (s *server) query(kind string) func(*obs.Span, http.ResponseWriter, *http.R
 			return err
 		}
 		params := ""
-		if kind == "window" {
+		switch kind {
+		case "window":
 			// Canonical param string: part of the render address, so the
 			// same window always hits the same memo entry.
 			q := r.URL.Query()
 			params = fmt.Sprintf("root=%s,depth=%s,top=%s,format=%s",
 				q.Get("root"), q.Get("depth"), q.Get("top"), q.Get("format"))
+		case "query":
+			// Parse up front: a malformed query fails 400 here, before
+			// cache admission or analysis, and never enters the memo.
+			params = "q=" + r.URL.Query().Get("q")
+			if _, err := query.Parse(r.URL.Query().Get("q")); err != nil {
+				return err
+			}
 		}
 
 		rkey := runpool.KeyOf(id, kind, params)
@@ -474,6 +494,32 @@ func (s *server) render(a *analysis, kind string, r *http.Request, sp *obs.Span)
 			return nil, err
 		}
 		if err := expt.WriteWhatIfTable(&buf, a.res, ps); err != nil {
+			return nil, err
+		}
+	case "query":
+		plan, err := query.Parse(r.URL.Query().Get("q"))
+		if err != nil {
+			return nil, err
+		}
+		// The grains source builds its table per render (the render memo
+		// absorbs repeats); the tasks source reads the shared lod index.
+		var t *query.Table
+		if plan.Source() == "tasks" {
+			isp := sp.Child("lod:index")
+			t = a.lod().Table()
+			isp.End()
+		} else {
+			tsp := sp.Child("query:table")
+			t = expt.QueryTable(a.res, s.pool)
+			tsp.End()
+		}
+		qsp := sp.Child("query:run")
+		out, err := plan.Run(t, s.pool)
+		qsp.End()
+		if err != nil {
+			return nil, err
+		}
+		if err := query.WriteTable(&buf, out); err != nil {
 			return nil, err
 		}
 	case "window":

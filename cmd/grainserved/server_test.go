@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"runtime"
 	"sync"
 	"testing"
@@ -425,5 +426,69 @@ func TestFairGateRoundRobin(t *testing.T) {
 	}
 	if waits, _ := g.queueStats(); waits != 4 {
 		t.Errorf("queueStats waits = %d, want 4", waits)
+	}
+}
+
+// TestQueryEndpoint checks GET /artifacts/{id}/query against the expt
+// writer grainview's -query flag uses (byte-identity, both sources), the
+// render memo, and the structured 400 for malformed or unbindable queries.
+func TestQueryEndpoint(t *testing.T) {
+	f, err := fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, 0)
+	upload(t, s, f.raw)
+
+	pool := runpool.New(4)
+	tr, err := ggp.ReadTrace(bytes.NewReader(f.raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := expt.AnalyzeTraceOn(pool, tr, nil, expt.Config{}, nil)
+
+	queries := []string{
+		"from grains | filter exec > 0 | groupby loc | agg count, sum(exec), mean(benefit) | sort sum_exec desc | topk 5",
+		"filter benefit < 1 | sort exec desc, id asc | topk 10 | select id,loc,exec,benefit",
+		"from tasks | filter depth >= 1 | sort subwork desc | topk 3 | select id,depth,subwork,subtasks",
+	}
+	for _, q := range queries {
+		var ref bytes.Buffer
+		if err := expt.WriteQuery(&ref, res, q, pool); err != nil {
+			t.Fatalf("reference WriteQuery(%q): %v", q, err)
+		}
+		path := "/artifacts/" + f.id + "/query?q=" + url.QueryEscape(q)
+		w := do(t, s, "GET", path, "", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("query %q: status %d: %s", q, w.Code, w.Body.String())
+		}
+		if !bytes.Equal(w.Body.Bytes(), ref.Bytes()) {
+			t.Errorf("query %q: response differs from grainview's writer\nserver:\n%s\nreference:\n%s",
+				q, w.Body.String(), ref.String())
+		}
+		// Second hit serves from the render memo, byte-identical.
+		w2 := do(t, s, "GET", path, "", nil)
+		if !bytes.Equal(w2.Body.Bytes(), ref.Bytes()) {
+			t.Errorf("query %q: memoized response differs", q)
+		}
+	}
+
+	// Malformed and unbindable queries are the client's fault: structured
+	// 400, never a 500.
+	for _, q := range []string{"bogus nonsense", "filter nosuchcol > 1", ""} {
+		w := do(t, s, "GET", "/artifacts/"+f.id+"/query?q="+url.QueryEscape(q), "", nil)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400: %s", q, w.Code, w.Body.String())
+		}
+		var body map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("query %q: non-JSON error body: %v", q, err)
+		}
+		if body["error"] != "bad-query" {
+			t.Errorf("query %q: error = %v, want bad-query", q, body["error"])
+		}
+		if body["detail"] == nil || body["hint"] == nil {
+			t.Errorf("query %q: missing detail/hint in %v", q, body)
+		}
 	}
 }

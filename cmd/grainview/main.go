@@ -26,9 +26,12 @@
 //	                                      # Perfetto trace of the analysis itself
 //	grainview -window root=R,depth=2,top=6 -format dot -o run.dot run.ggp
 //	                                      # level-of-detail window over a huge run
+//	grainview -query "filter benefit < 1 | sort exec desc | topk 10 | select id,loc,exec" run.ggp
+//	                                      # vectorized query over the grain metrics
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,10 +45,19 @@ import (
 	"graingraph/internal/machine"
 	"graingraph/internal/obs"
 	"graingraph/internal/profile"
+	"graingraph/internal/query"
 	"graingraph/internal/rts"
 	"graingraph/internal/timeline"
 	"graingraph/internal/whatif"
 	"graingraph/internal/workloads"
+)
+
+// Usage strings for the three expression-valued flags; dieUsage prints the
+// matching one when the expression fails to parse.
+const (
+	queryUsage  = `-query "[from grains|tasks |] filter <expr> | groupby <cols> | agg <calls> | sort <col> [asc|desc] | topk <n> [by <col> [asc|desc]] | select <cols>"`
+	windowUsage = `-window "root=<task>,depth=<n>,top=<n>" (keys optional, order-free)`
+	whatifUsage = `-whatif rank | -whatif "cutoff:<depth>,scale:<grain>:<factor>,infcores,noinflate[:<grain>]"`
 )
 
 func main() {
@@ -74,8 +86,19 @@ func main() {
 		recOut   = flag.String("record", "", "write the run's trace as a grain-profile artifact (.ggp) to this file for later replay")
 		window   = flag.String("window", "", "level-of-detail export window, e.g. \"root=R.3,depth=2,top=8\": expand the root task's subtree depth levels with the top heaviest children per task, collapse the rest into super-nodes (critical path stays exact); keys are optional and order-free")
 		fullExp  = flag.Bool("full-export", false, "export every node even on huge graphs (default: graphs over 500k nodes require -window or -full-export)")
+		queryStr = flag.String("query", "", "run a query plan over the analyzed run and print the result table, e.g. \"filter benefit < 1 | sort exec desc | topk 10 | select id,loc,exec\" (see internal/query for the grammar; \"from tasks\" queries the level-of-detail summary index)")
 	)
 	flag.Parse()
+
+	// Expression flags parse before any simulation work so a malformed
+	// query fails fast with a usage message (exit 2), not after minutes of
+	// simulated execution.
+	var queryPlan *query.Plan
+	if *queryStr != "" {
+		var err error
+		queryPlan, err = query.Parse(*queryStr)
+		dieUsage(err, queryUsage)
+	}
 
 	expt.SetParallelism(*jobs)
 
@@ -219,7 +242,7 @@ func main() {
 			nsp.End()
 			eng.Obs = wsp
 			hs, err := whatif.ParseSpecs(*whatIf)
-			die(err)
+			dieUsage(err, whatifUsage)
 			projections = eng.EvalAll(expt.Pool(), hs)
 		}
 		wsp.End()
@@ -250,18 +273,32 @@ func main() {
 		finishProfile()
 		return
 	}
+	if queryPlan != nil {
+		qsp := rootSp.Child("query")
+		err := expt.WritePlanSpan(os.Stdout, res, queryPlan, expt.Pool(), qsp)
+		qsp.End()
+		var qe *query.Error
+		if errors.As(err, &qe) {
+			// Binding failures (unknown column, type mismatch) surface at
+			// run time but are still the query's fault: usage exit.
+			dieUsage(err, queryUsage)
+		}
+		die(err)
+		finishProfile()
+		return
+	}
 
 	g := res.Graph
 	if *window != "" {
 		wopt, err := lod.ParseWindow(*window)
-		die(err)
+		dieUsage(err, windowUsage)
 		isp := rootSp.Child("lod:index")
 		ix := lod.Build(res.Graph, res.Assessment)
 		isp.End()
 		qsp := rootSp.Child("lod:window")
 		wg, wstats, err := ix.Window(wopt)
 		qsp.End()
-		die(err)
+		dieUsage(err, windowUsage)
 		g = wg
 		fmt.Fprintf(os.Stderr, "grainview: window %s: %d tasks expanded, %d super-nodes — %d nodes, %d edges (of %d source nodes)\n",
 			*window, wstats.Expanded, wstats.SuperNodes, wstats.Nodes, wstats.Edges, wstats.SourceSize)
@@ -377,5 +414,17 @@ func die(err error) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "grainview: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// dieUsage is the shared fail helper for the expression-valued flags
+// (-query, -window, -whatif): a malformed expression is the invocation's
+// fault, so it reports the error with the flag's usage line and exits 2 —
+// the usage-error convention — rather than the generic failure exit 1 (or,
+// worse, a panic) the parse sites used to produce inconsistently.
+func dieUsage(err error, usage string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grainview: %v\nusage: grainview %s\n", err, usage)
+		os.Exit(2)
 	}
 }

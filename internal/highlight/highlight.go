@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"graingraph/internal/metrics"
 	"graingraph/internal/obs"
 	"graingraph/internal/profile"
+	"graingraph/internal/query"
 	"graingraph/internal/runpool"
 )
 
@@ -130,8 +132,80 @@ func EvaluateWith(rep *metrics.Report, th Thresholds, pool *runpool.Runner) *Ass
 	return EvaluateObs(rep, th, pool, nil)
 }
 
+// fnum formats a threshold as an exact round-trip query literal.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ProblemQuery returns the query-grammar predicate defining problem p over
+// the metric table (see MetricTable) at the given thresholds. The
+// threshold scan itself evaluates exactly these expressions, so a
+// `grainview -query "filter <predicate>"` selects precisely the grains the
+// highlight pass flags.
+func ProblemQuery(p Problem, th Thresholds) string {
+	switch p {
+	case LowParallelBenefit:
+		return "benefit < " + fnum(th.ParallelBenefitMin)
+	case WorkInflation:
+		return "workdev > " + fnum(th.WorkDeviationMax)
+	case LowParallelism:
+		return "parallelism < " + strconv.Itoa(th.ParallelismMin)
+	case HighScatter:
+		// ScatterUnknown (-1, unrecorded cores) is not evidence of a
+		// problem: the sentinel is excluded, not treated as "packed".
+		return "scatter != " + strconv.Itoa(metrics.ScatterUnknown) +
+			" && scatter > " + strconv.Itoa(th.ScatterMax)
+	case PoorUtilization:
+		// Grains that never stall are fine regardless of the ratio; grains
+		// with no memory activity are not memory problems either.
+		return "stall > 0 && util < " + fnum(th.UtilizationMin)
+	default:
+		return "benefit < 0 && benefit > 0" // unknown problem: matches nothing
+	}
+}
+
+// MetricTable exposes rep's per-grain metric rows as a columnar query
+// table: benefit, workdev, parallelism, scatter, util, stall, one row per
+// grain in report order. The columns are filled across the pool in fixed
+// chunks. This is the table the threshold scan runs its problem predicates
+// over; expt builds a superset of it (adding identity columns) for ad-hoc
+// -query plans.
+func MetricTable(rep *metrics.Report, pool *runpool.Runner) *query.Table {
+	n := len(rep.Grains)
+	benefit := make([]float64, n)
+	workdev := make([]float64, n)
+	parallelism := make([]int64, n)
+	scatter := make([]int64, n)
+	util := make([]float64, n)
+	stall := make([]int64, n)
+	runpool.ParallelFor(pool, n, evaluateGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gm := rep.Grains[i]
+			benefit[i] = gm.ParallelBenefit
+			workdev[i] = gm.WorkDeviation
+			parallelism[i] = int64(gm.InstParallelism)
+			scatter[i] = int64(gm.Scatter)
+			util[i] = gm.Utilization
+			stall[i] = int64(gm.Grain.Counters.Stall)
+		}
+	})
+	return query.NewTable(n).
+		AddFloat("benefit", benefit).
+		AddFloat("workdev", workdev).
+		AddInt("parallelism", parallelism).
+		AddInt("scatter", scatter).
+		AddFloat("util", util).
+		AddInt("stall", stall)
+}
+
 // EvaluateObs is EvaluateWith reporting its threshold scan as a phase span
 // under parent (internal/obs). A nil parent is exactly EvaluateWith.
+//
+// The scan executes through the query engine: the metric rows become a
+// columnar table (MetricTable), each problem's definition compiles from
+// its ProblemQuery predicate, and the five predicates evaluate as
+// vectorized chunked kernels before one final chunked pass folds the match
+// vectors into assessment masks. Chunk boundaries depend only on the grain
+// count, so the assessment is byte-identical at every worker count — and
+// identical to the hand-rolled per-grain scan this replaced.
 func EvaluateObs(rep *metrics.Report, th Thresholds, pool *runpool.Runner, parent *obs.Span) *Assessment {
 	sp := parent.Child("highlight")
 	defer sp.End()
@@ -141,28 +215,26 @@ func EvaluateObs(rep *metrics.Report, th Thresholds, pool *runpool.Runner, paren
 		Grains:     make([]*GrainAssessment, len(rep.Grains)),
 		byID:       make(map[profile.GrainID]*GrainAssessment, len(rep.Grains)),
 	}
-	runpool.ParallelFor(pool, len(rep.Grains), evaluateGrain, func(_, lo, hi int) {
+	n := len(rep.Grains)
+	t := MetricTable(rep, pool)
+	match := make([][]bool, len(AllProblems))
+	for pi, p := range AllProblems {
+		e, err := query.ParseExpr(ProblemQuery(p, th))
+		if err != nil {
+			panic("highlight: bad problem predicate: " + err.Error())
+		}
+		match[pi] = make([]bool, n)
+		if err := e.EvalBool(t, pool, match[pi]); err != nil {
+			panic("highlight: problem predicate failed to bind: " + err.Error())
+		}
+	}
+	runpool.ParallelFor(pool, n, evaluateGrain, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			gm := rep.Grains[i]
-			ga := &GrainAssessment{Metrics: gm}
-			if gm.ParallelBenefit < th.ParallelBenefitMin {
-				ga.Mask |= LowParallelBenefit
-			}
-			if gm.WorkDeviation > th.WorkDeviationMax {
-				ga.Mask |= WorkInflation
-			}
-			if gm.InstParallelism < th.ParallelismMin {
-				ga.Mask |= LowParallelism
-			}
-			// Unknown scatter (unrecorded cores) is not evidence of a problem:
-			// skip the sentinel rather than treating it as "packed" or flagged.
-			if gm.Scatter != metrics.ScatterUnknown && gm.Scatter > th.ScatterMax {
-				ga.Mask |= HighScatter
-			}
-			// Grains that never stall are fine regardless of the ratio; grains
-			// with no memory activity are not memory problems either.
-			if gm.Grain.Counters.Stall > 0 && gm.Utilization < th.UtilizationMin {
-				ga.Mask |= PoorUtilization
+			ga := &GrainAssessment{Metrics: rep.Grains[i]}
+			for pi, p := range AllProblems {
+				if match[pi][i] {
+					ga.Mask |= p
+				}
 			}
 			a.Grains[i] = ga
 		}
@@ -297,54 +369,45 @@ func (a *Assessment) Summarize() Summary {
 // severity then execution time — the paper's "sorting task definitions by
 // creation count and work inflation" workflow uses rankings like this.
 //
-// One bounded-selection pass with severities computed once per affected
-// grain: a problem like low-parallel-benefit can flag every grain of a
-// million-grain report, and sorting them all (recomputing severity inside
-// the comparator) to keep the top handful used to dominate what-if
-// candidate generation.
+// Selection runs through query.TopK (one bounded-selection pass, the same
+// kernel behind the query grammar's topk verb) with severities computed
+// once per affected grain: a problem like low-parallel-benefit can flag
+// every grain of a million-grain report, and sorting them all (recomputing
+// severity inside the comparator) to keep the top handful used to dominate
+// what-if candidate generation.
 func (a *Assessment) TopOffenders(p Problem, n int) []*GrainAssessment {
 	if n <= 0 {
 		return nil
 	}
 	var (
-		top []*GrainAssessment
-		sev []float64
+		cand []*GrainAssessment
+		sev  []float64
 	)
 	for _, g := range a.Grains {
-		if !g.Has(p) {
-			continue
+		if g.Has(p) {
+			s, _ := a.Severity(g, p)
+			cand = append(cand, g)
+			sev = append(sev, s)
 		}
-		s, _ := a.Severity(g, p)
-		if len(top) == n && !offenderAbove(g, s, top[n-1], sev[n-1]) {
-			continue
-		}
-		pos := len(top)
-		for pos > 0 && offenderAbove(g, s, top[pos-1], sev[pos-1]) {
-			pos--
-		}
-		if len(top) < n {
-			top = append(top, nil)
-			sev = append(sev, 0)
-		}
-		copy(top[pos+1:], top[pos:])
-		copy(sev[pos+1:], sev[pos:])
-		top[pos] = g
-		sev[pos] = s
 	}
-	return top
-}
-
-// offenderAbove reports whether offender g (severity sg) outranks h: higher
-// severity, then longer execution, then lower grain ID — a total order, so
-// the selection above returns exactly what the full sort did.
-func offenderAbove(g *GrainAssessment, sg float64, h *GrainAssessment, sh float64) bool {
-	if sg != sh {
-		return sg > sh
+	// Higher severity, then longer execution, then lower grain ID — a
+	// total order, so the bounded selection returns exactly what a full
+	// sort-and-truncate would.
+	top := query.TopK(len(cand), n, func(i, j int) bool {
+		if sev[i] != sev[j] {
+			return sev[i] > sev[j]
+		}
+		gi, gj := cand[i].Metrics.Grain, cand[j].Metrics.Grain
+		if gi.Exec != gj.Exec {
+			return gi.Exec > gj.Exec
+		}
+		return gi.ID < gj.ID
+	})
+	out := make([]*GrainAssessment, len(top))
+	for i, r := range top {
+		out[i] = cand[r]
 	}
-	if g.Metrics.Grain.Exec != h.Metrics.Grain.Exec {
-		return g.Metrics.Grain.Exec > h.Metrics.Grain.Exec
-	}
-	return g.Metrics.Grain.ID < h.Metrics.Grain.ID
+	return out
 }
 
 // ByDefinition aggregates problem prevalence per source definition — the

@@ -25,6 +25,7 @@ import (
 	"graingraph/internal/core"
 	"graingraph/internal/highlight"
 	"graingraph/internal/profile"
+	"graingraph/internal/query"
 )
 
 // Index is the hierarchical summary: one record per task grain (slot),
@@ -349,9 +350,9 @@ type windowBuild struct {
 	opt WindowOptions
 	out *core.Graph
 
-	nodeMap   []int32 // original node -> new node + 1, 0 when not shown
+	nodeMap   []int32       // original node -> new node + 1, 0 when not shown
 	included  []core.NodeID // original IDs of copied nodes, in emission order
-	regionRep []int32 // slot -> super-node absorbing its subtree, -1 none
+	regionRep []int32       // slot -> super-node absorbing its subtree, -1 none
 	loopRest  map[profile.LoopID]int32
 	stats     WindowStats
 }
@@ -456,19 +457,37 @@ func (b *windowBuild) expand(si int32, rel int) {
 	}
 
 	// Children: expand critical subtrees unconditionally; of the rest, the
-	// heaviest Top within the depth budget. Children are pre-sorted by
-	// descending subtree work.
+	// heaviest Top within the depth budget. The heaviest-first choice runs
+	// through query.TopK — the same bounded-selection kernel behind the
+	// query grammar's topk verb — under (subtree work desc, slot asc), the
+	// order the children CSR is already sorted by, so the selected set and
+	// the emission order match the sorted-prefix scan this replaced.
 	kids := ix.childIdx[ix.childOff[si]:ix.childOff[si+1]]
+	keep := make([]bool, len(kids))
+	var nonCrit []int32
+	for i, c := range kids {
+		if ix.critSub[c] {
+			keep[i] = true
+		} else {
+			nonCrit = append(nonCrit, int32(i))
+		}
+	}
+	if rel < b.opt.Depth {
+		for _, r := range query.TopK(len(nonCrit), b.opt.Top, func(i, j int) bool {
+			ci, cj := kids[nonCrit[i]], kids[nonCrit[j]]
+			if ix.subWork[ci] != ix.subWork[cj] {
+				return ix.subWork[ci] > ix.subWork[cj]
+			}
+			return ci < cj
+		}) {
+			keep[nonCrit[r]] = true
+		}
+	}
 	var rest []int32
-	shown := 0
-	for _, c := range kids {
-		switch {
-		case ix.critSub[c]:
+	for i, c := range kids {
+		if keep[i] {
 			b.expand(c, rel+1)
-		case rel < b.opt.Depth && shown < b.opt.Top:
-			b.expand(c, rel+1)
-			shown++
-		default:
+		} else {
 			rest = append(rest, c)
 		}
 	}

@@ -1,0 +1,48 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// WriteTable renders t as an aligned console table: a header row of column
+// names, one row per table row, and a row-count footer. Formatting is
+// fixed and deterministic — floats use the shortest round-trip form — so
+// the CLI and server can diff rendered bytes directly.
+func WriteTable(w io.Writer, t *Table) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, c := range t.Columns() {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c.Name)
+	}
+	fmt.Fprintln(tw)
+	for r := 0; r < t.NumRows(); r++ {
+		for i, c := range t.Columns() {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			switch c.Kind {
+			case Float:
+				fmt.Fprint(tw, strconv.FormatFloat(c.F[r], 'g', -1, 64))
+			case Int:
+				fmt.Fprint(tw, strconv.FormatInt(c.I[r], 10))
+			default:
+				fmt.Fprint(tw, c.S[r])
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if t.NumRows() == 1 {
+		_, err := fmt.Fprintln(w, "(1 row)")
+		return err
+	}
+	_, err := fmt.Fprintf(w, "(%d rows)\n", t.NumRows())
+	return err
+}

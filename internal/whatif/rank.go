@@ -3,10 +3,10 @@ package whatif
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"graingraph/internal/highlight"
 	"graingraph/internal/profile"
+	"graingraph/internal/query"
 	"graingraph/internal/runpool"
 )
 
@@ -126,14 +126,24 @@ func (e *Engine) Rank(a *highlight.Assessment, pool *runpool.Runner, opt RankOpt
 	}
 	opt = opt.withDefaults()
 	ps := e.EvalAll(pool, e.Candidates(a, opt))
-	sort.Slice(ps, func(i, j int) bool {
+	// Projected makespan ascending, label breaking ties — a total order,
+	// so bounded selection (TopN set) and stable sort (full ranking) agree
+	// with the sort-and-truncate this replaced.
+	above := func(i, j int) bool {
 		if ps[i].Makespan != ps[j].Makespan {
 			return ps[i].Makespan < ps[j].Makespan
 		}
 		return ps[i].Label < ps[j].Label
-	})
-	if opt.TopN > 0 && len(ps) > opt.TopN {
-		ps = ps[:opt.TopN]
 	}
-	return ps, nil
+	var order []int32
+	if opt.TopN > 0 && len(ps) > opt.TopN {
+		order = query.TopK(len(ps), opt.TopN, above)
+	} else {
+		order = query.SortRows(len(ps), above)
+	}
+	out := make([]Projection, len(order))
+	for i, r := range order {
+		out[i] = ps[r]
+	}
+	return out, nil
 }

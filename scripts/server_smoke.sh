@@ -30,6 +30,8 @@ echo "== reference renderings via grainview"
 # With -o, the what-if table goes to stdout while the export goes to the file.
 "$tmp/grainview" -whatif rank -o "$tmp/ignored.dot" "$fixture" >"$tmp/whatif.cli" 2>/dev/null
 "$tmp/grainview" -window depth=2,top=8 -format dot "$fixture" >"$tmp/window.cli" 2>/dev/null
+query='from grains | filter exec > 0 | groupby loc | agg count, sum(exec), mean(benefit) | sort sum_exec desc | topk 5'
+"$tmp/grainview" -query "$query" "$fixture" >"$tmp/query.cli"
 
 echo "== start grainserved"
 addr=127.0.0.1:18080
@@ -52,7 +54,8 @@ curl -fsS "http://$addr/artifacts/$id/summary" >"$tmp/summary.srv"
 curl -fsS "http://$addr/artifacts/$id/highlight" >"$tmp/highlight.srv"
 curl -fsS "http://$addr/artifacts/$id/whatif" >"$tmp/whatif.srv"
 curl -fsS "http://$addr/artifacts/$id/window?depth=2&top=8&format=dot" >"$tmp/window.srv"
-for ep in summary highlight whatif window; do
+curl -fsS --get --data-urlencode "q=$query" "http://$addr/artifacts/$id/query" >"$tmp/query.srv"
+for ep in summary highlight whatif window query; do
     if ! diff -q "$tmp/$ep.cli" "$tmp/$ep.srv" >/dev/null; then
         echo "FAIL: $ep endpoint differs from grainview output:" >&2
         diff "$tmp/$ep.cli" "$tmp/$ep.srv" | head -20 >&2
@@ -60,6 +63,12 @@ for ep in summary highlight whatif window; do
     fi
     echo "   $ep: byte-identical"
 done
+
+echo "== malformed query is a structured 400"
+code=$(curl -s -o "$tmp/badq.json" -w '%{http_code}' --get --data-urlencode "q=bogus nonsense" "http://$addr/artifacts/$id/query")
+[ "$code" = 400 ] || { echo "FAIL: malformed query returned $code, want 400" >&2; exit 1; }
+grep -q '"error": *"bad-query"' "$tmp/badq.json" || { echo "FAIL: 400 body not structured: $(cat "$tmp/badq.json")" >&2; exit 1; }
+echo "   query 400: structured"
 
 echo "== repeated upload is a memo hit"
 second=$(curl -fsS -X POST --data-binary @"$fixture" "http://$addr/artifacts")
