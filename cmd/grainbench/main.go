@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,13 +56,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,whatif,all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (1,2,4,5,6,7,8,9,11,sort,others,whatif,all; none with -ingestbench skips the figures)")
 	cores := flag.Int("cores", 48, "core count for speedup experiments")
 	whatIf := flag.Bool("whatif", false, "append the what-if opportunity tables to a full run (same as -fig whatif, but alongside the figures)")
 	jobs := flag.Int("j", 0, "max simulations in flight; 1 = serial, <=0 = all CPUs")
 	benchOut := flag.String("benchjson", "", "write a per-figure wall-time/engine-stats benchmark report (with phase and run-pool breakdowns) to this JSON file")
 	record := flag.String("record", "", "write every keyed simulation of the selected figures as a grain-profile artifact (<hex key>.ggp) into this directory")
 	replay := flag.String("replay", "", "load simulations from grain-profile artifacts in this directory instead of executing them (missing artifacts simulate live)")
+	ggpV2 := flag.Bool("ggp-v2", false, "record artifacts in the columnar v2 format (decodes to an analysis-ready graph without event parsing; use with -record)")
+	ggpconv := flag.String("ggpconv", "", "convert the given .ggp artifact (either version) to columnar v2 with derived sidecars and exit")
+	ggpconvOut := flag.String("ggpconv-out", "", "output path for -ggpconv (default: <src>.v2.ggp)")
+	ingestPath := flag.String("ingestbench", "", "measure cold artifact-ingest time (v1 vs columnar v2 vs v2+sidecars) for the given .ggp at -j 1 and the active -j, print a table, and add the numbers to -benchjson; use -fig none to skip the figures")
+	ingestJobs := flag.String("ingest-jobs", "", "comma-separated decode worker counts for -ingestbench (overrides the default of 1 and the active -j, so the figure suite and the ingest sweep can run at different parallelism)")
 	traceOut := flag.String("trace", "", "write a Perfetto/Chrome trace of all simulated runs to this file")
 	stats := flag.Bool("stats", false, "print a runtime-metrics footer after each figure")
 	phases := flag.Bool("phases", false, "print the engine's own phase table (simulate/analyze/ingest breakdown) after the run")
@@ -69,6 +75,14 @@ func main() {
 	flag.Parse()
 
 	expt.SetParallelism(*jobs)
+	if *ggpconv != "" {
+		if err := convertArtifact(*ggpconv, *ggpconvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	expt.SetRecordV2(*ggpV2)
 	if *record != "" {
 		expt.SetRecordDir(*record)
 	}
@@ -149,7 +163,10 @@ func main() {
 		}
 		fmt.Fprintln(w)
 	}
-	if !ran {
+	if *ingestPath != "" {
+		ran = true
+	}
+	if !ran && *fig != "none" {
 		fmt.Fprintf(os.Stderr, "grainbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
@@ -175,17 +192,55 @@ func main() {
 			failed = append(failed, "selfprofile")
 		}
 	}
-	if *benchOut != "" {
-		report.Parallelism = expt.Parallelism()
-		report.Cores = *cores
-		report.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
-		report.AnalyzeMS = float64(expt.AnalyzeStats()) / float64(time.Millisecond)
-		report.IngestMS = float64(expt.IngestStats()) / float64(time.Millisecond)
-		report.Simulated, report.Memoized = expt.MemoStats()
-		if selfProfile != nil {
-			report.Phases = benchfmt.Phases(selfProfile)
-			report.Runpool = selfProfile.Pool
+	// Freeze the figure suite's stats before the ingest bench runs: its
+	// derivation work (a full analysis of the benched artifact plus dozens
+	// of giant decodes) would otherwise leak into the committed wall and
+	// phase numbers and make reports incomparable across baselines. The
+	// self-profile snapshot above already excludes it for the same reason.
+	report.Parallelism = expt.Parallelism()
+	report.Cores = *cores
+	report.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	report.AnalyzeMS = float64(expt.AnalyzeStats()) / float64(time.Millisecond)
+	report.IngestMS = float64(expt.IngestStats()) / float64(time.Millisecond)
+	report.Simulated, report.Memoized = expt.MemoStats()
+	if selfProfile != nil {
+		report.Phases = benchfmt.Phases(selfProfile)
+		report.Runpool = selfProfile.Pool
+	}
+
+	if *ingestPath != "" {
+		jset := []int{1}
+		if j := expt.Parallelism(); j != 1 {
+			jset = append(jset, j)
 		}
+		if *ingestJobs != "" {
+			jset = jset[:0]
+			for _, f := range strings.Split(*ingestJobs, ",") {
+				j, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || j < 1 {
+					fmt.Fprintf(os.Stderr, "grainbench: bad -ingest-jobs %q\n", *ingestJobs)
+					os.Exit(2)
+				}
+				jset = append(jset, j)
+			}
+		}
+		var entries []benchfmt.IngestEntry
+		for _, j := range jset {
+			es, err := ingestBench(*ingestPath, j)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
+				failed = append(failed, "ingestbench")
+				break
+			}
+			entries = append(entries, es...)
+		}
+		if len(entries) > 0 {
+			writeIngestTable(entries)
+			report.Ingest = entries
+		}
+	}
+
+	if *benchOut != "" {
 		if err := writeBenchJSON(*benchOut, &report); err != nil {
 			fmt.Fprintf(os.Stderr, "grainbench: %v\n", err)
 			failed = append(failed, "benchjson")

@@ -45,6 +45,7 @@ func main() {
 		warmup   = flag.Bool("warmup", true, "query each endpoint once before measuring")
 		seed     = flag.Int64("seed", 1, "endpoint-shuffle seed")
 		eps      = flag.String("endpoints", "summary,highlight,whatif,window", "comma-separated endpoints to drive")
+		cold     = flag.Bool("cold", false, "measure the cold path: serialize requests and POST /debug/evict before each one (server must run with -debug); warmup still runs first, so the artifact is upgraded in place before measuring")
 	)
 	flag.Parse()
 	if *artifact == "" {
@@ -81,6 +82,11 @@ func main() {
 				fatal(fmt.Errorf("warmup %s: %w", endpoints[i], err))
 			}
 		}
+	}
+
+	if *cold {
+		runCold(client, *server, endpoints, paths, *duration, *seed, max(1, *tenants))
+		return
 	}
 
 	// Closed loop: the ticker paces departures, the semaphore bounds
@@ -138,6 +144,47 @@ func main() {
 	writeSummaries(os.Stdout, elapsed, sums)
 
 	if stats, err := get(client, *server+"/statsz", "grainload"); err == nil {
+		fmt.Printf("\nserver /statsz:\n%s", stats)
+	}
+}
+
+// runCold is the -cold loop: strictly serial, with every warm tier
+// evicted (POST /debug/evict) before each measured request, so each
+// sample is a full disk-read + decode + analysis + render. The eviction
+// round trip itself is not measured. Run after warmup, the stored
+// artifact has been upgraded to columnar v2 with sidecars, so cold
+// samples measure the sidecar-assisted ingest path.
+func runCold(client *http.Client, server string, endpoints, paths []string, duration time.Duration, seed int64, tenants int) {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make(map[string][]time.Duration, len(endpoints))
+	errorsBy := make(map[string]int, len(endpoints))
+	start := time.Now()
+	for time.Since(start) < duration {
+		resp, err := client.Post(server+"/debug/evict", "application/json", nil)
+		if err != nil {
+			fatal(fmt.Errorf("evict: %w", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("evict: status %d (is the server running with -debug?)", resp.StatusCode))
+		}
+		i := rng.Intn(len(paths))
+		tenant := fmt.Sprintf("tenant-%d", rng.Intn(tenants))
+		t0 := time.Now()
+		if _, err := get(client, paths[i], tenant); err != nil {
+			errorsBy[endpoints[i]]++
+			continue
+		}
+		samples[endpoints[i]] = append(samples[endpoints[i]], time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	sums := make([]summary, 0, len(endpoints))
+	for _, ep := range endpoints {
+		sums = append(sums, summarize(ep, samples[ep], errorsBy[ep]))
+	}
+	writeSummaries(os.Stdout, elapsed, sums)
+	if stats, err := get(client, server+"/statsz", "grainload"); err == nil {
 		fmt.Printf("\nserver /statsz:\n%s", stats)
 	}
 }

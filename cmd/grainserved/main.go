@@ -33,6 +33,7 @@ func main() {
 		admit   = flag.Int("admit", 0, "max concurrently admitted analyses (0 = same as -j)")
 		cache   = flag.Int("cache", 64, "max in-memory analyzed artifacts (0 = unbounded)")
 		verbose = flag.Bool("v", false, "log every request to stderr")
+		debug   = flag.Bool("debug", false, "expose POST /debug/evict (drops all warm caches; for cold-path load testing only)")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -46,6 +47,7 @@ func main() {
 		AnalysisCap: *cache,
 		Admit:       *admit,
 		Verbose:     *verbose,
+		Debug:       *debug,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "grainserved: %v\n", err)

@@ -46,6 +46,10 @@ type serverConfig struct {
 	// count); <= 0 selects Workers.
 	Admit   int
 	Verbose bool
+	// Debug exposes the test-only /debug/evict endpoint (grainload -cold
+	// uses it to measure cold-path latency). Off by default: eviction is
+	// not something production clients should reach.
+	Debug bool
 }
 
 // analysis is one artifact's fully derived state: the analyzed result
@@ -55,20 +59,21 @@ type serverConfig struct {
 type analysis struct {
 	res *expt.Result
 
-	lodOnce sync.Once
-	lodIx   *lod.Index
+	// hadSidecars records whether the decoded artifact already carried
+	// fresh derived sidecars; when it did not, upgradeOnce rewrites the
+	// stored artifact as columnar v2 with sidecars after first analysis.
+	hadSidecars bool
+	upgradeOnce sync.Once
 
 	rankOnce sync.Once
 	rank     []whatif.Projection
 	rankErr  error
 }
 
-// lod returns the shared level-of-detail index, building it on first use.
+// lod returns the shared level-of-detail index (adopted from the
+// artifact's sidecar when present, built on first use otherwise).
 func (a *analysis) lod() *lod.Index {
-	a.lodOnce.Do(func() {
-		a.lodIx = lod.Build(a.res.Graph, a.res.Assessment)
-	})
-	return a.lodIx
+	return a.res.Lod()
 }
 
 // server is the grain-graph artifact service: a content-addressed store of
@@ -81,13 +86,14 @@ type server struct {
 	gate *fairGate
 	mux  *http.ServeMux
 
-	// Cache tiers, all content-addressed and single-flight: traces
-	// memoizes artifact decodes, analyses the full metric derivation,
-	// renders the final response bytes per (artifact, endpoint, params).
-	// The render tier is backed by an on-disk memo (Dir/memo), so a hot
-	// artifact serves without re-analysis even across restarts or after
-	// in-memory eviction.
-	traces   *runpool.Cache[*profile.Trace]
+	// Cache tiers, all content-addressed and single-flight: decodes
+	// memoizes artifact decodes (either format; columnar v2 arrives
+	// analysis-ready), analyses the full metric derivation, renders the
+	// final response bytes per (artifact, endpoint, params). The render
+	// tier is backed by an on-disk memo (Dir/memo), so a hot artifact
+	// serves without re-analysis even across restarts or after in-memory
+	// eviction.
+	decodes  *runpool.Cache[*ggp.Decoded]
 	analyses *runpool.Cache[*analysis]
 	renders  *runpool.Cache[[]byte]
 
@@ -109,7 +115,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		pool:     runpool.New(cfg.Workers),
 		gate:     newFairGate(admit),
 		mux:      http.NewServeMux(),
-		traces:   runpool.NewCache[*profile.Trace](),
+		decodes:  runpool.NewCache[*ggp.Decoded](),
 		analyses: runpool.NewCache[*analysis](),
 		renders:  runpool.NewCache[[]byte](),
 		phases:   newPhaseStats(),
@@ -120,7 +126,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		s.analyses.SetCapacity(cfg.AnalysisCap)
 		// Decoded traces are cheaper than analyses, rendered bytes cheaper
 		// still; keep proportionally more of each.
-		s.traces.SetCapacity(2 * cfg.AnalysisCap)
+		s.decodes.SetCapacity(2 * cfg.AnalysisCap)
 		s.renders.SetCapacity(8 * cfg.AnalysisCap)
 	}
 	s.mux.HandleFunc("POST /artifacts", s.instrument("POST /artifacts", s.handleUpload))
@@ -130,6 +136,9 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /artifacts/{id}/window", s.instrument("GET window", s.query("window")))
 	s.mux.HandleFunc("GET /artifacts/{id}/query", s.instrument("GET query", s.query("query")))
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if cfg.Debug {
+		s.mux.HandleFunc("POST /debug/evict", s.handleEvict)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -279,13 +288,14 @@ func (s *server) handleUpload(sp *obs.Span, w http.ResponseWriter, r *http.Reque
 	id := key.Hex()
 
 	dsp := sp.Child("ingest:decode")
-	tr, err, hit := s.traces.Do(key, func() (*profile.Trace, error) {
-		return ggp.ReadTrace(bytes.NewReader(body))
+	dec, err, hit := s.decodes.Do(key, func() (*ggp.Decoded, error) {
+		return ggp.Decode(body, s.pool, sp)
 	})
 	dsp.End()
 	if err != nil {
 		return errf(http.StatusBadRequest, "invalid artifact: %v", err)
 	}
+	tr := dec.Trace
 
 	existed := true
 	if _, err := os.Stat(s.artifactPath(id)); err != nil {
@@ -314,11 +324,13 @@ func (s *server) handleUpload(sp *obs.Span, w http.ResponseWriter, r *http.Reque
 	})
 }
 
-// loadTrace decodes the stored artifact for key through the decode memo.
-// Load failures are forgotten rather than cached: "not found" is store
-// state, not content, and must clear once the artifact is uploaded.
-func (s *server) loadTrace(key runpool.Key) (*profile.Trace, error) {
-	tr, err, _ := s.traces.Do(key, func() (*profile.Trace, error) {
+// loadDecoded decodes the stored artifact for key through the decode
+// memo. Columnar v2 artifacts arrive with a ready-made graph (and, when
+// sidecars are fresh, the lod index and query table too). Load failures
+// are forgotten rather than cached: "not found" is store state, not
+// content, and must clear once the artifact is uploaded.
+func (s *server) loadDecoded(key runpool.Key, sp *obs.Span) (*ggp.Decoded, error) {
+	dec, err, _ := s.decodes.Do(key, func() (*ggp.Decoded, error) {
 		raw, err := os.ReadFile(s.artifactPath(key.Hex()))
 		if err != nil {
 			if os.IsNotExist(err) {
@@ -326,31 +338,61 @@ func (s *server) loadTrace(key runpool.Key) (*profile.Trace, error) {
 			}
 			return nil, err
 		}
-		return ggp.ReadTrace(bytes.NewReader(raw))
+		return ggp.Decode(raw, s.pool, sp)
 	})
 	if err != nil {
-		s.traces.Forget(key)
+		s.decodes.Forget(key)
 	}
-	return tr, err
+	return dec, err
 }
 
 // analysisOf returns the cached full analysis for key, computing it at most
 // once per process (single-flight) and evicting by LRU past the capacity
 // bound. The analysis runs on the server's own pool via the re-entrant
-// expt.AnalyzeTraceOn — never through the package-global pool.
+// expt.AnalyzeDecodedOn — never through the package-global pool. After the
+// first analysis of an artifact that lacked derived sidecars, the stored
+// artifact is upgraded in place to columnar v2 with sidecars, so the next
+// cold decode is analysis-ready without rebuilding anything.
 func (s *server) analysisOf(key runpool.Key, sp *obs.Span) (*analysis, error) {
 	a, err, _ := s.analyses.Do(key, func() (*analysis, error) {
-		tr, err := s.loadTrace(key)
+		dec, err := s.loadDecoded(key, sp)
 		if err != nil {
 			return nil, err
 		}
-		res := expt.AnalyzeTraceOn(s.pool, tr, nil, expt.Config{}, sp)
-		return &analysis{res: res}, nil
+		res := expt.AnalyzeDecodedOn(s.pool, dec, nil, expt.Config{}, sp)
+		return &analysis{res: res, hadSidecars: dec.HasSidecars()}, nil
 	})
 	if err != nil {
 		s.analyses.Forget(key)
+		return a, err
 	}
-	return a, err
+	s.upgradeArtifact(a, key, sp)
+	return a, nil
+}
+
+// upgradeArtifact rewrites the stored artifact as columnar v2 with full
+// derived sidecars, once per analysis lifetime, when the decoded form
+// lacked them. The artifact keeps its id: ids are content addresses of
+// the uploaded bytes (that is what clients hold), and the upgraded file
+// decodes to the same trace and graph — re-uploading the original bytes
+// still maps to the same id, it just decodes slower than the stored form.
+func (s *server) upgradeArtifact(a *analysis, key runpool.Key, sp *obs.Span) {
+	a.upgradeOnce.Do(func() {
+		if a.hadSidecars {
+			return
+		}
+		usp := sp.Child("upgrade:ggp2")
+		defer usp.End()
+		data, err := ggp.EncodeV2(a.res.Trace, a.res.Graph, expt.Sidecars(a.res, s.pool))
+		if err == nil {
+			err = atomicWrite(s.artifactPath(key.Hex()), data)
+		}
+		if err != nil && s.cfg.Verbose {
+			// Upgrade failures only cost future decode speed, never
+			// correctness; the original artifact stays in place.
+			fmt.Fprintf(os.Stderr, "grainserved: upgrade %s: %v\n", key.Hex(), err)
+		}
+	})
 }
 
 // rankOf returns the artifact's ranked what-if projections, computed once
@@ -501,8 +543,8 @@ func (s *server) render(a *analysis, kind string, r *http.Request, sp *obs.Span)
 		if err != nil {
 			return nil, err
 		}
-		// The grains source builds its table per render (the render memo
-		// absorbs repeats); the tasks source reads the shared lod index.
+		// Both sources read shared per-analysis state (adopted from the
+		// artifact's sidecars when present, built once otherwise).
 		var t *query.Table
 		if plan.Source() == "tasks" {
 			isp := sp.Child("lod:index")
@@ -510,7 +552,7 @@ func (s *server) render(a *analysis, kind string, r *http.Request, sp *obs.Span)
 			isp.End()
 		} else {
 			tsp := sp.Child("query:table")
-			t = expt.QueryTable(a.res, s.pool)
+			t = a.res.GrainTable(s.pool)
 			tsp.End()
 		}
 		qsp := sp.Child("query:run")
@@ -567,12 +609,12 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"requests":  s.requests.snapshot(),
 		"caches": map[string]runpool.CacheStats{
-			"decode":   s.traces.Counters(),
+			"decode":   s.decodes.Counters(),
 			"analysis": s.analyses.Counters(),
 			"render":   s.renders.Counters(),
 		},
 		"cache_entries": map[string]int{
-			"decode":   s.traces.Len(),
+			"decode":   s.decodes.Len(),
 			"analysis": s.analyses.Len(),
 			"render":   s.renders.Len(),
 		},
@@ -586,6 +628,31 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	enc.Encode(out)
+}
+
+// handleEvict (POST /debug/evict, only registered with -debug) drops
+// every warm tier: the in-memory decode/analysis/render caches and the
+// on-disk render memo. Stored artifacts stay. grainload -cold calls it
+// before each measured request so the request exercises the cold path —
+// disk read, decode, analysis — instead of a cache lookup.
+func (s *server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	s.decodes.Reset()
+	s.analyses.Reset()
+	s.renders.Reset()
+	memoDir := filepath.Join(s.cfg.Dir, "memo")
+	removed := 0
+	if ents, err := os.ReadDir(memoDir); err == nil {
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			if os.Remove(filepath.Join(memoDir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n \"evicted\": true,\n \"memo_files_removed\": %d\n}\n", removed)
 }
 
 // phaseStats aggregates span wall time by name across all requests.

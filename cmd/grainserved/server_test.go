@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -199,7 +200,7 @@ func TestRepeatedUploadZeroReanalysis(t *testing.T) {
 			t.Fatalf("GET %s: status %d: %s", p, w.Code, w.Body.String())
 		}
 	}
-	decodes := s.traces.Counters().Misses
+	decodes := s.decodes.Counters().Misses
 	analyses := s.analyses.Counters().Misses
 	renders := s.renders.Counters().Misses
 	if analyses != 1 {
@@ -216,7 +217,7 @@ func TestRepeatedUploadZeroReanalysis(t *testing.T) {
 			t.Fatalf("GET %s (repeat): status %d", p, w.Code)
 		}
 	}
-	if got := s.traces.Counters().Misses; got != decodes {
+	if got := s.decodes.Counters().Misses; got != decodes {
 		t.Errorf("repeat pass re-decoded: %d decode runs, want %d", got, decodes)
 	}
 	if got := s.analyses.Counters().Misses; got != analyses {
@@ -242,7 +243,7 @@ func TestDiskMemoSurvivesCacheReset(t *testing.T) {
 		t.Fatal(w.Body.String())
 	}
 
-	s.traces.Reset()
+	s.decodes.Reset()
 	s.analyses.Reset()
 	s.renders.Reset()
 
@@ -490,5 +491,87 @@ func TestQueryEndpoint(t *testing.T) {
 		if body["detail"] == nil || body["hint"] == nil {
 			t.Errorf("query %q: missing detail/hint in %v", q, body)
 		}
+	}
+}
+
+// TestUpgradeInPlaceAndEvict pins the columnar-upgrade lifecycle: after
+// the first analysis of a v1 upload, the stored artifact is rewritten as
+// columnar v2 with derived sidecars; with -debug, POST /debug/evict drops
+// every warm tier, and the next request — served entirely from the
+// upgraded artifact — is byte-identical to the pre-upgrade response.
+func TestUpgradeInPlaceAndEvict(t *testing.T) {
+	f, err := fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(serverConfig{Dir: t.TempDir(), Workers: 4, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upload(t, s, f.raw)
+
+	w := do(t, s, "GET", "/artifacts/"+f.id+"/summary", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("summary: status %d: %s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), f.summary) {
+		t.Fatal("summary differs from reference before upgrade")
+	}
+
+	// The stored artifact must now be columnar v2 with fresh sidecars.
+	stored, err := os.ReadFile(s.artifactPath(f.id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored[:len(ggp.Magic)], []byte(ggp.Magic)) || stored[len(ggp.Magic)] != 2 {
+		t.Fatalf("stored artifact not upgraded to v2 (version byte %d)", stored[len(ggp.Magic)])
+	}
+	dec, err := ggp.Decode(stored, nil, nil)
+	if err != nil {
+		t.Fatalf("upgraded artifact does not decode: %v", err)
+	}
+	if !dec.HasSidecars() {
+		t.Fatal("upgraded artifact has no fresh sidecars")
+	}
+
+	ev := do(t, s, "POST", "/debug/evict", "", nil)
+	if ev.Code != http.StatusOK {
+		t.Fatalf("evict: status %d: %s", ev.Code, ev.Body.String())
+	}
+	if n := s.analyses.Len() + s.decodes.Len() + s.renders.Len(); n != 0 {
+		t.Fatalf("evict left %d warm cache entries", n)
+	}
+
+	// Cold request over the upgraded artifact: decode adopts the graph and
+	// sidecars, and the rendered bytes stay identical.
+	misses := s.decodes.Counters().Misses
+	w2 := do(t, s, "GET", "/artifacts/"+f.id+"/summary", "", nil)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-evict summary: status %d: %s", w2.Code, w2.Body.String())
+	}
+	if !bytes.Equal(w2.Body.Bytes(), f.summary) {
+		t.Fatal("post-evict summary differs from pre-upgrade response")
+	}
+	if got := s.decodes.Counters().Misses; got != misses+1 {
+		t.Fatalf("post-evict request decoded %d times, want exactly 1 fresh decode", got-misses)
+	}
+
+	// A second query-source render must also match: the grains table now
+	// comes from the query sidecar.
+	q := "/artifacts/" + f.id + "/query?q=" + url.QueryEscape("sort exec desc, id asc | topk 5 by exec")
+	first := do(t, s, "GET", q, "", nil)
+	do(t, s, "POST", "/debug/evict", "", nil)
+	second := do(t, s, "GET", q, "", nil)
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("query status %d / %d", first.Code, second.Code)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("query render differs after evict + sidecar-assisted decode")
+	}
+
+	// Without -debug the endpoint must not exist.
+	plain := newTestServer(t, 0)
+	if w := do(t, plain, "POST", "/debug/evict", "", nil); w.Code == http.StatusOK {
+		t.Fatalf("evict reachable without Debug (status %d)", w.Code)
 	}
 }

@@ -165,15 +165,15 @@ func main() {
 			die(fmt.Errorf("expected <run.ggp> [baseline.ggp], got %d arguments", flag.NArg()))
 		}
 		isp := rootSp.Child("ingest:ggp")
-		tr, err := ggp.ReadFile(flag.Arg(0))
+		dec, err := ggp.DecodeFile(flag.Arg(0), expt.Pool(), isp)
 		die(err)
 		var base *profile.Trace
 		if flag.NArg() == 2 {
-			base, err = ggp.ReadFile(flag.Arg(1))
+			base, err = ggp.DecodeTraceFile(flag.Arg(1), expt.Pool(), isp)
 			die(err)
 		}
 		isp.End()
-		res = expt.AnalyzeTraceSpan(tr, base, expt.Config{}, rootSp)
+		res = expt.AnalyzeDecodedSpan(dec, base, expt.Config{}, rootSp)
 	} else {
 		inst, err := workloads.Get(*workload, workloads.Variant(*variant))
 		die(err)
@@ -293,7 +293,7 @@ func main() {
 		wopt, err := lod.ParseWindow(*window)
 		dieUsage(err, windowUsage)
 		isp := rootSp.Child("lod:index")
-		ix := lod.Build(res.Graph, res.Assessment)
+		ix := res.Lod()
 		isp.End()
 		qsp := rootSp.Child("lod:window")
 		wg, wstats, err := ix.Window(wopt)

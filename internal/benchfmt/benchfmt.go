@@ -51,6 +51,23 @@ type Phase struct {
 	Bytes  uint64  `json:"bytes,omitempty"`
 }
 
+// IngestEntry is one cold-ingest measurement from grainbench
+// -ingestbench: decoding one artifact in one format mode to an
+// analysis-ready graph (trace + graph + topological levels).
+type IngestEntry struct {
+	// Artifact is the measured file's base name; Mode is the format path
+	// exercised: "v1" (event-stream parse + graph build), "v2" (columnar
+	// decode + level build) or "v2+sidecars" (columnar decode, levels
+	// adopted from the sidecar).
+	Artifact string  `json:"artifact"`
+	Mode     string  `json:"mode"`
+	Jobs     int     `json:"jobs"`
+	WallMS   float64 `json:"wall_ms"`
+	Grains   int     `json:"grains"`
+	Bytes    int64   `json:"bytes"`
+	Note     string  `json:"note,omitempty"`
+}
+
 // Report is one -benchjson document.
 type Report struct {
 	Parallelism int      `json:"parallelism"`
@@ -66,6 +83,10 @@ type Report struct {
 	Phases []Phase `json:"phases,omitempty"`
 	// Runpool is the worker/memo telemetry snapshot for the whole run.
 	Runpool *obs.PoolSnapshot `json:"runpool,omitempty"`
+	// Ingest holds cold-ingest measurements from -ingestbench: the same
+	// artifact decoded through each format path, for the committed
+	// before/after trajectory of the columnar format work.
+	Ingest []IngestEntry `json:"ingest,omitempty"`
 }
 
 // Phases aggregates a span profile by name: every span with the same

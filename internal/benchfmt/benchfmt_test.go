@@ -81,10 +81,10 @@ func TestPhasesAggregatesByName(t *testing.T) {
 func TestDiffFlagsInjectedSlowdown(t *testing.T) {
 	base := sampleReport()
 	cur := sampleReport()
-	cur.Figures[0].WallMS *= 2           // figure 2 doubles
-	cur.Phases[0].WallMS *= 1.5          // metric:critical +50%
-	cur.Phases[2].WallMS *= 10           // highlight 3ms -> 30ms, below MinMS floor
-	cur.WallMS = 1600                    // total rides along
+	cur.Figures[0].WallMS *= 2  // figure 2 doubles
+	cur.Phases[0].WallMS *= 1.5 // metric:critical +50%
+	cur.Phases[2].WallMS *= 10  // highlight 3ms -> 30ms, below MinMS floor
+	cur.WallMS = 1600           // total rides along
 	opt := DiffOptions{ThresholdPct: 25, MinMS: 50}
 
 	regs := Diff(base, cur, opt)

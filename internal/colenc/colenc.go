@@ -1,0 +1,373 @@
+// Package colenc provides the self-describing column codecs shared by the
+// columnar .ggp v2 sections and the derived-index sidecars (lod summary
+// index, query metric table). Every vector is written as a uvarint element
+// count followed by the element data, so a decoder can bounds-check the
+// claimed size against the remaining payload *before* allocating — corrupt
+// or truncated input fails with a structured error instead of an OOM or a
+// panic.
+//
+// Fixed-width vectors (U64s/U32s/F64s) are little-endian and decode at
+// near-memcpy cost. Varint vectors (U64sVar/I64sVar) trade decode speed for
+// size on columns that are mostly small or zero (hardware counters, line
+// numbers). String vectors store one shared blob plus monotonic end
+// offsets; decoding materializes a single Go string and slices it, so a
+// million labels cost one allocation for the backing store.
+package colenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is wrapped by every decode error so callers can classify
+// malformed input without matching message text.
+var ErrCorrupt = errors.New("colenc: corrupt column")
+
+// Buf is an append-only column encoder. The zero value is ready to use.
+type Buf struct {
+	b []byte
+}
+
+// Bytes returns the encoded payload. The slice aliases the builder's
+// internal buffer; further appends may invalidate it.
+func (e *Buf) Bytes() []byte { return e.b }
+
+// Len returns the number of bytes encoded so far.
+func (e *Buf) Len() int { return len(e.b) }
+
+// Uvarint appends a single unsigned varint.
+func (e *Buf) Uvarint(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+
+// Str appends a single length-prefixed string.
+func (e *Buf) Str(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// U64s appends a fixed-width vector of 8-byte little-endian values.
+func (e *Buf) U64s(v []uint64) {
+	e.Uvarint(uint64(len(v)))
+	e.b = growBy(e.b, 8*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint64(e.b, x)
+	}
+}
+
+// U32s appends a fixed-width vector of 4-byte little-endian values.
+func (e *Buf) U32s(v []uint32) {
+	e.Uvarint(uint64(len(v)))
+	e.b = growBy(e.b, 4*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint32(e.b, x)
+	}
+}
+
+// F64s appends a fixed-width vector of float64 raw bits, little-endian.
+// Round-tripping preserves every bit pattern, including NaNs.
+func (e *Buf) F64s(v []float64) {
+	e.Uvarint(uint64(len(v)))
+	e.b = growBy(e.b, 8*len(v))
+	for _, x := range v {
+		e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(x))
+	}
+}
+
+// U64sVar appends a vector of unsigned varints. Best for columns that are
+// mostly zero or small (hardware counters).
+func (e *Buf) U64sVar(v []uint64) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.b = binary.AppendUvarint(e.b, x)
+	}
+}
+
+// I64sVar appends a vector of zigzag-encoded signed varints.
+func (e *Buf) I64sVar(v []int64) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.b = binary.AppendVarint(e.b, x)
+	}
+}
+
+// U8s appends a raw byte vector (node kinds, boundary kinds).
+func (e *Buf) U8s(v []uint8) {
+	e.Uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// Bools appends a bool vector, one byte per element.
+func (e *Buf) Bools(v []bool) {
+	e.Uvarint(uint64(len(v)))
+	e.b = growBy(e.b, len(v))
+	for _, x := range v {
+		if x {
+			e.b = append(e.b, 1)
+		} else {
+			e.b = append(e.b, 0)
+		}
+	}
+}
+
+// Strs appends a string vector as count, monotonic 4-byte end offsets, and
+// one concatenated blob. The total blob size must fit in uint32.
+func (e *Buf) Strs(v []string) {
+	e.Uvarint(uint64(len(v)))
+	total := 0
+	for _, s := range v {
+		total += len(s)
+	}
+	if uint64(total) > math.MaxUint32 {
+		panic("colenc: string blob exceeds 4 GiB")
+	}
+	e.b = growBy(e.b, 4*len(v)+total)
+	end := uint32(0)
+	for _, s := range v {
+		end += uint32(len(s))
+		e.b = binary.LittleEndian.AppendUint32(e.b, end)
+	}
+	for _, s := range v {
+		e.b = append(e.b, s...)
+	}
+}
+
+// growBy ensures capacity for n more bytes without changing the length.
+func growBy(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n+len(b)/2)
+	copy(nb, b)
+	return nb
+}
+
+// Reader decodes columns from a payload in sequence. Every accessor
+// validates the claimed element count against the remaining bytes before
+// allocating.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps a payload for sequential column decoding. Decoded
+// vectors never alias b except for Strs blobs, which are copied into one
+// fresh string per call.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Reader) Remaining() int { return len(d.b) - d.off }
+
+// Done reports whether the payload was consumed exactly; decoders use it
+// to reject sections with trailing garbage.
+func (d *Reader) Done() bool { return d.off == len(d.b) }
+
+func (d *Reader) corrupt(what string) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+}
+
+// Uvarint decodes a single unsigned varint.
+func (d *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, d.corrupt("bad uvarint")
+	}
+	d.off += n
+	return v, nil
+}
+
+// Str decodes a single length-prefixed string (a copy, not an alias).
+func (d *Reader) Str() (string, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.Remaining()) {
+		return "", d.corrupt("string length exceeds payload")
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// count decodes a vector length and validates that n elements of width
+// bytes each fit in the remaining payload (width 0 skips the check, for
+// varint vectors whose minimum element size is 1).
+func (d *Reader) count(width int) (int, error) {
+	v, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	w := width
+	if w == 0 {
+		w = 1
+	}
+	if v > uint64(d.Remaining())/uint64(w) {
+		return 0, d.corrupt("vector length exceeds payload")
+	}
+	return int(v), nil
+}
+
+// U64s decodes a fixed-width uint64 vector. Returns nil for length 0.
+func (d *Reader) U64s() ([]uint64, error) {
+	n, err := d.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(d.b[d.off:])
+		d.off += 8
+	}
+	return v, nil
+}
+
+// U32s decodes a fixed-width uint32 vector. Returns nil for length 0.
+func (d *Reader) U32s() ([]uint32, error) {
+	n, err := d.count(4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]uint32, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint32(d.b[d.off:])
+		d.off += 4
+	}
+	return v, nil
+}
+
+// F64s decodes a fixed-width float64 vector. Returns nil for length 0.
+func (d *Reader) F64s() ([]float64, error) {
+	n, err := d.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+		d.off += 8
+	}
+	return v, nil
+}
+
+// U64sVar decodes an unsigned-varint vector. Returns nil for length 0.
+func (d *Reader) U64sVar() ([]uint64, error) {
+	n, err := d.count(0)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		x, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// I64sVar decodes a zigzag signed-varint vector. Returns nil for length 0.
+func (d *Reader) I64sVar() ([]int64, error) {
+	n, err := d.count(0)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		x, w := binary.Varint(d.b[d.off:])
+		if w <= 0 {
+			return nil, d.corrupt("bad varint")
+		}
+		d.off += w
+		v[i] = x
+	}
+	return v, nil
+}
+
+// U8s decodes a raw byte vector. Returns nil for length 0. The result is
+// a copy, never an alias of the payload.
+func (d *Reader) U8s() ([]uint8, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]uint8, n)
+	copy(v, d.b[d.off:d.off+n])
+	d.off += n
+	return v, nil
+}
+
+// Bools decodes a bool vector. Any nonzero byte is true. Returns nil for
+// length 0.
+func (d *Reader) Bools() ([]bool, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = d.b[d.off+i] != 0
+	}
+	d.off += n
+	return v, nil
+}
+
+// Strs decodes a string vector. All strings share one backing allocation.
+// Returns nil for length 0.
+func (d *Reader) Strs() ([]string, error) {
+	n, err := d.count(4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ends := make([]uint32, n)
+	prev := uint32(0)
+	for i := range ends {
+		e := binary.LittleEndian.Uint32(d.b[d.off:])
+		d.off += 4
+		if e < prev {
+			return nil, d.corrupt("string offsets not monotonic")
+		}
+		ends[i] = e
+		prev = e
+	}
+	blobLen := int(prev)
+	if blobLen > d.Remaining() {
+		return nil, d.corrupt("string blob exceeds payload")
+	}
+	blob := string(d.b[d.off : d.off+blobLen])
+	d.off += blobLen
+	v := make([]string, n)
+	start := uint32(0)
+	for i, e := range ends {
+		v[i] = blob[start:e]
+		start = e
+	}
+	return v, nil
+}

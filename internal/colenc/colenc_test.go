@@ -1,0 +1,129 @@
+package colenc
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var e Buf
+	u64 := []uint64{0, 1, math.MaxUint64, 42}
+	u32 := []uint32{0, 7, math.MaxUint32}
+	f64 := []float64{0, -1.5, math.Inf(1), math.NaN()}
+	uv := []uint64{0, 0, 300, 1 << 50}
+	iv := []int64{0, -1, 1, math.MinInt64, math.MaxInt64}
+	u8 := []uint8{0, 255, 3}
+	bs := []bool{true, false, true}
+	ss := []string{"", "a", "hello world", ""}
+	e.U64s(u64)
+	e.U32s(u32)
+	e.F64s(f64)
+	e.U64sVar(uv)
+	e.I64sVar(iv)
+	e.U8s(u8)
+	e.Bools(bs)
+	e.Strs(ss)
+	e.Uvarint(99)
+
+	d := NewReader(e.Bytes())
+	check := func(name string, got any, err error, want any) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			// NaN != NaN under DeepEqual for floats; handled below.
+			t.Fatalf("%s: got %v want %v", name, got, want)
+		}
+	}
+	g64, err := d.U64s()
+	check("u64", g64, err, u64)
+	g32, err := d.U32s()
+	check("u32", g32, err, u32)
+	gf, err := d.F64s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f64 {
+		if math.Float64bits(gf[i]) != math.Float64bits(f64[i]) {
+			t.Fatalf("f64[%d]: got %v want %v", i, gf[i], f64[i])
+		}
+	}
+	guv, err := d.U64sVar()
+	check("u64var", guv, err, uv)
+	giv, err := d.I64sVar()
+	check("i64var", giv, err, iv)
+	g8, err := d.U8s()
+	check("u8", g8, err, u8)
+	gb, err := d.Bools()
+	check("bools", gb, err, bs)
+	gs, err := d.Strs()
+	check("strs", gs, err, ss)
+	v, err := d.Uvarint()
+	if err != nil || v != 99 {
+		t.Fatalf("uvarint: got %d, %v", v, err)
+	}
+	if !d.Done() {
+		t.Fatalf("reader not done, %d bytes left", d.Remaining())
+	}
+}
+
+func TestEmptyVectorsDecodeNil(t *testing.T) {
+	var e Buf
+	e.U64s(nil)
+	e.Strs([]string{})
+	d := NewReader(e.Bytes())
+	if v, err := d.U64s(); err != nil || v != nil {
+		t.Fatalf("empty u64s: %v, %v", v, err)
+	}
+	if v, err := d.Strs(); err != nil || v != nil {
+		t.Fatalf("empty strs: %v, %v", v, err)
+	}
+}
+
+func TestCorruptInputsFailClosed(t *testing.T) {
+	// Oversized count claim: n=2^40 u64s in a 3-byte payload must be
+	// rejected before allocation.
+	var e Buf
+	e.Uvarint(1 << 40)
+	d := NewReader(e.Bytes())
+	if _, err := d.U64s(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized count: got %v", err)
+	}
+
+	// Truncated fixed-width vector.
+	var e2 Buf
+	e2.U64s([]uint64{1, 2, 3})
+	d = NewReader(e2.Bytes()[:10])
+	if _, err := d.U64s(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated u64s: got %v", err)
+	}
+
+	// Non-monotonic string offsets.
+	var e3 Buf
+	e3.Strs([]string{"ab", "cd"})
+	b := append([]byte(nil), e3.Bytes()...)
+	b[1], b[5] = b[5], b[1] // swap first bytes of the two end offsets
+	d = NewReader(b)
+	if _, err := d.Strs(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-monotonic strs: got %v", err)
+	}
+
+	// String blob larger than payload.
+	var e4 Buf
+	e4.Strs([]string{"hello"})
+	d = NewReader(e4.Bytes()[:7])
+	if _, err := d.Strs(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated blob: got %v", err)
+	}
+
+	// Truncated varint mid-vector.
+	var e5 Buf
+	e5.U64sVar([]uint64{1, 1 << 40})
+	d = NewReader(e5.Bytes()[:3])
+	if _, err := d.U64sVar(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated varint: got %v", err)
+	}
+}

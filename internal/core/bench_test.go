@@ -1,8 +1,9 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	. "graingraph/internal/core"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
 )

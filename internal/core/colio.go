@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"graingraph/internal/cache"
+	"graingraph/internal/profile"
+)
+
+// This file is the serialization boundary of the columnar store: the .ggp
+// v2 codec in internal/ggp exports a built graph's attribute columns for
+// writing, and adopts decoded columns back into a Graph without replaying
+// core.Build. Only construction-time state crosses the boundary — critical
+// flags, layout geometry, adjacency and level indexes are derived and are
+// rebuilt (or adopted separately, for levels) on the reader side, which is
+// what makes a post-analysis graph encode byte-identically to a freshly
+// built one.
+
+// GraphColumns is the read-only column view of a built graph that the v2
+// writer serializes. All slices alias the store: read, don't mutate.
+type GraphColumns struct {
+	Kind     []uint8
+	Grain    []profile.GrainID
+	Loop     []int32
+	Seq      []int32
+	Label    []string
+	Start    []profile.Time
+	End      []profile.Time
+	Weight   []profile.Time
+	Core     []int32
+	Counters []cache.Counters
+	Members  []int32
+
+	EdgeFrom []int32
+	EdgeTo   []int32
+	EdgeKind []uint8
+}
+
+// ExportColumns returns the serializable column view of g.
+func (g *Graph) ExportColumns() GraphColumns {
+	s := &g.GraphStore
+	return GraphColumns{
+		Kind:     s.kind,
+		Grain:    s.grain,
+		Loop:     s.loop,
+		Seq:      s.seq,
+		Label:    s.label,
+		Start:    s.start,
+		End:      s.end,
+		Weight:   s.weight,
+		Core:     s.core,
+		Counters: s.counters,
+		Members:  s.members,
+		EdgeFrom: s.edgeFrom,
+		EdgeTo:   s.edgeTo,
+		EdgeKind: s.edgeKind,
+	}
+}
+
+// AdoptGraph assembles a Graph directly from decoded columns, taking
+// ownership of every slice. It performs the structural validation a decoder
+// needs — column lengths agree, enum values are in range, edge endpoints
+// are in bounds, entry/exit nodes exist — but does not re-run the full
+// acyclicity check; the v2 reader's per-section checksums guard against
+// corruption, exactly as the v1 stream checksum guards the event decoder.
+// Derived columns (critical flags, geometry, edge criticality) are
+// allocated zeroed; adjacency and level indexes stay lazy.
+func AdoptGraph(tr *profile.Trace, c GraphColumns, first, last map[profile.GrainID]NodeID) (*Graph, error) {
+	n := len(c.Kind)
+	for name, l := range map[string]int{
+		"grain":    len(c.Grain),
+		"loop":     len(c.Loop),
+		"seq":      len(c.Seq),
+		"label":    len(c.Label),
+		"start":    len(c.Start),
+		"end":      len(c.End),
+		"weight":   len(c.Weight),
+		"core":     len(c.Core),
+		"counters": len(c.Counters),
+		"members":  len(c.Members),
+	} {
+		if l != n {
+			return nil, fmt.Errorf("core: adopt: %s column has %d rows, want %d", name, l, n)
+		}
+	}
+	e := len(c.EdgeFrom)
+	if len(c.EdgeTo) != e || len(c.EdgeKind) != e {
+		return nil, fmt.Errorf("core: adopt: edge columns disagree (%d/%d/%d)", e, len(c.EdgeTo), len(c.EdgeKind))
+	}
+	for i := 0; i < n; i++ {
+		if c.Kind[i] > uint8(NodeChunk) {
+			return nil, fmt.Errorf("core: adopt: node %d has invalid kind %d", i, c.Kind[i])
+		}
+		if c.Members[i] < 1 {
+			return nil, fmt.Errorf("core: adopt: node %d has members %d < 1", i, c.Members[i])
+		}
+	}
+	for i := 0; i < e; i++ {
+		if c.EdgeFrom[i] < 0 || int(c.EdgeFrom[i]) >= n || c.EdgeTo[i] < 0 || int(c.EdgeTo[i]) >= n {
+			return nil, fmt.Errorf("core: adopt: edge %d endpoints (%d,%d) out of range [0,%d)", i, c.EdgeFrom[i], c.EdgeTo[i], n)
+		}
+		if c.EdgeKind[i] > uint8(EdgeContinuation) {
+			return nil, fmt.Errorf("core: adopt: edge %d has invalid kind %d", i, c.EdgeKind[i])
+		}
+	}
+	for id, nd := range first {
+		if nd < 0 || int(nd) >= n {
+			return nil, fmt.Errorf("core: adopt: first node of %q out of range", id)
+		}
+	}
+	for id, nd := range last {
+		if nd < 0 || int(nd) >= n {
+			return nil, fmt.Errorf("core: adopt: last node of %q out of range", id)
+		}
+	}
+	if first == nil {
+		first = make(map[profile.GrainID]NodeID)
+	}
+	if last == nil {
+		last = make(map[profile.GrainID]NodeID)
+	}
+	g := &Graph{Trace: tr, FirstNode: first, LastNode: last}
+	s := &g.GraphStore
+	s.kind = c.Kind
+	s.grain = c.Grain
+	s.loop = c.Loop
+	s.seq = c.Seq
+	s.label = c.Label
+	s.start = c.Start
+	s.end = c.End
+	s.weight = c.Weight
+	s.core = c.Core
+	s.counters = c.Counters
+	s.members = c.Members
+	s.critical = make([]bool, n)
+	s.geoX = make([]float64, n)
+	s.geoY = make([]float64, n)
+	s.geoW = make([]float64, n)
+	s.geoH = make([]float64, n)
+	s.edgeFrom = c.EdgeFrom
+	s.edgeTo = c.EdgeTo
+	s.edgeKind = c.EdgeKind
+	s.edgeCritical = make([]bool, e)
+	return g, nil
+}
+
+// ExportLevels returns the topological level index columns (offsets,
+// level-ordered node list, per-node level), or nils if the index has not
+// been built. The slices alias the store: read, don't mutate.
+func (g *Graph) ExportLevels() (off, nodes, level []int32) {
+	s := &g.GraphStore
+	return s.levelOff, s.levelNodes, s.nodeLevel
+}
+
+// AdoptLevels installs a decoded level index, taking ownership of the
+// slices. It validates the index structurally against the current node
+// count — monotonic offsets covering all nodes exactly once, per-node
+// levels agreeing with the bucket a node sits in, ascending NodeID order
+// within each level (the determinism contract LevelNodes documents) — so a
+// stale or hand-edited sidecar is rejected rather than trusted.
+func (g *Graph) AdoptLevels(off, nodes, level []int32) error {
+	s := &g.GraphStore
+	n := len(s.kind)
+	if len(nodes) != n || len(level) != n {
+		return fmt.Errorf("core: adopt levels: index covers %d/%d nodes, graph has %d", len(nodes), len(level), n)
+	}
+	if len(off) < 1 || off[0] != 0 || int(off[len(off)-1]) != n {
+		return fmt.Errorf("core: adopt levels: bad offsets")
+	}
+	seen := make([]bool, n)
+	for l := 0; l < len(off)-1; l++ {
+		lo, hi := off[l], off[l+1]
+		if hi < lo {
+			return fmt.Errorf("core: adopt levels: offsets not monotonic at level %d", l)
+		}
+		prev := int32(-1)
+		for _, nd := range nodes[lo:hi] {
+			if nd < 0 || int(nd) >= n {
+				return fmt.Errorf("core: adopt levels: node %d out of range", nd)
+			}
+			if nd <= prev {
+				return fmt.Errorf("core: adopt levels: level %d not in ascending node order", l)
+			}
+			prev = nd
+			if seen[nd] {
+				return fmt.Errorf("core: adopt levels: node %d listed twice", nd)
+			}
+			seen[nd] = true
+			if level[nd] != int32(l) {
+				return fmt.Errorf("core: adopt levels: node %d bucketed at level %d but labeled %d", nd, l, level[nd])
+			}
+		}
+	}
+	s.levelOff, s.levelNodes, s.nodeLevel = off, nodes, level
+	return nil
+}

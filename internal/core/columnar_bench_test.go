@@ -1,8 +1,9 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	. "graingraph/internal/core"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
 	"graingraph/internal/workloads"
@@ -216,11 +217,11 @@ func BenchmarkCriticalPathPassColumnar(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g := &Graph{}
 		for id := NodeID(0); id < NodeID(n); id++ {
-			g.appendNode(src.NodeAt(id))
+			g.AddNode(src.NodeAt(id))
 		}
 		for j := 0; j < m; j++ {
 			e := src.EdgeAt(j)
-			g.appendEdge(e.From, e.To, e.Kind)
+			g.AddEdge(e.From, e.To, e.Kind)
 		}
 		dist := make([]profile.Time, n)
 		if criticalColumnar(g, topo, dist) == 0 {
@@ -255,11 +256,11 @@ func BenchmarkAssembleColumnar(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var s GraphStore
 		for id := NodeID(0); id < NodeID(n); id++ {
-			s.appendNode(src.NodeAt(id))
+			s.AddNode(src.NodeAt(id))
 		}
 		for j := 0; j < m; j++ {
 			e := src.EdgeAt(j)
-			s.appendEdge(e.From, e.To, e.Kind)
+			s.AddEdge(e.From, e.To, e.Kind)
 		}
 		if s.NumNodes() != n {
 			b.Fatal("bad assembly")

@@ -1,8 +1,9 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	. "graingraph/internal/core"
 	"graingraph/internal/profile"
 	"graingraph/internal/rts"
 )
@@ -404,7 +405,7 @@ func TestLayoutDeepRecursion(t *testing.T) {
 			maxX = x
 		}
 	}
-	if maxX < 29*colWidth {
+	if maxX < 29*ColWidthForTest {
 		t.Errorf("deep recursion flattened: maxX = %f", maxX)
 	}
 }
@@ -432,8 +433,8 @@ func TestValidateCatchesCycle(t *testing.T) {
 	tr := fig3aTrace(t, 2)
 	g := Build(tr)
 	// Inject a back edge.
-	g.appendEdge(NodeID(g.NumNodes()-1), 0, EdgeContinuation)
-	g.appendEdge(0, NodeID(g.NumNodes()-1), EdgeContinuation)
+	g.AddEdge(NodeID(g.NumNodes()-1), 0, EdgeContinuation)
+	g.AddEdge(0, NodeID(g.NumNodes()-1), EdgeContinuation)
 	if err := g.Validate(); err == nil {
 		t.Error("Validate accepted a cyclic graph")
 	}

@@ -1,0 +1,6 @@
+package core
+
+// ColWidthForTest re-exports the layout column pitch for the external
+// test package (kept external so it can import rts and workloads without
+// cycling through ggp, which imports core for column adoption).
+const ColWidthForTest = colWidth

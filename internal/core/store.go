@@ -205,6 +205,14 @@ func (s *GraphStore) Reserve(nodes, edges int) {
 	}
 }
 
+// AddNode appends a node row (the ID field is ignored and assigned fresh)
+// and returns its ID. Graph shadows this with its own AddNode; the store
+// method serves callers assembling a bare GraphStore.
+func (s *GraphStore) AddNode(n Node) NodeID { return s.appendNode(n) }
+
+// AddEdge appends an edge row.
+func (s *GraphStore) AddEdge(from, to NodeID, kind EdgeKind) { s.appendEdge(from, to, kind) }
+
 func (s *GraphStore) appendNode(n Node) NodeID {
 	id := NodeID(len(s.kind))
 	if n.Members == 0 {

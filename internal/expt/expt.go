@@ -18,10 +18,12 @@ import (
 
 	"graingraph/internal/core"
 	"graingraph/internal/highlight"
+	"graingraph/internal/lod"
 	"graingraph/internal/machine"
 	"graingraph/internal/metrics"
 	"graingraph/internal/obs"
 	"graingraph/internal/profile"
+	"graingraph/internal/query"
 	"graingraph/internal/rts"
 	"graingraph/internal/runpool"
 	"graingraph/internal/trace"
@@ -48,6 +50,14 @@ func ResetAnalyzeStats() { analyzeNS.Store(0) }
 // parent when the caller threaded one through, or as its own root (the
 // batch case, where analyses run on pool workers).
 func analyze(tr, baseline *profile.Trace, cores int, wdMax float64, parent *obs.Span, pool *runpool.Runner) *Result {
+	return analyzeWith(tr, nil, baseline, cores, wdMax, parent, pool)
+}
+
+// analyzeWith is analyze accepting an already-materialized graph (the
+// columnar v2 decode path hands one over); g == nil builds it from the
+// trace exactly as before. The rest of the pipeline is shared, so a
+// decoded graph analyzes byte-identically to a freshly built one.
+func analyzeWith(tr *profile.Trace, g *core.Graph, baseline *profile.Trace, cores int, wdMax float64, parent *obs.Span, pool *runpool.Runner) *Result {
 	start := time.Now()
 	defer func() { analyzeNS.Add(int64(time.Since(start))) }()
 	if pool == nil {
@@ -56,9 +66,11 @@ func analyze(tr, baseline *profile.Trace, cores int, wdMax float64, parent *obs.
 	sp := obs.Under(SelfProfiler(), parent, "analyze:"+tr.Program)
 	defer sp.End()
 
-	bsp := sp.Child("build")
-	g := core.Build(tr)
-	bsp.End()
+	if g == nil {
+		bsp := sp.Child("build")
+		g = core.Build(tr)
+		bsp.End()
+	}
 	rep := metrics.Analyze(tr, g, baseline, metrics.Options{Pool: pool, Span: sp})
 	th := highlight.Defaults(cores, 12)
 	if wdMax > 0 {
@@ -160,6 +172,54 @@ type Result struct {
 	Graph      *core.Graph
 	Report     *metrics.Report
 	Assessment *highlight.Assessment
+
+	// sidecarLod/sidecarQuery hold the raw derived-artifact payloads a
+	// columnar v2 decode carried (nil otherwise). Lod and GrainTable
+	// adopt them lazily and fall back to a fresh build when absent or
+	// structurally unsound.
+	sidecarLod   []byte
+	sidecarQuery []byte
+
+	lodOnce sync.Once
+	lodIx   *lod.Index
+
+	qtOnce sync.Once
+	qtPool *runpool.Runner
+	qt     *query.Table
+}
+
+// Lod returns the level-of-detail summary index for this result, adopting
+// the decoded sidecar when one rode along with the artifact and building
+// fresh otherwise. The index is computed once and shared; both paths
+// produce byte-identical tables and windows.
+func (res *Result) Lod() *lod.Index {
+	res.lodOnce.Do(func() {
+		if res.sidecarLod != nil {
+			if ix, err := lod.DecodeIndex(res.Graph, res.sidecarLod); err == nil {
+				res.lodIx = ix
+				return
+			}
+		}
+		res.lodIx = lod.Build(res.Graph, res.Assessment)
+	})
+	return res.lodIx
+}
+
+// GrainTable returns the per-grain query metric table, adopting the
+// decoded sidecar when present (after checking its row count against the
+// report) and deriving it from the report otherwise. The table is
+// computed once; pool only matters for the first call's derivation.
+func (res *Result) GrainTable(pool *runpool.Runner) *query.Table {
+	res.qtOnce.Do(func() {
+		if res.sidecarQuery != nil {
+			if t, err := query.DecodeTable(res.sidecarQuery); err == nil && t.NumRows() == len(res.Report.Grains) {
+				res.qt = t
+				return
+			}
+		}
+		res.qt = QueryTable(res, pool)
+	})
+	return res.qt
 }
 
 // Config shapes a harness run.

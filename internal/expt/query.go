@@ -4,7 +4,6 @@ import (
 	"io"
 
 	"graingraph/internal/highlight"
-	"graingraph/internal/lod"
 	"graingraph/internal/obs"
 	"graingraph/internal/query"
 	"graingraph/internal/runpool"
@@ -103,9 +102,9 @@ func WritePlanSpan(w io.Writer, res *Result, plan *query.Plan, pool *runpool.Run
 	tsp := parent.Child("query:table")
 	var t *query.Table
 	if plan.Source() == "tasks" {
-		t = lod.Build(res.Graph, res.Assessment).Table()
+		t = res.Lod().Table()
 	} else {
-		t = QueryTable(res, pool)
+		t = res.GrainTable(pool)
 	}
 	tsp.End()
 	rsp := parent.Child("query:run")

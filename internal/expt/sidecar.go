@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+
+	"graingraph/internal/ggp"
+	"graingraph/internal/obs"
+	"graingraph/internal/profile"
+	"graingraph/internal/query"
+	"graingraph/internal/runpool"
+)
+
+// Columnar-artifact glue: the analysis entry points for ggp.Decoded
+// results (which may carry a ready-made graph and derived-artifact
+// sidecars), plus the writer side — turning a finished analysis back into
+// the sidecars a v2 artifact persists so the next decode skips the builds.
+
+// AnalyzeDecoded analyzes a decoded artifact. When the decode carried a
+// materialized graph (columnar v2), the build phase is skipped; sidecar
+// payloads riding along are threaded into the result for Lod/GrainTable.
+// baseline may be nil, exactly as with AnalyzeTrace. cfg.Cores <= 0 takes
+// the core count from the trace.
+func AnalyzeDecoded(dec *ggp.Decoded, baseline *profile.Trace, cfg Config) *Result {
+	return AnalyzeDecodedOn(nil, dec, baseline, cfg, nil)
+}
+
+// AnalyzeDecodedSpan is AnalyzeDecoded with the phase spans rooted under
+// parent (nil behaves exactly like AnalyzeDecoded).
+func AnalyzeDecodedSpan(dec *ggp.Decoded, baseline *profile.Trace, cfg Config, parent *obs.Span) *Result {
+	return AnalyzeDecodedOn(nil, dec, baseline, cfg, parent)
+}
+
+// AnalyzeDecodedOn is AnalyzeDecoded running its parallel kernels on an
+// explicit pool (nil selects the shared pool, as with AnalyzeTraceOn).
+// The graph is taken from the decode result at most once — a second
+// analysis of the same Decoded rebuilds from the trace, which produces
+// the same graph.
+func AnalyzeDecodedOn(pool *runpool.Runner, dec *ggp.Decoded, baseline *profile.Trace, cfg Config, parent *obs.Span) *Result {
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = dec.Trace.Cores
+	}
+	res := analyzeWith(dec.Trace, dec.TakeGraph(), baseline, cores, cfg.WorkDeviationMax, parent, pool)
+	res.sidecarLod = dec.LodSidecar()
+	res.sidecarQuery = dec.QuerySidecar()
+	return res
+}
+
+// Sidecars derives the persistable sidecar set from a finished analysis:
+// the lod summary index and the per-grain query metric table (the
+// topological-level sidecar is emitted by ggp.EncodeV2 itself from the
+// graph's level structure, which this forces). Writing these alongside
+// the graph sections lets the next decode of the artifact skip the
+// corresponding builds entirely.
+func Sidecars(res *Result, pool *runpool.Runner) []ggp.Sidecar {
+	res.Graph.NumLevels() // force levels so EncodeV2 persists them
+	return []ggp.Sidecar{
+		{Kind: ggp.SidecarLod, Data: res.Lod().Encode()},
+		{Kind: ggp.SidecarQuery, Data: query.EncodeTable(res.GrainTable(pool))},
+	}
+}
+
+// UpgradeArtifact reads the artifact at src (either format), analyzes it,
+// and writes a columnar v2 artifact with full sidecars to dst (which may
+// equal src; the write is atomic). It is the ggpconv upgrade path and the
+// server's warm-restart optimization.
+func UpgradeArtifact(src, dst string, pool *runpool.Runner) error {
+	dec, err := ggp.DecodeFile(src, pool, nil)
+	if err != nil {
+		return fmt.Errorf("upgrade artifact: %w", err)
+	}
+	res := AnalyzeDecodedOn(pool, dec, nil, Config{}, nil)
+	if err := ggp.WriteFileV2(dst, res.Trace, res.Graph, Sidecars(res, pool)); err != nil {
+		return fmt.Errorf("upgrade artifact: %w", err)
+	}
+	return nil
+}

@@ -4,11 +4,32 @@ package ggp
 // ggp_test (not in-package) because their sample traces come from
 // internal/rts, and rts imports ggp for the Config.Profile sink.
 
+import (
+	"graingraph/internal/core"
+	"graingraph/internal/profile"
+)
+
 const (
 	SecTask    = secTask
 	SecTrailer = secTrailer
 	MaxSection = maxSection
+
+	SecV2Meta    = secV2Meta
+	SecV2Tasks   = secV2Tasks
+	SecV2Nodes   = secV2Nodes
+	SecV2Edges   = secV2Edges
+	SecV2Levels  = secV2Levels
+	SecV2Lod     = secV2Lod
+	SecV2Query   = secV2Query
+	SecV2Trailer = secV2Trailer
 )
+
+// EncodeV2StaleForTest encodes a v2 artifact whose sidecars carry the
+// given (wrong) content key, simulating sidecars left behind by an older
+// version of the graph sections.
+func EncodeV2StaleForTest(tr *profile.Trace, g *core.Graph, side []Sidecar, key uint32) ([]byte, error) {
+	return encodeV2(tr, g, side, key, true)
+}
 
 // RawSection emits an arbitrary section; the forward-compatibility tests
 // use it to splice unknown section IDs into otherwise valid artifacts.

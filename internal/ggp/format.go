@@ -18,6 +18,29 @@
 // relies on: NodeIDs are assigned in record order, so preserving it is
 // what makes replayed analysis byte-identical.
 //
+// # Columnar v2 ("GGPC")
+//
+// Version 2 replaces the per-record event stream with columnar sections:
+// the writer serializes the trace's attribute slices and the built grain
+// graph's GraphStore columns (plus a CSR edge section) as independently
+// CRC'd column sections, so a reader decodes sections in parallel on the
+// runpool and materializes the graph at near-memcpy cost — no per-event
+// parse, no core.Build replay. Optional sidecar sections persist derived
+// indexes (topological levels, lod summary, query metric table) written
+// after first analysis; each is content-keyed against the graph sections'
+// checksums so a stale sidecar is detected and silently rebuilt, never
+// trusted. See writer2.go/reader2.go and DESIGN.md §14.
+//
+//	header   := magic "GGPF" | version byte 0x02
+//	section  := id byte | uvarint payload length | payload |
+//	            4-byte LE CRC-32C (Castagnoli) of the payload
+//	sidecar  := section with id in [0x20,0x2F); payload opens with a
+//	            format-version byte and the 4-byte LE content key
+//	trailer  := section id 0xFE; payload is the 4-byte LE content key
+//	            (CRC-32C over the concatenated per-section CRCs of every
+//	            non-sidecar section, in file order) plus a uvarint
+//	            section count
+//
 // # Versioning and forward compatibility
 //
 // The version byte gates the record encodings: a Reader rejects versions
@@ -32,9 +55,11 @@ import "errors"
 const (
 	// Magic opens every GGP artifact.
 	Magic = "GGPF"
-	// Version is the current format version. Readers accept artifacts with
-	// version <= Version and reject newer ones.
+	// Version is the v1 event-stream format version written by Writer.
+	// ReadTrace accepts only v1 artifacts; Decode accepts both v1 and v2.
 	Version = 1
+	// Version2 is the columnar format version written by EncodeV2.
+	Version2 = 2
 )
 
 // Section IDs. The trailer ID is deliberately far from the record IDs so
@@ -48,6 +73,38 @@ const (
 	secWorkers  = 0x06 // per-worker time split
 	secTrailer  = 0xFF // CRC-32 of everything before it
 )
+
+// v2 section IDs. Trace columns and graph columns are content sections
+// (they feed the trailer's content key); IDs in [0x20,0x2F) are sidecars,
+// derived data that may be absent or stale without the artifact being
+// corrupt. The v2 trailer ID differs from v1's so a mislabeled body cannot
+// terminate cleanly.
+const (
+	secV2Meta         = 0x10 // program identification, span, section row counts
+	secV2Workers      = 0x11 // per-worker time split
+	secV2Tasks        = 0x12 // task columns + fragment/boundary CSR offsets
+	secV2Frags        = 0x13 // flattened fragment columns
+	secV2Bounds       = 0x14 // flattened boundary columns + joined CSR
+	secV2Loops        = 0x15 // loop columns + thread CSR
+	secV2Chunks       = 0x16 // chunk columns
+	secV2Bookkeeps    = 0x17 // book-keeping columns
+	secV2Nodes        = 0x18 // grain dictionary + graph node columns
+	secV2NodeCounters = 0x19 // node hardware-counter columns
+	secV2Edges        = 0x1A // edge columns + per-grain entry/exit nodes
+	secV2Levels       = 0x20 // sidecar: topological level CSR
+	secV2Lod          = 0x21 // sidecar: lod summary index columns
+	secV2Query        = 0x22 // sidecar: query metric table
+	secV2Trailer      = 0xFE // content key over non-sidecar section CRCs
+)
+
+// sidecarFormatVersion versions the sidecar payload encodings
+// independently of the container: a reader that finds an unknown sidecar
+// version discards the sidecar and rebuilds, it does not fail the decode.
+const sidecarFormatVersion = 1
+
+// isV2Sidecar reports whether a v2 section ID is a derived-data sidecar
+// (excluded from the trailer's content key).
+func isV2Sidecar(id byte) bool { return id >= 0x20 && id < 0x30 }
 
 // maxSection caps a single section's payload. Record sections hold one
 // record and stay tiny; the cap exists so a corrupted length prefix cannot

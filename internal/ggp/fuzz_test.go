@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"testing"
 
+	"graingraph/internal/core"
 	"graingraph/internal/ggp"
 	"graingraph/internal/profile"
 )
 
-// FuzzGGPReader throws arbitrary bytes at the artifact reader. The
-// invariant is purely defensive: ggp.ReadTrace must return a trace or an
-// error, never panic or OOM, for any input. The seed corpus covers the
-// interesting corruption classes — a valid artifact, truncations, a
-// flipped version byte, a corrupted CRC, and oversized section lengths.
+// FuzzGGPReader throws arbitrary bytes at the artifact readers. The
+// invariant is purely defensive: ggp.ReadTrace (v1) and ggp.Decode (v1 +
+// columnar v2) must return a result or an error, never panic or OOM, for
+// any input. The seed corpus covers the interesting corruption classes —
+// valid artifacts of both versions, truncations (including mid-column),
+// a flipped version byte, a v2 header on a v1 body, corrupted section and
+// sidecar checksums, and oversized section lengths.
 func FuzzGGPReader(f *testing.F) {
 	tr := &profile.Trace{
 		Program: "fuzz-seed", Cores: 2, Start: 0, End: 100,
@@ -48,6 +51,27 @@ func FuzzGGPReader(f *testing.F) {
 	zeroLen := append(bytes.Clone(valid[:len(ggp.Magic)+1]), ggp.SecTrailer, 0x00)
 	f.Add(zeroLen) // trailer with empty payload
 
+	// v2 seeds: a valid columnar artifact with sidecars, a mid-column
+	// truncation, a sidecar with a flipped payload byte (checksum
+	// mismatch), and a v2 version byte on a v1 event-stream body.
+	g := core.Build(tr)
+	g.NumLevels()
+	v2, err := ggp.EncodeV2(tr, g, []ggp.Sidecar{
+		{Kind: ggp.SidecarLod, Data: []byte("fuzz-lod-sidecar")},
+		{Kind: ggp.SidecarQuery, Data: []byte("fuzz-query-sidecar")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(v2[:2*len(v2)/3]) // truncated mid-column
+	sideFlip := bytes.Clone(v2)
+	sideFlip[bytes.LastIndex(sideFlip, []byte("fuzz-lod-sidecar"))] ^= 0xFF
+	f.Add(sideFlip) // CRC-flipped sidecar
+	v2HdrV1Body := bytes.Clone(valid)
+	v2HdrV1Body[len(ggp.Magic)] = 2 // v2 header, v1 body
+	f.Add(v2HdrV1Body)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ggp.ReadTrace(bytes.NewReader(data))
 		if err == nil && tr == nil {
@@ -58,6 +82,17 @@ func FuzzGGPReader(f *testing.F) {
 			// that is what the validation wiring guarantees.
 			if verr := tr.Validate(); verr != nil {
 				t.Fatalf("ggp.ReadTrace accepted an invalid trace: %v", verr)
+			}
+		}
+		// The version-dispatching decoder has the same contract over both
+		// formats, including the parallel columnar path.
+		dec, derr := ggp.Decode(data, nil, nil)
+		if derr == nil && (dec == nil || dec.Trace == nil) {
+			t.Fatal("ggp.Decode returned no result and no error")
+		}
+		if derr == nil {
+			if verr := dec.Trace.Validate(); verr != nil {
+				t.Fatalf("ggp.Decode accepted an invalid trace: %v", verr)
 			}
 		}
 	})

@@ -1,0 +1,1300 @@
+package ggp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"graingraph/internal/cache"
+	"graingraph/internal/colenc"
+	"graingraph/internal/core"
+	"graingraph/internal/obs"
+	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
+)
+
+// Decoded is the result of decoding an artifact of either format version.
+// For v2 artifacts it carries the materialized grain graph and any fresh
+// derived-index sidecars alongside the trace; for v1 artifacts only the
+// trace is populated and callers rebuild everything, exactly as before.
+type Decoded struct {
+	// Version is the artifact's format version (1 or 2).
+	Version int
+	// Trace is the decoded, validated trace.
+	Trace *profile.Trace
+	// ContentKey identifies the artifact's content sections (v2 only);
+	// sidecars written later must carry this key to be trusted.
+	ContentKey uint32
+	// SidecarStale reports that at least one sidecar was present but
+	// discarded — its content key or format version did not match the
+	// graph sections, so the derived data was rebuilt rather than trusted.
+	SidecarStale bool
+
+	graph     atomic.Pointer[core.Graph]
+	lodData   []byte
+	queryData []byte
+	hadLevels bool
+}
+
+// TakeGraph hands out the decoded grain graph exactly once and nil after
+// that (and always nil for v1 artifacts). Analysis mutates derived graph
+// state (critical-path marks, layout geometry), so a decoded graph must
+// not be shared between independent analyses; a caller that misses the
+// hand-off rebuilds deterministically with core.Build.
+func (d *Decoded) TakeGraph() *core.Graph {
+	if d == nil {
+		return nil
+	}
+	return d.graph.Swap(nil)
+}
+
+// LodSidecar returns the encoded lod summary index persisted with the
+// artifact, or nil if absent or stale. The slice aliases the decoded
+// buffer: read, don't mutate.
+func (d *Decoded) LodSidecar() []byte { return d.lodData }
+
+// QuerySidecar returns the encoded query metric table persisted with the
+// artifact, or nil if absent or stale. The slice aliases the decoded
+// buffer: read, don't mutate.
+func (d *Decoded) QuerySidecar() []byte { return d.queryData }
+
+// HasSidecars reports whether the artifact carried a complete, fresh set
+// of derived-index sidecars (levels, lod, query) — the signal the serving
+// layer uses to decide whether an in-place upgrade is worthwhile.
+func (d *Decoded) HasSidecars() bool {
+	return d.hadLevels && d.lodData != nil && d.queryData != nil
+}
+
+// Decode decodes an artifact of either format version. v1 streams go
+// through the event-stream reader; v2 streams decode their column
+// sections in parallel on pool (nil or single-worker pools decode
+// serially, byte-identically). Section decode is reported as child spans
+// of sp (decode:tasks, decode:nodes, decode:edges, decode:sidecar:*…) so
+// phase profiles attribute the cold path section by section. The returned
+// trace is checksum-verified and validated; corrupt input of either
+// version yields a structured error, never a panic.
+func Decode(data []byte, pool *runpool.Runner, sp *obs.Span) (*Decoded, error) {
+	if len(data) < len(Magic)+1 {
+		return nil, fmt.Errorf("%w: %d-byte stream has no header", ErrTruncated, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, ErrMagic
+	}
+	switch v := data[len(Magic)]; v {
+	case Version:
+		csp := sp.Child("decode:v1stream")
+		tr, err := ReadTrace(bytes.NewReader(data))
+		csp.End()
+		if err != nil {
+			return nil, err
+		}
+		return &Decoded{Version: 1, Trace: tr}, nil
+	case Version2:
+		return decodeV2(data, pool, sp, true)
+	default:
+		return nil, fmt.Errorf("%w: artifact version %d, reader supports <= %d",
+			ErrVersion, v, Version2)
+	}
+}
+
+// DecodeFile decodes the artifact at path with Decode.
+func DecodeFile(path string, pool *runpool.Runner, sp *obs.Span) (*Decoded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data, pool, sp)
+}
+
+// DecodeTrace decodes only the trace from an artifact of either version,
+// skipping graph and sidecar materialization (their checksums are still
+// verified, so corruption anywhere in the artifact is detected). The
+// replay engine uses this: it re-analyzes traces under varied
+// configurations, so a prebuilt graph would go unused.
+func DecodeTrace(data []byte, pool *runpool.Runner, sp *obs.Span) (*profile.Trace, error) {
+	if len(data) < len(Magic)+1 {
+		return nil, fmt.Errorf("%w: %d-byte stream has no header", ErrTruncated, len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, ErrMagic
+	}
+	switch v := data[len(Magic)]; v {
+	case Version:
+		return ReadTrace(bytes.NewReader(data))
+	case Version2:
+		d, err := decodeV2(data, pool, sp, false)
+		if err != nil {
+			return nil, err
+		}
+		return d.Trace, nil
+	default:
+		return nil, fmt.Errorf("%w: artifact version %d, reader supports <= %d",
+			ErrVersion, v, Version2)
+	}
+}
+
+// DecodeTraceFile decodes only the trace from the artifact at path.
+func DecodeTraceFile(path string, pool *runpool.Runner, sp *obs.Span) (*profile.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTrace(data, pool, sp)
+}
+
+// v2Section is one framed section: a payload subslice of the input buffer
+// plus its stored checksum. Payloads are verified inside the parallel
+// decode jobs, not during the serial walk, so checksum cost parallelizes
+// with decode cost.
+type v2Section struct {
+	id      byte
+	payload []byte
+	crc     uint32
+}
+
+// decodeV2 walks the section frames serially (cheap — payloads are
+// subslices), verifies the trailer's content key against the stored
+// per-section checksums, then decodes all sections in parallel on pool.
+func decodeV2(data []byte, pool *runpool.Runner, sp *obs.Span, full bool) (*Decoded, error) {
+	secs, key, err := walkV2(data)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[byte]*v2Section, len(secs))
+	for i := range secs {
+		s := &secs[i]
+		if s.id == secV2Trailer {
+			continue
+		}
+		if _, dup := byID[s.id]; dup && v2Known(s.id) {
+			return nil, fmt.Errorf("ggp: duplicate section 0x%02x", s.id)
+		}
+		byID[s.id] = s
+	}
+	for _, id := range []byte{secV2Meta, secV2Tasks, secV2Frags, secV2Bounds, secV2Loops, secV2Chunks, secV2Bookkeeps} {
+		if byID[id] == nil {
+			return nil, fmt.Errorf("%w: missing section 0x%02x", ErrTruncated, id)
+		}
+	}
+	if full {
+		for _, id := range []byte{secV2Nodes, secV2NodeCounters, secV2Edges} {
+			if byID[id] == nil {
+				return nil, fmt.Errorf("%w: missing section 0x%02x", ErrTruncated, id)
+			}
+		}
+	}
+
+	dec := &Decoded{Version: 2, ContentKey: key}
+	var (
+		meta    v2Meta
+		workers v2WorkersCols
+		tasks   v2TaskCols
+		frags   v2FragCols
+		bounds  v2BoundCols
+		loops   v2LoopCols
+		chunks  v2ChunkCols
+		bks     v2BookkeepCols
+		nodes   v2NodeCols
+		nodeCtr [7][]uint64
+		edges   v2EdgeCols
+		levels  v2LevelCols
+		stale   atomic.Bool
+	)
+
+	type job struct {
+		name string
+		run  func(s *v2Section) error
+		sec  *v2Section
+	}
+	var jobs []job
+	add := func(name string, s *v2Section, run func(s *v2Section) error) {
+		if s != nil {
+			jobs = append(jobs, job{name: name, run: run, sec: s})
+		}
+	}
+	// verifyOnly checks a section's checksum without materializing it —
+	// used for unknown sections and, in trace-only mode, for the graph
+	// sections, so corruption is detected either way.
+	verifyOnly := func(s *v2Section) error { return verifyV2(s) }
+
+	add("decode:meta", byID[secV2Meta], func(s *v2Section) error { return meta.decode(s) })
+	add("decode:workers", byID[secV2Workers], func(s *v2Section) error { return workers.decode(s) })
+	add("decode:tasks", byID[secV2Tasks], func(s *v2Section) error { return tasks.decode(s) })
+	add("decode:frags", byID[secV2Frags], func(s *v2Section) error { return frags.decode(s) })
+	add("decode:bounds", byID[secV2Bounds], func(s *v2Section) error { return bounds.decode(s) })
+	add("decode:loops", byID[secV2Loops], func(s *v2Section) error { return loops.decode(s) })
+	add("decode:chunks", byID[secV2Chunks], func(s *v2Section) error { return chunks.decode(s) })
+	add("decode:bookkeeps", byID[secV2Bookkeeps], func(s *v2Section) error { return bks.decode(s) })
+	if full {
+		add("decode:nodes", byID[secV2Nodes], func(s *v2Section) error { return nodes.decode(s) })
+		add("decode:nodes", byID[secV2NodeCounters], func(s *v2Section) error {
+			return decodeV2Counters(s, &nodeCtr)
+		})
+		add("decode:edges", byID[secV2Edges], func(s *v2Section) error { return edges.decode(s) })
+		add("decode:sidecar:levels", byID[secV2Levels], func(s *v2Section) error {
+			body, ok, err := sidecarBody(s, key)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				stale.Store(true)
+				return nil
+			}
+			if lerr := levels.decode(body); lerr != nil {
+				// CRC-valid but structurally off: treat like a stale
+				// sidecar (rebuild), never trust it.
+				stale.Store(true)
+				levels = v2LevelCols{}
+			}
+			return nil
+		})
+		add("decode:sidecar:lod", byID[secV2Lod], func(s *v2Section) error {
+			body, ok, err := sidecarBody(s, key)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				stale.Store(true)
+				return nil
+			}
+			dec.lodData = body
+			return nil
+		})
+		add("decode:sidecar:query", byID[secV2Query], func(s *v2Section) error {
+			body, ok, err := sidecarBody(s, key)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				stale.Store(true)
+				return nil
+			}
+			dec.queryData = body
+			return nil
+		})
+	} else {
+		for _, id := range []byte{secV2Nodes, secV2NodeCounters, secV2Edges, secV2Levels, secV2Lod, secV2Query} {
+			add("decode:verify", byID[id], verifyOnly)
+		}
+	}
+	for i := range secs {
+		s := &secs[i]
+		if !v2Known(s.id) && s.id != secV2Trailer {
+			add("decode:verify", s, verifyOnly)
+		}
+	}
+
+	if _, err := runpool.Map(pool, len(jobs), func(i int) (struct{}, error) {
+		j := jobs[i]
+		csp := sp.Child(j.name)
+		err := j.run(j.sec)
+		csp.End()
+		if err != nil {
+			return struct{}{}, fmt.Errorf("ggp: section 0x%02x: %w", j.sec.id, err)
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	dec.SidecarStale = stale.Load()
+
+	asp := sp.Child("assemble:trace")
+	tr, err := assembleV2Trace(&meta, &workers, &tasks, &frags, &bounds, &loops, &chunks, &bks)
+	asp.End()
+	if err != nil {
+		return nil, err
+	}
+	dec.Trace = tr
+
+	if full {
+		gsp := sp.Child("assemble:graph")
+		g, hadLevels, lerr := assembleV2Graph(tr, &meta, &nodes, &nodeCtr, &edges, &levels)
+		gsp.End()
+		if lerr != nil {
+			return nil, lerr
+		}
+		if levels.off != nil && !hadLevels {
+			// Level sidecar rejected during adoption: rebuild later.
+			dec.SidecarStale = true
+		}
+		dec.hadLevels = hadLevels
+		dec.graph.Store(g)
+	}
+	return dec, nil
+}
+
+// walkV2 frames the section list and verifies the trailer: its own
+// checksum, its section count, and the content key recomputed from the
+// stored per-section checksums of the content sections. Payload checksums
+// are deferred to the parallel decode.
+func walkV2(data []byte) ([]v2Section, uint32, error) {
+	off := len(Magic) + 1
+	var secs []v2Section
+	var crcs []byte
+	sawTrailer := false
+	var key uint32
+	for !sawTrailer {
+		if off >= len(data) {
+			return nil, 0, fmt.Errorf("%w: stream ends before trailer", ErrTruncated)
+		}
+		id := data[off]
+		off++
+		size, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: unterminated section length", ErrTruncated)
+		}
+		off += n
+		if size > uint64(len(data)-off) || len(data)-off-int(size) < 4 {
+			return nil, 0, fmt.Errorf("%w: section 0x%02x length %d exceeds stream", ErrTruncated, id, size)
+		}
+		payload := data[off : off+int(size) : off+int(size)]
+		off += int(size)
+		stored := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		secs = append(secs, v2Section{id: id, payload: payload, crc: stored})
+		switch {
+		case id == secV2Trailer:
+			sawTrailer = true
+			if crc32.Checksum(payload, castagnoli) != stored {
+				return nil, 0, fmt.Errorf("%w: trailer checksum", ErrCRC)
+			}
+			d := colenc.NewReader(payload)
+			if len(payload) < 4 {
+				return nil, 0, fmt.Errorf("%w: trailer payload is %d bytes", ErrCRC, len(payload))
+			}
+			key = binary.LittleEndian.Uint32(payload)
+			d = colenc.NewReader(payload[4:])
+			count, err := d.Uvarint()
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: trailer section count", ErrCRC)
+			}
+			if int(count) != len(secs)-1 {
+				return nil, 0, fmt.Errorf("%w: trailer counts %d sections, stream has %d", ErrCRC, count, len(secs)-1)
+			}
+		case isV2Sidecar(id):
+			// Sidecars do not feed the content key.
+		default:
+			crcs = binary.LittleEndian.AppendUint32(crcs, stored)
+		}
+	}
+	if got := crc32.Checksum(crcs, castagnoli); got != key {
+		return nil, 0, fmt.Errorf("%w: content key computed %08x, stored %08x", ErrCRC, got, key)
+	}
+	return secs, key, nil
+}
+
+func v2Known(id byte) bool {
+	switch id {
+	case secV2Meta, secV2Workers, secV2Tasks, secV2Frags, secV2Bounds, secV2Loops,
+		secV2Chunks, secV2Bookkeeps, secV2Nodes, secV2NodeCounters, secV2Edges,
+		secV2Levels, secV2Lod, secV2Query:
+		return true
+	}
+	return false
+}
+
+func verifyV2(s *v2Section) error {
+	if crc32.Checksum(s.payload, castagnoli) != s.crc {
+		return ErrCRC
+	}
+	return nil
+}
+
+// sidecarBody verifies a sidecar section and unwraps its payload header.
+// ok=false (with no error) means the sidecar is intact but not trustworthy
+// — wrong format version or content key — and must be discarded.
+func sidecarBody(s *v2Section, key uint32) (body []byte, ok bool, err error) {
+	if err := verifyV2(s); err != nil {
+		return nil, false, err
+	}
+	if len(s.payload) < 5 {
+		return nil, false, fmt.Errorf("sidecar payload is %d bytes, want >= 5", len(s.payload))
+	}
+	if s.payload[0] != sidecarFormatVersion {
+		return nil, false, nil
+	}
+	if binary.LittleEndian.Uint32(s.payload[1:]) != key {
+		return nil, false, nil
+	}
+	return s.payload[5:], true, nil
+}
+
+// ---- per-section column holders ----
+
+type v2Meta struct {
+	program, scheduler, flavor, pagePolicy string
+	cores, sockets                         int
+	start, end                             profile.Time
+	nTasks, nLoops, nChunks, nBookkeeps    int
+	nNodes, nEdges                         int
+}
+
+func (m *v2Meta) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if m.program, err = d.Str(); err != nil {
+		return err
+	}
+	u := func(dst *int) error {
+		v, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		if v > math.MaxInt32 {
+			return fmt.Errorf("meta count %d out of range", v)
+		}
+		*dst = int(v)
+		return nil
+	}
+	if err = u(&m.cores); err != nil {
+		return err
+	}
+	if err = u(&m.sockets); err != nil {
+		return err
+	}
+	if m.scheduler, err = d.Str(); err != nil {
+		return err
+	}
+	if m.flavor, err = d.Str(); err != nil {
+		return err
+	}
+	if m.pagePolicy, err = d.Str(); err != nil {
+		return err
+	}
+	if m.start, err = d.Uvarint(); err != nil {
+		return err
+	}
+	if m.end, err = d.Uvarint(); err != nil {
+		return err
+	}
+	for _, dst := range []*int{&m.nTasks, &m.nLoops, &m.nChunks, &m.nBookkeeps, &m.nNodes, &m.nEdges} {
+		if err = u(dst); err != nil {
+			return err
+		}
+	}
+	if !d.Done() {
+		return fmt.Errorf("meta carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2WorkersCols struct {
+	busy, over []uint64
+}
+
+func (w *v2WorkersCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if w.busy, err = d.U64s(); err != nil {
+		return err
+	}
+	if w.over, err = d.U64s(); err != nil {
+		return err
+	}
+	if len(w.busy) != len(w.over) {
+		return fmt.Errorf("worker columns disagree (%d/%d)", len(w.busy), len(w.over))
+	}
+	if !d.Done() {
+		return fmt.Errorf("workers carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2TaskCols struct {
+	ids, parents, locFile, locFunc []string
+	locLine, depth, createdBy      []int64
+	createTime, createCost         []uint64
+	startTime, endTime             []uint64
+	inlined                        []bool
+	fragOff, boundOff              []uint32
+}
+
+func (t *v2TaskCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if t.ids, err = d.Strs(); err != nil {
+		return err
+	}
+	if t.parents, err = d.Strs(); err != nil {
+		return err
+	}
+	if t.locFile, err = d.Strs(); err != nil {
+		return err
+	}
+	if t.locLine, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if t.locFunc, err = d.Strs(); err != nil {
+		return err
+	}
+	if t.depth, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if t.createTime, err = d.U64s(); err != nil {
+		return err
+	}
+	if t.createCost, err = d.U64s(); err != nil {
+		return err
+	}
+	if t.createdBy, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if t.startTime, err = d.U64s(); err != nil {
+		return err
+	}
+	if t.endTime, err = d.U64s(); err != nil {
+		return err
+	}
+	if t.inlined, err = d.Bools(); err != nil {
+		return err
+	}
+	if t.fragOff, err = d.U32s(); err != nil {
+		return err
+	}
+	if t.boundOff, err = d.U32s(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("tasks carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2FragCols struct {
+	start, end []uint64
+	core       []int64
+	ctr        [7][]uint64
+}
+
+func (f *v2FragCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if f.start, err = d.U64s(); err != nil {
+		return err
+	}
+	if f.end, err = d.U64s(); err != nil {
+		return err
+	}
+	if f.core, err = d.I64sVar(); err != nil {
+		return err
+	}
+	for i := range f.ctr {
+		if f.ctr[i], err = d.U64sVar(); err != nil {
+			return err
+		}
+	}
+	if !d.Done() {
+		return fmt.Errorf("fragments carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2BoundCols struct {
+	kind           []uint8
+	at, wait, susp []uint64
+	child, joined  []string
+	loop           []int64
+	joinedOff      []uint32
+}
+
+func (b *v2BoundCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if b.kind, err = d.U8s(); err != nil {
+		return err
+	}
+	if b.at, err = d.U64s(); err != nil {
+		return err
+	}
+	if b.child, err = d.Strs(); err != nil {
+		return err
+	}
+	if b.wait, err = d.U64s(); err != nil {
+		return err
+	}
+	if b.susp, err = d.U64s(); err != nil {
+		return err
+	}
+	if b.loop, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if b.joinedOff, err = d.U32s(); err != nil {
+		return err
+	}
+	if b.joined, err = d.Strs(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("boundaries carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2LoopCols struct {
+	id, locLine, chunkSize, lo, hi, startThread, threads []int64
+	locFile, locFunc                                     []string
+	sched                                                []uint8
+	start, end                                           []uint64
+	threadOff                                            []uint32
+}
+
+func (l *v2LoopCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if l.id, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if l.locFile, err = d.Strs(); err != nil {
+		return err
+	}
+	if l.locLine, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if l.locFunc, err = d.Strs(); err != nil {
+		return err
+	}
+	if l.sched, err = d.U8s(); err != nil {
+		return err
+	}
+	if l.chunkSize, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if l.lo, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if l.hi, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if l.start, err = d.U64s(); err != nil {
+		return err
+	}
+	if l.end, err = d.U64s(); err != nil {
+		return err
+	}
+	if l.startThread, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if l.threadOff, err = d.U32s(); err != nil {
+		return err
+	}
+	if l.threads, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("loops carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2ChunkCols struct {
+	loop, seq, thread, lo, hi []int64
+	start, end, bookkeep      []uint64
+	ctr                       [7][]uint64
+}
+
+func (c *v2ChunkCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if c.loop, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if c.seq, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if c.thread, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if c.lo, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if c.hi, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if c.start, err = d.U64s(); err != nil {
+		return err
+	}
+	if c.end, err = d.U64s(); err != nil {
+		return err
+	}
+	if c.bookkeep, err = d.U64sVar(); err != nil {
+		return err
+	}
+	for i := range c.ctr {
+		if c.ctr[i], err = d.U64sVar(); err != nil {
+			return err
+		}
+	}
+	if !d.Done() {
+		return fmt.Errorf("chunks carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2BookkeepCols struct {
+	loop, thread, grabs []int64
+	total               []uint64
+}
+
+func (b *v2BookkeepCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if b.loop, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if b.thread, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if b.grabs, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if b.total, err = d.U64sVar(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("bookkeeps carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2NodeCols struct {
+	dict                     []string
+	kind                     []uint8
+	grainRef                 []uint32
+	loop, seq, core, members []int64
+	label                    []string
+	start, end, weight       []uint64
+}
+
+func (n *v2NodeCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if n.dict, err = d.Strs(); err != nil {
+		return err
+	}
+	if n.kind, err = d.U8s(); err != nil {
+		return err
+	}
+	if n.grainRef, err = d.U32s(); err != nil {
+		return err
+	}
+	if n.loop, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if n.seq, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if n.core, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if n.members, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if n.label, err = d.Strs(); err != nil {
+		return err
+	}
+	if n.start, err = d.U64s(); err != nil {
+		return err
+	}
+	if n.end, err = d.U64s(); err != nil {
+		return err
+	}
+	if n.weight, err = d.U64s(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("nodes carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+func decodeV2Counters(s *v2Section, out *[7][]uint64) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	for i := range out {
+		if out[i], err = d.U64sVar(); err != nil {
+			return err
+		}
+	}
+	if !d.Done() {
+		return fmt.Errorf("node counters carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2EdgeCols struct {
+	from, to    []uint32
+	kind        []uint8
+	first, last []int64
+}
+
+func (e *v2EdgeCols) decode(s *v2Section) error {
+	if err := verifyV2(s); err != nil {
+		return err
+	}
+	d := colenc.NewReader(s.payload)
+	var err error
+	if e.from, err = d.U32s(); err != nil {
+		return err
+	}
+	if e.to, err = d.U32s(); err != nil {
+		return err
+	}
+	if e.kind, err = d.U8s(); err != nil {
+		return err
+	}
+	if e.first, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if e.last, err = d.I64sVar(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("edges carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+type v2LevelCols struct {
+	off, nodes []uint32
+	level      []uint64
+}
+
+func (l *v2LevelCols) decode(body []byte) error {
+	d := colenc.NewReader(body)
+	var err error
+	if l.off, err = d.U32s(); err != nil {
+		return err
+	}
+	if l.nodes, err = d.U32s(); err != nil {
+		return err
+	}
+	if l.level, err = d.U64sVar(); err != nil {
+		return err
+	}
+	if !d.Done() {
+		return fmt.Errorf("levels carries %d trailing bytes", d.Remaining())
+	}
+	return nil
+}
+
+// ---- assembly ----
+
+// checkOffsets validates a CSR offset column: n+1 monotonic entries from 0
+// to total.
+func checkOffsets(name string, off []uint32, n, total int) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("ggp: %s offsets have %d entries, want %d", name, len(off), n+1)
+	}
+	if off[0] != 0 || int(off[n]) != total {
+		return fmt.Errorf("ggp: %s offsets span [%d,%d], want [0,%d]", name, off[0], off[n], total)
+	}
+	for i := 0; i < n; i++ {
+		if off[i+1] < off[i] {
+			return fmt.Errorf("ggp: %s offsets not monotonic at %d", name, i)
+		}
+	}
+	return nil
+}
+
+// sameLen validates that every named column has exactly n rows.
+func sameLen(section string, n int, cols map[string]int) error {
+	for name, l := range cols {
+		if l != n {
+			return fmt.Errorf("ggp: %s column %s has %d rows, want %d", section, name, l, n)
+		}
+	}
+	return nil
+}
+
+func countersAt(ctr *[7][]uint64, i int) cache.Counters {
+	return cache.Counters{
+		Accesses: ctr[0][i],
+		L1Miss:   ctr[1][i],
+		L2Miss:   ctr[2][i],
+		L3Miss:   ctr[3][i],
+		Remote:   ctr[4][i],
+		Stall:    ctr[5][i],
+		Compute:  ctr[6][i],
+	}
+}
+
+func checkCtr(section string, ctr *[7][]uint64, n int) error {
+	for i := range ctr {
+		if len(ctr[i]) != n {
+			return fmt.Errorf("ggp: %s counter column %d has %d rows, want %d", section, i, len(ctr[i]), n)
+		}
+	}
+	return nil
+}
+
+func toInt(section string, v []int64) ([]int, error) {
+	out := make([]int, len(v))
+	for i, x := range v {
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			return nil, fmt.Errorf("ggp: %s value %d out of range", section, x)
+		}
+		out[i] = int(x)
+	}
+	return out, nil
+}
+
+func assembleV2Trace(meta *v2Meta, workers *v2WorkersCols, tc *v2TaskCols, fc *v2FragCols,
+	bc *v2BoundCols, lc *v2LoopCols, cc *v2ChunkCols, kc *v2BookkeepCols) (*profile.Trace, error) {
+
+	nT := meta.nTasks
+	if err := sameLen("tasks", nT, map[string]int{
+		"ids": len(tc.ids), "parents": len(tc.parents), "locFile": len(tc.locFile),
+		"locLine": len(tc.locLine), "locFunc": len(tc.locFunc), "depth": len(tc.depth),
+		"createTime": len(tc.createTime), "createCost": len(tc.createCost),
+		"createdBy": len(tc.createdBy), "startTime": len(tc.startTime),
+		"endTime": len(tc.endTime), "inlined": len(tc.inlined),
+	}); err != nil {
+		return nil, err
+	}
+	nF := len(fc.start)
+	if err := sameLen("fragments", nF, map[string]int{"end": len(fc.end), "core": len(fc.core)}); err != nil {
+		return nil, err
+	}
+	if err := checkCtr("fragments", &fc.ctr, nF); err != nil {
+		return nil, err
+	}
+	nB := len(bc.kind)
+	if err := sameLen("boundaries", nB, map[string]int{
+		"at": len(bc.at), "child": len(bc.child), "wait": len(bc.wait),
+		"susp": len(bc.susp), "loop": len(bc.loop),
+	}); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("fragment", tc.fragOff, nT, nF); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("boundary", tc.boundOff, nT, nB); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("joined", bc.joinedOff, nB, len(bc.joined)); err != nil {
+		return nil, err
+	}
+	nL := meta.nLoops
+	if err := sameLen("loops", nL, map[string]int{
+		"id": len(lc.id), "locFile": len(lc.locFile), "locLine": len(lc.locLine),
+		"locFunc": len(lc.locFunc), "sched": len(lc.sched), "chunkSize": len(lc.chunkSize),
+		"lo": len(lc.lo), "hi": len(lc.hi), "start": len(lc.start), "end": len(lc.end),
+		"startThread": len(lc.startThread),
+	}); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("loop thread", lc.threadOff, nL, len(lc.threads)); err != nil {
+		return nil, err
+	}
+	nC := meta.nChunks
+	if err := sameLen("chunks", nC, map[string]int{
+		"loop": len(cc.loop), "seq": len(cc.seq), "thread": len(cc.thread),
+		"lo": len(cc.lo), "hi": len(cc.hi), "start": len(cc.start),
+		"end": len(cc.end), "bookkeep": len(cc.bookkeep),
+	}); err != nil {
+		return nil, err
+	}
+	if err := checkCtr("chunks", &cc.ctr, nC); err != nil {
+		return nil, err
+	}
+	nK := meta.nBookkeeps
+	if err := sameLen("bookkeeps", nK, map[string]int{
+		"loop": len(kc.loop), "thread": len(kc.thread), "grabs": len(kc.grabs), "total": len(kc.total),
+	}); err != nil {
+		return nil, err
+	}
+
+	tr := &profile.Trace{
+		Program:    meta.program,
+		Cores:      meta.cores,
+		Sockets:    meta.sockets,
+		Scheduler:  meta.scheduler,
+		Flavor:     meta.flavor,
+		PagePolicy: meta.pagePolicy,
+		Start:      meta.start,
+		End:        meta.end,
+	}
+	if n := len(workers.busy); n > 0 {
+		tr.Workers = make([]profile.WorkerStat, n)
+		for i := range tr.Workers {
+			tr.Workers[i] = profile.WorkerStat{Busy: workers.busy[i], Overhead: workers.over[i]}
+		}
+	}
+
+	frags := make([]profile.Fragment, nF)
+	for i := range frags {
+		frags[i] = profile.Fragment{
+			Start:    fc.start[i],
+			End:      fc.end[i],
+			Core:     int(fc.core[i]),
+			Counters: countersAt(&fc.ctr, i),
+		}
+	}
+	joined := make([]profile.GrainID, len(bc.joined))
+	for i, s := range bc.joined {
+		joined[i] = profile.GrainID(s)
+	}
+	bounds := make([]profile.Boundary, nB)
+	for i := range bounds {
+		if bc.kind[i] > uint8(profile.BoundaryLoop) {
+			return nil, fmt.Errorf("ggp: unknown boundary kind %d", bc.kind[i])
+		}
+		b := profile.Boundary{
+			Kind:      profile.BoundaryKind(bc.kind[i]),
+			At:        bc.at[i],
+			Child:     profile.GrainID(bc.child[i]),
+			Wait:      bc.wait[i],
+			Suspended: bc.susp[i],
+			Loop:      profile.LoopID(bc.loop[i]),
+		}
+		if lo, hi := bc.joinedOff[i], bc.joinedOff[i+1]; hi > lo {
+			b.Joined = joined[lo:hi:hi]
+		}
+		bounds[i] = b
+	}
+
+	tasks := make([]profile.TaskRecord, nT)
+	tr.Tasks = make([]*profile.TaskRecord, nT)
+	for i := range tasks {
+		t := &tasks[i]
+		t.ID = profile.GrainID(tc.ids[i])
+		t.Parent = profile.GrainID(tc.parents[i])
+		t.Loc = profile.SrcLoc{File: tc.locFile[i], Line: int(tc.locLine[i]), Func: tc.locFunc[i]}
+		t.Depth = int(tc.depth[i])
+		t.CreateTime = tc.createTime[i]
+		t.CreateCost = tc.createCost[i]
+		t.CreatedBy = int(tc.createdBy[i])
+		t.StartTime = tc.startTime[i]
+		t.EndTime = tc.endTime[i]
+		t.Inlined = tc.inlined[i]
+		if lo, hi := tc.fragOff[i], tc.fragOff[i+1]; hi > lo {
+			t.Fragments = frags[lo:hi:hi]
+		}
+		if lo, hi := tc.boundOff[i], tc.boundOff[i+1]; hi > lo {
+			t.Boundaries = bounds[lo:hi:hi]
+		}
+		tr.Tasks[i] = t
+	}
+
+	if nL > 0 {
+		threads, err := toInt("loop threads", lc.threads)
+		if err != nil {
+			return nil, err
+		}
+		loops := make([]profile.LoopRecord, nL)
+		tr.Loops = make([]*profile.LoopRecord, nL)
+		for i := range loops {
+			if lc.sched[i] > uint8(profile.ScheduleGuided) {
+				return nil, fmt.Errorf("ggp: unknown loop schedule %d", lc.sched[i])
+			}
+			l := &loops[i]
+			l.ID = profile.LoopID(lc.id[i])
+			l.Loc = profile.SrcLoc{File: lc.locFile[i], Line: int(lc.locLine[i]), Func: lc.locFunc[i]}
+			l.Schedule = profile.ScheduleKind(lc.sched[i])
+			l.ChunkSize = int(lc.chunkSize[i])
+			l.Lo = int(lc.lo[i])
+			l.Hi = int(lc.hi[i])
+			l.Start = lc.start[i]
+			l.End = lc.end[i]
+			l.StartThread = int(lc.startThread[i])
+			if lo, hi := lc.threadOff[i], lc.threadOff[i+1]; hi > lo {
+				l.Threads = threads[lo:hi:hi]
+			}
+			tr.Loops[i] = l
+		}
+	}
+
+	if nC > 0 {
+		chunks := make([]profile.ChunkRecord, nC)
+		tr.Chunks = make([]*profile.ChunkRecord, nC)
+		for i := range chunks {
+			c := &chunks[i]
+			c.Loop = profile.LoopID(cc.loop[i])
+			c.Seq = int(cc.seq[i])
+			c.Thread = int(cc.thread[i])
+			c.Lo = int(cc.lo[i])
+			c.Hi = int(cc.hi[i])
+			c.Start = cc.start[i]
+			c.End = cc.end[i]
+			c.Bookkeep = cc.bookkeep[i]
+			c.Counters = countersAt(&cc.ctr, i)
+			tr.Chunks[i] = c
+		}
+	}
+
+	if nK > 0 {
+		bks := make([]profile.BookkeepRecord, nK)
+		tr.Bookkeeps = make([]*profile.BookkeepRecord, nK)
+		for i := range bks {
+			b := &bks[i]
+			b.Loop = profile.LoopID(kc.loop[i])
+			b.Thread = int(kc.thread[i])
+			b.Grabs = int(kc.grabs[i])
+			b.Total = kc.total[i]
+			tr.Bookkeeps[i] = b
+		}
+	}
+
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("ggp: invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+func assembleV2Graph(tr *profile.Trace, meta *v2Meta, nc *v2NodeCols, ctr *[7][]uint64,
+	ec *v2EdgeCols, lc *v2LevelCols) (*core.Graph, bool, error) {
+
+	nn := meta.nNodes
+	ne := meta.nEdges
+	if err := sameLen("nodes", nn, map[string]int{
+		"kind": len(nc.kind), "grainRef": len(nc.grainRef), "loop": len(nc.loop),
+		"seq": len(nc.seq), "core": len(nc.core), "members": len(nc.members),
+		"label": len(nc.label), "start": len(nc.start), "end": len(nc.end),
+		"weight": len(nc.weight),
+	}); err != nil {
+		return nil, false, err
+	}
+	if err := checkCtr("nodes", ctr, nn); err != nil {
+		return nil, false, err
+	}
+	if err := sameLen("edges", ne, map[string]int{
+		"from": len(ec.from), "to": len(ec.to), "kind": len(ec.kind),
+	}); err != nil {
+		return nil, false, err
+	}
+	dictLen := len(tr.Tasks) + len(tr.Chunks)
+	if len(nc.dict) != dictLen {
+		return nil, false, fmt.Errorf("ggp: grain dictionary has %d entries, want %d", len(nc.dict), dictLen)
+	}
+	if len(ec.first) != dictLen || len(ec.last) != dictLen {
+		return nil, false, fmt.Errorf("ggp: entry/exit columns have %d/%d entries, want %d", len(ec.first), len(ec.last), dictLen)
+	}
+
+	cols := core.GraphColumns{
+		Kind:     nc.kind,
+		Grain:    make([]profile.GrainID, nn),
+		Loop:     make([]int32, nn),
+		Seq:      make([]int32, nn),
+		Label:    nc.label,
+		Start:    nc.start,
+		End:      nc.end,
+		Weight:   nc.weight,
+		Core:     make([]int32, nn),
+		Counters: make([]cache.Counters, nn),
+		Members:  make([]int32, nn),
+		EdgeFrom: make([]int32, ne),
+		EdgeTo:   make([]int32, ne),
+		EdgeKind: ec.kind,
+	}
+	for i := 0; i < nn; i++ {
+		ref := nc.grainRef[i]
+		if int(ref) >= dictLen {
+			return nil, false, fmt.Errorf("ggp: node %d grain ref %d out of range [0,%d)", i, ref, dictLen)
+		}
+		cols.Grain[i] = profile.GrainID(nc.dict[ref])
+		for _, c := range [...]struct {
+			dst []int32
+			src int64
+		}{{cols.Loop, nc.loop[i]}, {cols.Seq, nc.seq[i]}, {cols.Core, nc.core[i]}, {cols.Members, nc.members[i]}} {
+			if c.src < math.MinInt32 || c.src > math.MaxInt32 {
+				return nil, false, fmt.Errorf("ggp: node %d column value %d out of range", i, c.src)
+			}
+			c.dst[i] = int32(c.src)
+		}
+		cols.Counters[i] = countersAt(ctr, i)
+	}
+	for i := 0; i < ne; i++ {
+		if ec.from[i] >= uint32(nn) || ec.to[i] >= uint32(nn) {
+			return nil, false, fmt.Errorf("ggp: edge %d endpoints (%d,%d) out of range [0,%d)", i, ec.from[i], ec.to[i], nn)
+		}
+		cols.EdgeFrom[i] = int32(ec.from[i])
+		cols.EdgeTo[i] = int32(ec.to[i])
+	}
+
+	first := make(map[profile.GrainID]core.NodeID, dictLen)
+	last := make(map[profile.GrainID]core.NodeID, dictLen)
+	for i := 0; i < dictLen; i++ {
+		for _, m := range [...]struct {
+			dst map[profile.GrainID]core.NodeID
+			src int64
+		}{{first, ec.first[i]}, {last, ec.last[i]}} {
+			if m.src == -1 {
+				continue
+			}
+			if m.src < 0 || m.src >= int64(nn) {
+				return nil, false, fmt.Errorf("ggp: entry/exit node %d out of range [0,%d)", m.src, nn)
+			}
+			m.dst[profile.GrainID(nc.dict[i])] = core.NodeID(m.src)
+		}
+	}
+
+	g, err := core.AdoptGraph(tr, cols, first, last)
+	if err != nil {
+		return nil, false, fmt.Errorf("ggp: %w", err)
+	}
+
+	if lc.off == nil {
+		return g, false, nil
+	}
+	// Levels sidecar: adopt with structural validation; rejection means
+	// the sidecar was stale or malformed, and the index rebuilds lazily.
+	off := make([]int32, len(lc.off))
+	nodes := make([]int32, len(lc.nodes))
+	level := make([]int32, len(lc.level))
+	for i, v := range lc.off {
+		if v > math.MaxInt32 {
+			return g, false, nil
+		}
+		off[i] = int32(v)
+	}
+	for i, v := range lc.nodes {
+		if v > math.MaxInt32 {
+			return g, false, nil
+		}
+		nodes[i] = int32(v)
+	}
+	for i, v := range lc.level {
+		if v > math.MaxInt32 {
+			return g, false, nil
+		}
+		level[i] = int32(v)
+	}
+	if err := g.AdoptLevels(off, nodes, level); err != nil {
+		return g, false, nil
+	}
+	return g, true, nil
+}

@@ -1,0 +1,306 @@
+package ggp_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"graingraph/internal/core"
+	"graingraph/internal/ggp"
+	"graingraph/internal/profile"
+	"graingraph/internal/runpool"
+)
+
+func encodeV2(t *testing.T, tr *profile.Trace, g *core.Graph, side []ggp.Sidecar) []byte {
+	t.Helper()
+	data, err := ggp.EncodeV2(tr, g, side)
+	if err != nil {
+		t.Fatalf("ggp.EncodeV2: %v", err)
+	}
+	return data
+}
+
+func decodeV2(t *testing.T, data []byte, pool *runpool.Runner) *ggp.Decoded {
+	t.Helper()
+	dec, err := ggp.Decode(data, pool, nil)
+	if err != nil {
+		t.Fatalf("ggp.Decode: %v", err)
+	}
+	return dec
+}
+
+// sameTrace asserts got reproduces want record for record, the same
+// contract the v1 round-trip test checks.
+func sameTrace(t *testing.T, got, want *profile.Trace) {
+	t.Helper()
+	if got.Program != want.Program || got.Cores != want.Cores || got.Sockets != want.Sockets ||
+		got.Scheduler != want.Scheduler || got.Flavor != want.Flavor ||
+		got.PagePolicy != want.PagePolicy || got.Start != want.Start || got.End != want.End {
+		t.Errorf("meta mismatch: got %+v", got)
+	}
+	if len(got.Tasks) != len(want.Tasks) {
+		t.Fatalf("tasks: %d, want %d", len(got.Tasks), len(want.Tasks))
+	}
+	for i := range want.Tasks {
+		if !reflect.DeepEqual(got.Tasks[i], want.Tasks[i]) {
+			t.Errorf("task %d differs:\n got %+v\nwant %+v", i, got.Tasks[i], want.Tasks[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Loops, want.Loops) {
+		t.Errorf("loops differ: got %+v want %+v", got.Loops, want.Loops)
+	}
+	if !reflect.DeepEqual(got.Chunks, want.Chunks) {
+		t.Errorf("chunks differ")
+	}
+	if !reflect.DeepEqual(got.Bookkeeps, want.Bookkeeps) {
+		t.Errorf("bookkeeps differ")
+	}
+	if !reflect.DeepEqual(got.Workers, want.Workers) {
+		t.Errorf("workers differ: got %+v want %+v", got.Workers, want.Workers)
+	}
+}
+
+// sameGraph asserts two graphs are identical node for node, edge for
+// edge, including the grain entry/exit maps.
+func sameGraph(t *testing.T, got, want *core.Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("graph size: got %d nodes/%d edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for n := 0; n < got.NumNodes(); n++ {
+		gn, wn := got.NodeAt(core.NodeID(n)), want.NodeAt(core.NodeID(n))
+		if !reflect.DeepEqual(gn, wn) {
+			t.Fatalf("node %d differs:\n got %+v\nwant %+v", n, gn, wn)
+		}
+	}
+	for i := 0; i < got.NumEdges(); i++ {
+		if got.EdgeAt(i) != want.EdgeAt(i) {
+			t.Fatalf("edge %d differs: got %+v want %+v", i, got.EdgeAt(i), want.EdgeAt(i))
+		}
+	}
+	if !reflect.DeepEqual(got.FirstNode, want.FirstNode) {
+		t.Errorf("FirstNode maps differ")
+	}
+	if !reflect.DeepEqual(got.LastNode, want.LastNode) {
+		t.Errorf("LastNode maps differ")
+	}
+}
+
+func TestV2RoundTripTraceAndGraph(t *testing.T) {
+	tr := sampleTrace(t)
+	g := core.Build(tr)
+	data := encodeV2(t, tr, g, nil)
+
+	for _, workers := range []int{0, 4} {
+		var pool *runpool.Runner
+		if workers > 0 {
+			pool = runpool.New(workers)
+		}
+		dec := decodeV2(t, data, pool)
+		if dec.Version != 2 {
+			t.Fatalf("version: %d", dec.Version)
+		}
+		sameTrace(t, dec.Trace, tr)
+		dg := dec.TakeGraph()
+		if dg == nil {
+			t.Fatal("TakeGraph returned nil on first call")
+		}
+		sameGraph(t, dg, core.Build(dec.Trace))
+		if dec.TakeGraph() != nil {
+			t.Fatal("TakeGraph handed the graph out twice")
+		}
+		if dec.SidecarStale {
+			t.Fatal("sidecar-free artifact reported stale sidecars")
+		}
+		if dec.HasSidecars() {
+			t.Fatal("sidecar-free artifact reports sidecars")
+		}
+	}
+}
+
+func TestV2DecodeTrace(t *testing.T) {
+	tr := sampleTrace(t)
+	data := encodeV2(t, tr, core.Build(tr), nil)
+	got, err := ggp.DecodeTrace(data, nil, nil)
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	sameTrace(t, got, tr)
+
+	// And the v1 path through the same entry point.
+	v1got, err := ggp.DecodeTrace(encode(t, tr), nil, nil)
+	if err != nil {
+		t.Fatalf("DecodeTrace(v1): %v", err)
+	}
+	sameTrace(t, v1got, tr)
+}
+
+func TestV2DeterministicEncoding(t *testing.T) {
+	tr := sampleTrace(t)
+	g := core.Build(tr)
+	a := encodeV2(t, tr, g, nil)
+	// Analysis-style mutation of derived state must not leak into the
+	// encoding: only construction-time columns are serialized.
+	g.SetCritical(0, true)
+	g.SetGeometry(0, 1, 2, 3, 4)
+	if g.NumEdges() > 0 {
+		g.SetEdgeCritical(0, true)
+	}
+	b := encodeV2(t, tr, g, nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding changed after analysis-state mutation")
+	}
+	// A graph decoded from the artifact re-encodes to the same bytes.
+	dec := decodeV2(t, a, nil)
+	c := encodeV2(t, dec.Trace, dec.TakeGraph(), nil)
+	if !bytes.Equal(a, c) {
+		t.Fatal("decode/re-encode not byte-identical")
+	}
+}
+
+func TestV2LevelsSidecar(t *testing.T) {
+	tr := sampleTrace(t)
+	g := core.Build(tr)
+	want := g.NumLevels() // forces the level index, so EncodeV2 persists it
+	data := encodeV2(t, tr, g, nil)
+
+	dec := decodeV2(t, data, nil)
+	dg := dec.TakeGraph()
+	off, _, _ := dg.ExportLevels()
+	if off == nil {
+		t.Fatal("levels sidecar not adopted")
+	}
+	if got := dg.NumLevels(); got != want {
+		t.Fatalf("NumLevels: got %d want %d", got, want)
+	}
+	// The adopted index must agree with a fresh build, level by level.
+	fresh := core.Build(dec.Trace)
+	if fn, gn := fresh.NumLevels(), dg.NumLevels(); fn != gn {
+		t.Fatalf("levels: adopted %d, rebuilt %d", gn, fn)
+	}
+	for l := 0; l < fresh.NumLevels(); l++ {
+		if !reflect.DeepEqual(fresh.LevelNodes(l), dg.LevelNodes(l)) {
+			t.Fatalf("level %d nodes differ", l)
+		}
+	}
+}
+
+func TestV2SidecarRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	g := core.Build(tr)
+	g.NumLevels()
+	side := []ggp.Sidecar{
+		{Kind: ggp.SidecarLod, Data: []byte("lod-payload")},
+		{Kind: ggp.SidecarQuery, Data: []byte("query-payload")},
+	}
+	dec := decodeV2(t, encodeV2(t, tr, g, side), nil)
+	if !dec.HasSidecars() {
+		t.Fatal("HasSidecars: false, want true")
+	}
+	if string(dec.LodSidecar()) != "lod-payload" {
+		t.Fatalf("lod sidecar: %q", dec.LodSidecar())
+	}
+	if string(dec.QuerySidecar()) != "query-payload" {
+		t.Fatalf("query sidecar: %q", dec.QuerySidecar())
+	}
+	if dec.SidecarStale {
+		t.Fatal("fresh sidecars reported stale")
+	}
+}
+
+// TestV2StaleSidecarsDiscarded is the staleness contract: sidecars keyed
+// against a different generation of the graph sections are discarded and
+// rebuilt, and the decode result is identical to a sidecar-free decode.
+func TestV2StaleSidecarsDiscarded(t *testing.T) {
+	tr := sampleTrace(t)
+	g := core.Build(tr)
+	g.NumLevels()
+	side := []ggp.Sidecar{
+		{Kind: ggp.SidecarLod, Data: []byte("stale-lod")},
+		{Kind: ggp.SidecarQuery, Data: []byte("stale-query")},
+	}
+	plain := encodeV2(t, tr, core.Build(tr), nil)
+	stale, err := ggp.EncodeV2StaleForTest(tr, g, side, 0xDEADBEEF)
+	if err != nil {
+		t.Fatalf("EncodeV2StaleForTest: %v", err)
+	}
+
+	dec, err := ggp.Decode(stale, nil, nil)
+	if err != nil {
+		t.Fatalf("Decode of artifact with stale sidecars: %v", err)
+	}
+	if !dec.SidecarStale {
+		t.Fatal("SidecarStale: false, want true")
+	}
+	if dec.HasSidecars() {
+		t.Fatal("stale sidecars still reported present")
+	}
+	if dec.LodSidecar() != nil || dec.QuerySidecar() != nil {
+		t.Fatal("stale sidecar payloads handed out")
+	}
+	dg := dec.TakeGraph()
+	if off, _, _ := dg.ExportLevels(); off != nil {
+		t.Fatal("stale levels sidecar adopted")
+	}
+
+	// Same decode result as the sidecar-free artifact.
+	ref := decodeV2(t, plain, nil)
+	sameTrace(t, dec.Trace, ref.Trace)
+	sameGraph(t, dg, ref.TakeGraph())
+	// And the re-encoding (what an upgrade would persist) is identical.
+	if a, b := encodeV2(t, dec.Trace, dg, nil), encodeV2(t, ref.Trace, core.Build(ref.Trace), nil); !bytes.Equal(a, b) {
+		t.Fatal("stale-decode re-encoding differs from sidecar-free decode")
+	}
+}
+
+func TestV2CorruptionFailsClosed(t *testing.T) {
+	tr := sampleTrace(t)
+	g := core.Build(tr)
+	g.NumLevels()
+	side := []ggp.Sidecar{{Kind: ggp.SidecarLod, Data: []byte("lod")}}
+	data := encodeV2(t, tr, g, side)
+
+	t.Run("flipped content byte", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(ggp.Magic)+10] ^= 0xFF // inside the first (meta) section payload
+		if _, err := ggp.Decode(bad, nil, nil); !errors.Is(err, ggp.ErrCRC) {
+			t.Fatalf("got %v, want ErrCRC", err)
+		}
+	})
+	t.Run("truncated mid-column", func(t *testing.T) {
+		if _, err := ggp.Decode(data[:2*len(data)/3], nil, nil); !errors.Is(err, ggp.ErrTruncated) {
+			t.Fatalf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("flipped sidecar byte", func(t *testing.T) {
+		// Find the lod sidecar section and flip a payload byte: sidecar
+		// corruption is detected (hard error), not silently ignored —
+		// staleness is a key mismatch, corruption is a checksum mismatch.
+		idx := bytes.LastIndex(data, []byte("lod"))
+		if idx < 0 {
+			t.Fatal("sidecar payload not found")
+		}
+		bad := append([]byte(nil), data...)
+		bad[idx] ^= 0xFF
+		if _, err := ggp.Decode(bad, nil, nil); !errors.Is(err, ggp.ErrCRC) {
+			t.Fatalf("got %v, want ErrCRC", err)
+		}
+	})
+	t.Run("v2 header on v1 body", func(t *testing.T) {
+		v1 := encode(t, tr)
+		bad := append([]byte(nil), v1...)
+		bad[len(ggp.Magic)] = 2
+		if _, err := ggp.Decode(bad, nil, nil); err == nil {
+			t.Fatal("v2 header with v1 body decoded successfully")
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(ggp.Magic)] = 9
+		if _, err := ggp.Decode(bad, nil, nil); !errors.Is(err, ggp.ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+}

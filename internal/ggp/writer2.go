@@ -1,0 +1,573 @@
+package ggp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"graingraph/internal/colenc"
+	"graingraph/internal/core"
+	"graingraph/internal/profile"
+)
+
+// castagnoli is the CRC-32C table used by every v2 section checksum.
+// Distinct from v1's IEEE polynomial on purpose: a v2 payload replayed
+// through the v1 verifier (or vice versa) can never validate by accident.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SidecarKind identifies a derived-index sidecar section.
+type SidecarKind byte
+
+const (
+	// SidecarLevels holds the topological level CSR (core/levels.go).
+	// EncodeV2 emits it automatically when the graph's level index is
+	// built; callers never construct it by hand.
+	SidecarLevels SidecarKind = SidecarKind(secV2Levels)
+	// SidecarLod holds the encoded lod summary index.
+	SidecarLod SidecarKind = SidecarKind(secV2Lod)
+	// SidecarQuery holds the encoded query metric table.
+	SidecarQuery SidecarKind = SidecarKind(secV2Query)
+)
+
+// Sidecar is one derived-index payload to persist alongside the graph.
+// The payload encoding is owned by the producing package (lod, query);
+// ggp frames it, stamps the content key, and checksums it.
+type Sidecar struct {
+	Kind SidecarKind
+	Data []byte
+}
+
+// EncodeV2 serializes a trace and its built grain graph as a columnar v2
+// artifact. The graph must be the deterministic core.Build of tr (or a
+// graph decoded from one): only construction-time columns are written —
+// critical-path marks, layout geometry and adjacency indexes are derived
+// state, so a post-analysis graph encodes byte-identically to a fresh
+// build. If the graph's topological level index has been forced
+// (NumLevels), it is persisted as a levels sidecar; lod/query sidecars are
+// supplied by the caller, already encoded. Every sidecar is stamped with
+// the artifact's content key so a later reader can detect staleness.
+func EncodeV2(tr *profile.Trace, g *core.Graph, side []Sidecar) ([]byte, error) {
+	return encodeV2(tr, g, side, 0, false)
+}
+
+// encodeV2 is EncodeV2 with an optional sidecar content-key override, a
+// test hook that simulates the "graph sections changed after the sidecars
+// were written" staleness scenario without hand-assembling an artifact.
+func encodeV2(tr *profile.Trace, g *core.Graph, side []Sidecar, keyOverride uint32, useOverride bool) ([]byte, error) {
+	if tr == nil || g == nil {
+		return nil, fmt.Errorf("ggp: EncodeV2 requires a trace and a built graph")
+	}
+	w := &v2Writer{}
+	w.buf = append(w.buf, Magic...)
+	w.buf = append(w.buf, Version2)
+
+	w.section(secV2Meta, encodeV2Meta(tr, g))
+	if len(tr.Workers) > 0 {
+		w.section(secV2Workers, encodeV2Workers(tr.Workers))
+	}
+	w.section(secV2Tasks, encodeV2Tasks(tr.Tasks))
+	w.section(secV2Frags, encodeV2Frags(tr.Tasks))
+	w.section(secV2Bounds, encodeV2Bounds(tr.Tasks))
+	w.section(secV2Loops, encodeV2Loops(tr.Loops))
+	w.section(secV2Chunks, encodeV2Chunks(tr.Chunks))
+	w.section(secV2Bookkeeps, encodeV2Bookkeeps(tr.Bookkeeps))
+
+	dict, dictIdx := grainDict(tr)
+	nodes, nodeCtrs, edges, err := encodeV2Graph(tr, g, dict, dictIdx)
+	if err != nil {
+		return nil, err
+	}
+	w.section(secV2Nodes, nodes)
+	w.section(secV2NodeCounters, nodeCtrs)
+	w.section(secV2Edges, edges)
+
+	// The content key is fixed once all content sections are written;
+	// sidecars embed it and do not feed it.
+	key := w.contentKey()
+	sideKey := key
+	if useOverride {
+		sideKey = keyOverride
+	}
+	if off, lvlNodes, lvl := g.ExportLevels(); off != nil {
+		w.sidecar(secV2Levels, sideKey, encodeV2Levels(off, lvlNodes, lvl))
+	}
+	for _, s := range side {
+		if !isV2Sidecar(byte(s.Kind)) {
+			return nil, fmt.Errorf("ggp: invalid sidecar kind 0x%02x", byte(s.Kind))
+		}
+		w.sidecar(byte(s.Kind), sideKey, s.Data)
+	}
+
+	var tb colenc.Buf
+	trailer := binary.LittleEndian.AppendUint32(nil, key)
+	tb.Uvarint(uint64(w.sections))
+	trailer = append(trailer, tb.Bytes()...)
+	w.section(secV2Trailer, trailer)
+	return w.buf, nil
+}
+
+// WriteFileV2 encodes a v2 artifact and writes it atomically (temp file +
+// rename), so a concurrent reader never observes a half-written artifact.
+func WriteFileV2(path string, tr *profile.Trace, g *core.Graph, side []Sidecar) error {
+	data, err := EncodeV2(tr, g, side)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ggp2-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// v2Writer frames sections into one flat buffer, collecting the
+// per-section CRCs of content sections for the trailer's content key.
+type v2Writer struct {
+	buf      []byte
+	crcs     []byte // concatenated 4-byte LE CRCs of content sections
+	sections int
+}
+
+func (w *v2Writer) section(id byte, payload []byte) {
+	w.buf = append(w.buf, id)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(payload)))
+	w.buf = append(w.buf, payload...)
+	sum := crc32.Checksum(payload, castagnoli)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, sum)
+	if !isV2Sidecar(id) && id != secV2Trailer {
+		w.crcs = binary.LittleEndian.AppendUint32(w.crcs, sum)
+	}
+	if id != secV2Trailer {
+		w.sections++
+	}
+}
+
+func (w *v2Writer) sidecar(id byte, key uint32, data []byte) {
+	payload := make([]byte, 0, 5+len(data))
+	payload = append(payload, sidecarFormatVersion)
+	payload = binary.LittleEndian.AppendUint32(payload, key)
+	payload = append(payload, data...)
+	w.section(id, payload)
+}
+
+func (w *v2Writer) contentKey() uint32 {
+	return crc32.Checksum(w.crcs, castagnoli)
+}
+
+// grainDict builds the grain-ID dictionary in the canonical order (tasks,
+// then chunks — the same order Build assigns entry/exit map entries) plus
+// the reverse index used to encode node grain references.
+func grainDict(tr *profile.Trace) ([]string, map[profile.GrainID]int32) {
+	dict := make([]string, 0, len(tr.Tasks)+len(tr.Chunks))
+	idx := make(map[profile.GrainID]int32, len(tr.Tasks)+len(tr.Chunks))
+	for _, t := range tr.Tasks {
+		idx[t.ID] = int32(len(dict))
+		dict = append(dict, string(t.ID))
+	}
+	for _, ck := range tr.Chunks {
+		id := tr.ChunkGrainID(ck)
+		idx[id] = int32(len(dict))
+		dict = append(dict, string(id))
+	}
+	return dict, idx
+}
+
+func encodeV2Meta(tr *profile.Trace, g *core.Graph) []byte {
+	var e colenc.Buf
+	e.Str(tr.Program)
+	e.Uvarint(uint64(int64(tr.Cores)))
+	e.Uvarint(uint64(int64(tr.Sockets)))
+	e.Str(tr.Scheduler)
+	e.Str(tr.Flavor)
+	e.Str(tr.PagePolicy)
+	e.Uvarint(tr.Start)
+	e.Uvarint(tr.End)
+	e.Uvarint(uint64(len(tr.Tasks)))
+	e.Uvarint(uint64(len(tr.Loops)))
+	e.Uvarint(uint64(len(tr.Chunks)))
+	e.Uvarint(uint64(len(tr.Bookkeeps)))
+	e.Uvarint(uint64(g.NumNodes()))
+	e.Uvarint(uint64(g.NumEdges()))
+	return e.Bytes()
+}
+
+func encodeV2Workers(ws []profile.WorkerStat) []byte {
+	busy := make([]uint64, len(ws))
+	over := make([]uint64, len(ws))
+	for i, w := range ws {
+		busy[i], over[i] = w.Busy, w.Overhead
+	}
+	var e colenc.Buf
+	e.U64s(busy)
+	e.U64s(over)
+	return e.Bytes()
+}
+
+func encodeV2Tasks(tasks []*profile.TaskRecord) []byte {
+	n := len(tasks)
+	ids := make([]string, n)
+	parents := make([]string, n)
+	locFile := make([]string, n)
+	locLine := make([]int64, n)
+	locFunc := make([]string, n)
+	depth := make([]int64, n)
+	createTime := make([]uint64, n)
+	createCost := make([]uint64, n)
+	createdBy := make([]int64, n)
+	startTime := make([]uint64, n)
+	endTime := make([]uint64, n)
+	inlined := make([]bool, n)
+	fragOff := make([]uint32, n+1)
+	boundOff := make([]uint32, n+1)
+	for i, t := range tasks {
+		ids[i] = string(t.ID)
+		parents[i] = string(t.Parent)
+		locFile[i] = t.Loc.File
+		locLine[i] = int64(t.Loc.Line)
+		locFunc[i] = t.Loc.Func
+		depth[i] = int64(t.Depth)
+		createTime[i] = t.CreateTime
+		createCost[i] = t.CreateCost
+		createdBy[i] = int64(t.CreatedBy)
+		startTime[i] = t.StartTime
+		endTime[i] = t.EndTime
+		inlined[i] = t.Inlined
+		fragOff[i+1] = fragOff[i] + uint32(len(t.Fragments))
+		boundOff[i+1] = boundOff[i] + uint32(len(t.Boundaries))
+	}
+	var e colenc.Buf
+	e.Strs(ids)
+	e.Strs(parents)
+	e.Strs(locFile)
+	e.I64sVar(locLine)
+	e.Strs(locFunc)
+	e.I64sVar(depth)
+	e.U64s(createTime)
+	e.U64s(createCost)
+	e.I64sVar(createdBy)
+	e.U64s(startTime)
+	e.U64s(endTime)
+	e.Bools(inlined)
+	e.U32s(fragOff)
+	e.U32s(boundOff)
+	return e.Bytes()
+}
+
+// counterCols transposes a counter extractor over n rows into the seven
+// per-counter columns and encodes them as sparse uvarint vectors.
+func counterCols(e *colenc.Buf, n int, at func(i int) *counters7) {
+	cols := make([][]uint64, 7)
+	for c := range cols {
+		cols[c] = make([]uint64, n)
+	}
+	for i := 0; i < n; i++ {
+		v := at(i)
+		for c := 0; c < 7; c++ {
+			cols[c][i] = v[c]
+		}
+	}
+	for c := 0; c < 7; c++ {
+		e.U64sVar(cols[c])
+	}
+}
+
+// counters7 is the flat view of cache.Counters in its canonical field
+// order (the same order the v1 encoder uses).
+type counters7 [7]uint64
+
+func encodeV2Frags(tasks []*profile.TaskRecord) []byte {
+	n := 0
+	for _, t := range tasks {
+		n += len(t.Fragments)
+	}
+	start := make([]uint64, n)
+	end := make([]uint64, n)
+	core := make([]int64, n)
+	flat := make([]counters7, n)
+	i := 0
+	for _, t := range tasks {
+		for fi := range t.Fragments {
+			f := &t.Fragments[fi]
+			start[i] = f.Start
+			end[i] = f.End
+			core[i] = int64(f.Core)
+			c := f.Counters
+			flat[i] = counters7{c.Accesses, c.L1Miss, c.L2Miss, c.L3Miss, c.Remote, c.Stall, c.Compute}
+			i++
+		}
+	}
+	var e colenc.Buf
+	e.U64s(start)
+	e.U64s(end)
+	e.I64sVar(core)
+	counterCols(&e, n, func(i int) *counters7 { return &flat[i] })
+	return e.Bytes()
+}
+
+func encodeV2Bounds(tasks []*profile.TaskRecord) []byte {
+	n, nj := 0, 0
+	for _, t := range tasks {
+		n += len(t.Boundaries)
+		for bi := range t.Boundaries {
+			nj += len(t.Boundaries[bi].Joined)
+		}
+	}
+	kind := make([]uint8, n)
+	at := make([]uint64, n)
+	child := make([]string, n)
+	wait := make([]uint64, n)
+	susp := make([]uint64, n)
+	loop := make([]int64, n)
+	joinedOff := make([]uint32, n+1)
+	joined := make([]string, 0, nj)
+	i := 0
+	for _, t := range tasks {
+		for bi := range t.Boundaries {
+			b := &t.Boundaries[bi]
+			kind[i] = uint8(b.Kind)
+			at[i] = b.At
+			child[i] = string(b.Child)
+			wait[i] = b.Wait
+			susp[i] = b.Suspended
+			loop[i] = int64(b.Loop)
+			for _, j := range b.Joined {
+				joined = append(joined, string(j))
+			}
+			joinedOff[i+1] = uint32(len(joined))
+			i++
+		}
+	}
+	var e colenc.Buf
+	e.U8s(kind)
+	e.U64s(at)
+	e.Strs(child)
+	e.U64s(wait)
+	e.U64s(susp)
+	e.I64sVar(loop)
+	e.U32s(joinedOff)
+	e.Strs(joined)
+	return e.Bytes()
+}
+
+func encodeV2Loops(loops []*profile.LoopRecord) []byte {
+	n := 0
+	nt := 0
+	for _, l := range loops {
+		n++
+		nt += len(l.Threads)
+	}
+	id := make([]int64, n)
+	locFile := make([]string, n)
+	locLine := make([]int64, n)
+	locFunc := make([]string, n)
+	sched := make([]uint8, n)
+	chunkSize := make([]int64, n)
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	start := make([]uint64, n)
+	end := make([]uint64, n)
+	startThread := make([]int64, n)
+	threadOff := make([]uint32, n+1)
+	threads := make([]int64, 0, nt)
+	for i, l := range loops {
+		id[i] = int64(l.ID)
+		locFile[i] = l.Loc.File
+		locLine[i] = int64(l.Loc.Line)
+		locFunc[i] = l.Loc.Func
+		sched[i] = uint8(l.Schedule)
+		chunkSize[i] = int64(l.ChunkSize)
+		lo[i] = int64(l.Lo)
+		hi[i] = int64(l.Hi)
+		start[i] = l.Start
+		end[i] = l.End
+		startThread[i] = int64(l.StartThread)
+		for _, th := range l.Threads {
+			threads = append(threads, int64(th))
+		}
+		threadOff[i+1] = uint32(len(threads))
+	}
+	var e colenc.Buf
+	e.I64sVar(id)
+	e.Strs(locFile)
+	e.I64sVar(locLine)
+	e.Strs(locFunc)
+	e.U8s(sched)
+	e.I64sVar(chunkSize)
+	e.I64sVar(lo)
+	e.I64sVar(hi)
+	e.U64s(start)
+	e.U64s(end)
+	e.I64sVar(startThread)
+	e.U32s(threadOff)
+	e.I64sVar(threads)
+	return e.Bytes()
+}
+
+func encodeV2Chunks(chunks []*profile.ChunkRecord) []byte {
+	n := len(chunks)
+	loop := make([]int64, n)
+	seq := make([]int64, n)
+	thread := make([]int64, n)
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	start := make([]uint64, n)
+	end := make([]uint64, n)
+	bookkeep := make([]uint64, n)
+	flat := make([]counters7, n)
+	for i, ck := range chunks {
+		loop[i] = int64(ck.Loop)
+		seq[i] = int64(ck.Seq)
+		thread[i] = int64(ck.Thread)
+		lo[i] = int64(ck.Lo)
+		hi[i] = int64(ck.Hi)
+		start[i] = ck.Start
+		end[i] = ck.End
+		bookkeep[i] = ck.Bookkeep
+		c := ck.Counters
+		flat[i] = counters7{c.Accesses, c.L1Miss, c.L2Miss, c.L3Miss, c.Remote, c.Stall, c.Compute}
+	}
+	var e colenc.Buf
+	e.I64sVar(loop)
+	e.I64sVar(seq)
+	e.I64sVar(thread)
+	e.I64sVar(lo)
+	e.I64sVar(hi)
+	e.U64s(start)
+	e.U64s(end)
+	e.U64sVar(bookkeep)
+	counterCols(&e, n, func(i int) *counters7 { return &flat[i] })
+	return e.Bytes()
+}
+
+func encodeV2Bookkeeps(bks []*profile.BookkeepRecord) []byte {
+	n := len(bks)
+	loop := make([]int64, n)
+	thread := make([]int64, n)
+	grabs := make([]int64, n)
+	total := make([]uint64, n)
+	for i, b := range bks {
+		loop[i] = int64(b.Loop)
+		thread[i] = int64(b.Thread)
+		grabs[i] = int64(b.Grabs)
+		total[i] = b.Total
+	}
+	var e colenc.Buf
+	e.I64sVar(loop)
+	e.I64sVar(thread)
+	e.I64sVar(grabs)
+	e.U64sVar(total)
+	return e.Bytes()
+}
+
+// encodeV2Graph serializes the built graph's columns: node section (grain
+// dictionary + per-node attributes), counter section, and edge section
+// (edge columns + each grain's entry/exit node from FirstNode/LastNode,
+// indexed by dictionary position, -1 when absent).
+func encodeV2Graph(tr *profile.Trace, g *core.Graph, dict []string, dictIdx map[profile.GrainID]int32) (nodes, nodeCtrs, edges []byte, err error) {
+	c := g.ExportColumns()
+	nn := len(c.Kind)
+	grainRef := make([]uint32, nn)
+	for i, id := range c.Grain {
+		ref, ok := dictIdx[id]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("ggp: node %d grain %q not in trace dictionary", i, id)
+		}
+		grainRef[i] = uint32(ref)
+	}
+	loop := make([]int64, nn)
+	seq := make([]int64, nn)
+	coreCol := make([]int64, nn)
+	members := make([]int64, nn)
+	for i := 0; i < nn; i++ {
+		loop[i] = int64(c.Loop[i])
+		seq[i] = int64(c.Seq[i])
+		coreCol[i] = int64(c.Core[i])
+		members[i] = int64(c.Members[i])
+	}
+	var e colenc.Buf
+	e.Strs(dict)
+	e.U8s(c.Kind)
+	e.U32s(grainRef)
+	e.I64sVar(loop)
+	e.I64sVar(seq)
+	e.I64sVar(coreCol)
+	e.I64sVar(members)
+	e.Strs(c.Label)
+	e.U64s(c.Start)
+	e.U64s(c.End)
+	e.U64s(c.Weight)
+	nodes = e.Bytes()
+
+	var ec colenc.Buf
+	counterCols(&ec, nn, func(i int) *counters7 {
+		v := &c.Counters[i]
+		return &counters7{v.Accesses, v.L1Miss, v.L2Miss, v.L3Miss, v.Remote, v.Stall, v.Compute}
+	})
+	nodeCtrs = ec.Bytes()
+
+	ne := len(c.EdgeFrom)
+	from := make([]uint32, ne)
+	to := make([]uint32, ne)
+	for i := 0; i < ne; i++ {
+		from[i] = uint32(c.EdgeFrom[i])
+		to[i] = uint32(c.EdgeTo[i])
+	}
+	first := make([]int64, len(dict))
+	last := make([]int64, len(dict))
+	for i := range dict {
+		first[i], last[i] = -1, -1
+	}
+	for id, nd := range g.FirstNode {
+		ref, ok := dictIdx[id]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("ggp: entry grain %q not in trace dictionary", id)
+		}
+		first[ref] = int64(nd)
+	}
+	for id, nd := range g.LastNode {
+		ref, ok := dictIdx[id]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("ggp: exit grain %q not in trace dictionary", id)
+		}
+		last[ref] = int64(nd)
+	}
+	var ee colenc.Buf
+	ee.U32s(from)
+	ee.U32s(to)
+	ee.U8s(c.EdgeKind)
+	ee.I64sVar(first)
+	ee.I64sVar(last)
+	edges = ee.Bytes()
+	return nodes, nodeCtrs, edges, nil
+}
+
+func encodeV2Levels(off, nodes, level []int32) []byte {
+	offU := make([]uint32, len(off))
+	for i, v := range off {
+		offU[i] = uint32(v)
+	}
+	nodesU := make([]uint32, len(nodes))
+	for i, v := range nodes {
+		nodesU[i] = uint32(v)
+	}
+	levelU := make([]uint64, len(level))
+	for i, v := range level {
+		levelU[i] = uint64(v)
+	}
+	var e colenc.Buf
+	e.U32s(offU)
+	e.U32s(nodesU)
+	e.U64sVar(levelU)
+	return e.Bytes()
+}

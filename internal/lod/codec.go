@@ -1,0 +1,224 @@
+package lod
+
+import (
+	"fmt"
+
+	"graingraph/internal/colenc"
+	"graingraph/internal/core"
+	"graingraph/internal/profile"
+)
+
+// Sidecar codec for the summary index: the columnar .ggp v2 format
+// persists a built Index after first analysis so a later decode skips the
+// full Build pass. Encode/DecodeIndex serialize exactly the fields Build
+// computes — the slot interning map is rebuilt from the id column, and
+// the graph handle is supplied by the caller at decode time. Staleness is
+// handled a layer down (ggp content keys); DecodeIndex still validates
+// the column structure against the graph it is attached to, so a payload
+// that slipped past the key check can not index out of bounds.
+
+// Encode serializes the index columns.
+func (ix *Index) Encode() []byte {
+	ids := make([]string, len(ix.ids))
+	for i, id := range ix.ids {
+		ids[i] = string(id)
+	}
+	var e colenc.Buf
+	e.Strs(ids)
+	e.I64sVar(int32s(ix.depth))
+	e.I64sVar(int32s(ix.par))
+	e.U32s(uint32s(ix.childOff))
+	// Build over-allocates childIdx to numSlots; only the CSR-covered
+	// prefix carries data, so serialize exactly that.
+	e.U32s(uint32s(ix.childIdx[:ix.childOff[len(ix.childOff)-1]]))
+	e.U32s(uint32s(ix.ownerOf))
+	e.U32s(uint32s(ix.nodeOff))
+	e.U32s(uint32s(ix.nodeIdx))
+	e.I64sVar(ix.ownWork)
+	e.Bools(ix.critSelf)
+	e.I64sVar(int32s(ix.probSelf))
+	e.I64sVar(ix.subWork)
+	e.I64sVar(int32s(ix.subNodes))
+	e.I64sVar(int32s(ix.subTasks))
+	e.I64sVar(int32s(ix.subProbs))
+	e.Bools(ix.critSub)
+	e.U64s(ix.startMin)
+	e.U64s(ix.endMax)
+	return e.Bytes()
+}
+
+// DecodeIndex reconstructs an index from an encoded payload and attaches
+// it to g. Structural mismatches — column length disagreement, CSR bounds
+// violations, node ownership not covering g — yield an error; the caller
+// falls back to Build.
+func DecodeIndex(g *core.Graph, data []byte) (*Index, error) {
+	d := colenc.NewReader(data)
+	ix := &Index{g: g}
+	ids, err := d.Strs()
+	if err != nil {
+		return nil, err
+	}
+	n := len(ids)
+	ix.ids = make([]profile.GrainID, n)
+	ix.slots = make(map[profile.GrainID]int32, n)
+	for i, s := range ids {
+		id := profile.GrainID(s)
+		ix.ids[i] = id
+		if _, dup := ix.slots[id]; dup {
+			return nil, fmt.Errorf("lod: decode: duplicate slot id %q", id)
+		}
+		ix.slots[id] = int32(i)
+	}
+	if ix.depth, err = decI32(d); err != nil {
+		return nil, err
+	}
+	if ix.par, err = decI32(d); err != nil {
+		return nil, err
+	}
+	if ix.childOff, err = decU32I32(d); err != nil {
+		return nil, err
+	}
+	if ix.childIdx, err = decU32I32(d); err != nil {
+		return nil, err
+	}
+	if ix.ownerOf, err = decU32I32(d); err != nil {
+		return nil, err
+	}
+	if ix.nodeOff, err = decU32I32(d); err != nil {
+		return nil, err
+	}
+	if ix.nodeIdx, err = decU32I32(d); err != nil {
+		return nil, err
+	}
+	if ix.ownWork, err = d.I64sVar(); err != nil {
+		return nil, err
+	}
+	if ix.critSelf, err = d.Bools(); err != nil {
+		return nil, err
+	}
+	if ix.probSelf, err = decI32(d); err != nil {
+		return nil, err
+	}
+	if ix.subWork, err = d.I64sVar(); err != nil {
+		return nil, err
+	}
+	if ix.subNodes, err = decI32(d); err != nil {
+		return nil, err
+	}
+	if ix.subTasks, err = decI32(d); err != nil {
+		return nil, err
+	}
+	if ix.subProbs, err = decI32(d); err != nil {
+		return nil, err
+	}
+	if ix.critSub, err = d.Bools(); err != nil {
+		return nil, err
+	}
+	if ix.startMin, err = d.U64s(); err != nil {
+		return nil, err
+	}
+	if ix.endMax, err = d.U64s(); err != nil {
+		return nil, err
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("lod: decode: %d trailing bytes", d.Remaining())
+	}
+
+	for name, l := range map[string]int{
+		"depth": len(ix.depth), "par": len(ix.par), "ownWork": len(ix.ownWork),
+		"critSelf": len(ix.critSelf), "probSelf": len(ix.probSelf),
+		"subWork": len(ix.subWork), "subNodes": len(ix.subNodes),
+		"subTasks": len(ix.subTasks), "subProbs": len(ix.subProbs),
+		"critSub": len(ix.critSub), "startMin": len(ix.startMin), "endMax": len(ix.endMax),
+	} {
+		if l != n {
+			return nil, fmt.Errorf("lod: decode: column %s has %d rows, want %d", name, l, n)
+		}
+	}
+	for _, p := range ix.par {
+		if p < -1 || int(p) >= n {
+			return nil, fmt.Errorf("lod: decode: parent slot %d out of range", p)
+		}
+	}
+	if err := checkCSR("children", ix.childOff, ix.childIdx, n, n); err != nil {
+		return nil, err
+	}
+	nn := g.NumNodes()
+	if len(ix.ownerOf) != nn {
+		return nil, fmt.Errorf("lod: decode: ownerOf covers %d nodes, graph has %d", len(ix.ownerOf), nn)
+	}
+	for _, o := range ix.ownerOf {
+		if o < 0 || int(o) >= n {
+			return nil, fmt.Errorf("lod: decode: owner slot %d out of range", o)
+		}
+	}
+	if err := checkCSR("nodes", ix.nodeOff, ix.nodeIdx, n, nn); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// checkCSR validates an offset/index CSR pair: n+1 monotonic offsets
+// spanning the index column, every index within [0, bound).
+func checkCSR(name string, off, idx []int32, n, bound int) error {
+	if len(off) != n+1 || off[0] != 0 || int(off[n]) != len(idx) {
+		return fmt.Errorf("lod: decode: %s CSR offsets malformed", name)
+	}
+	for i := 0; i < n; i++ {
+		if off[i+1] < off[i] {
+			return fmt.Errorf("lod: decode: %s CSR offsets not monotonic", name)
+		}
+	}
+	for _, v := range idx {
+		if v < 0 || int(v) >= bound {
+			return fmt.Errorf("lod: decode: %s CSR index %d out of range [0,%d)", name, v, bound)
+		}
+	}
+	return nil
+}
+
+func int32s(v []int32) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+func uint32s(v []int32) []uint32 {
+	out := make([]uint32, len(v))
+	for i, x := range v {
+		out[i] = uint32(x)
+	}
+	return out
+}
+
+func decI32(d *colenc.Reader) ([]int32, error) {
+	v, err := d.I64sVar()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(v))
+	for i, x := range v {
+		if x < -(1<<31) || x >= (1<<31) {
+			return nil, fmt.Errorf("lod: decode: value %d overflows int32", x)
+		}
+		out[i] = int32(x)
+	}
+	return out, nil
+}
+
+func decU32I32(d *colenc.Reader) ([]int32, error) {
+	v, err := d.U32s()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(v))
+	for i, x := range v {
+		if x >= 1<<31 {
+			return nil, fmt.Errorf("lod: decode: value %d overflows int32", x)
+		}
+		out[i] = int32(x)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"fmt"
+
+	"graingraph/internal/colenc"
+)
+
+// Sidecar codec for tables: the columnar .ggp v2 format persists the
+// per-grain metric table after first analysis so a warm restart serves
+// query plans without re-running the metric pass. Float columns are
+// stored as raw float64 bits, so an encode/decode round trip is
+// bit-exact and query output over a decoded table is byte-identical to
+// output over the freshly built one.
+
+// EncodeTable serializes a table's schema and columns.
+func EncodeTable(t *Table) []byte {
+	var e colenc.Buf
+	e.Uvarint(uint64(t.rows))
+	e.Uvarint(uint64(len(t.cols)))
+	for _, c := range t.cols {
+		e.Str(c.Name)
+		e.U8s([]uint8{uint8(c.Kind)})
+		switch c.Kind {
+		case Float:
+			e.F64s(c.F)
+		case Int:
+			e.I64sVar(c.I)
+		default:
+			e.Strs(c.S)
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodeTable reconstructs a table from an EncodeTable payload. Malformed
+// input — unknown column kind, row-count mismatch, duplicate names,
+// trailing bytes — yields an error, never a panic; the caller falls back
+// to rebuilding the table.
+func DecodeTable(data []byte) (*Table, error) {
+	d := colenc.NewReader(data)
+	rows, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rows > uint64(1)<<31 || ncols > 4096 {
+		return nil, fmt.Errorf("query: decode: implausible table shape %d x %d", rows, ncols)
+	}
+	t := NewTable(int(rows))
+	for ci := uint64(0); ci < ncols; ci++ {
+		name, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		kindv, err := d.U8s()
+		if err != nil {
+			return nil, err
+		}
+		if len(kindv) != 1 {
+			return nil, fmt.Errorf("query: decode: column %q has malformed kind", name)
+		}
+		if _, dup := t.byName[name]; dup {
+			return nil, fmt.Errorf("query: decode: duplicate column %q", name)
+		}
+		c := &Column{Name: name, Kind: Kind(kindv[0])}
+		switch c.Kind {
+		case Float:
+			if c.F, err = d.F64s(); err != nil {
+				return nil, err
+			}
+			if c.F == nil {
+				c.F = []float64{}
+			}
+		case Int:
+			if c.I, err = d.I64sVar(); err != nil {
+				return nil, err
+			}
+			if c.I == nil {
+				c.I = []int64{}
+			}
+		case Str:
+			if c.S, err = d.Strs(); err != nil {
+				return nil, err
+			}
+			if c.S == nil {
+				c.S = []string{}
+			}
+		default:
+			return nil, fmt.Errorf("query: decode: column %q has unknown kind %d", name, kindv[0])
+		}
+		if c.len() != int(rows) {
+			return nil, fmt.Errorf("query: decode: column %q has %d rows, table claims %d", name, c.len(), rows)
+		}
+		t.cols = append(t.cols, c)
+		t.byName[name] = c
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("query: decode: %d trailing bytes", d.Remaining())
+	}
+	return t, nil
+}

@@ -19,6 +19,7 @@ echo "== build"
 go build -o "$tmp/grainview" ./cmd/grainview
 go build -o "$tmp/grainserved" ./cmd/grainserved
 go build -o "$tmp/grainload" ./cmd/grainload
+go build -o "$tmp/grainbench" ./cmd/grainbench
 
 echo "== record fixture artifact"
 fixture="$tmp/fixture.ggp"
@@ -33,9 +34,27 @@ echo "== reference renderings via grainview"
 query='from grains | filter exec > 0 | groupby loc | agg count, sum(exec), mean(benefit) | sort sum_exec desc | topk 5'
 "$tmp/grainview" -query "$query" "$fixture" >"$tmp/query.cli"
 
+echo "== columnar v2: convert and diff against v1 analysis"
+"$tmp/grainbench" -ggpconv "$fixture" -ggpconv-out "$tmp/fixture.v2.ggp" 2>/dev/null
+v2diff() {
+    local label=$1; shift
+    "$tmp/grainview" "$@" "$fixture" >"$tmp/v1.out" 2>/dev/null
+    "$tmp/grainview" "$@" "$tmp/fixture.v2.ggp" >"$tmp/v2.out" 2>/dev/null
+    if ! diff -q "$tmp/v1.out" "$tmp/v2.out" >/dev/null; then
+        echo "FAIL: v1 vs v2 artifact output differs for: $label" >&2
+        diff "$tmp/v1.out" "$tmp/v2.out" | head -20 >&2
+        exit 1
+    fi
+}
+v2diff summary -summary
+v2diff highlight -highlight
+v2diff window -window depth=2,top=8 -format dot
+v2diff query -query "$query"
+echo "   v1 -> v2 convert: analysis byte-identical"
+
 echo "== start grainserved"
 addr=127.0.0.1:18080
-"$tmp/grainserved" -listen "$addr" -store "$tmp/store" 2>"$tmp/server.log" &
+"$tmp/grainserved" -listen "$addr" -store "$tmp/store" -debug 2>"$tmp/server.log" &
 server_pid=$!
 for _ in $(seq 1 100); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -77,6 +96,16 @@ echo "$second" | grep -q '"existed": *true' || { echo "FAIL: re-upload not recog
 echo "== grainload smoke (2s at 50 req/s)"
 "$tmp/grainload" -server "http://$addr" -artifact "$fixture" \
     -rate 50 -duration 2s -c 4 -tenants 2
+
+echo "== grainload cold-path smoke (2s, serialized, evict before each request)"
+"$tmp/grainload" -server "http://$addr" -artifact "$fixture" \
+    -cold -duration 2s -tenants 2
+
+echo "== stored artifact upgraded in place to columnar v2"
+stored="$tmp/store/$id.ggp"
+ver=$(od -An -j4 -N1 -tu1 "$stored" | tr -d ' ')
+[ "$ver" = 2 ] || { echo "FAIL: stored artifact version byte is $ver, want 2" >&2; exit 1; }
+echo "   $id.ggp: version 2"
 
 echo "== statsz"
 curl -fsS "http://$addr/statsz" | head -30
